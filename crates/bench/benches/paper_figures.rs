@@ -1,0 +1,249 @@
+//! One Criterion benchmark group per paper table/figure.
+//!
+//! Each group runs the *same code path* the corresponding experiment uses,
+//! at a reduced machine scale so the whole harness completes in minutes.
+//! The `repro` binary (walksteal-experiments) regenerates the actual
+//! numbers at paper scale; these benches track the simulator's performance
+//! on each experiment's workload shape and guard against regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use walksteal_multitenant::{GpuConfig, PolicyPreset, SimResult, Simulation};
+use walksteal_vm::PageSize;
+use walksteal_workloads::AppId;
+
+/// The reduced machine every figure-bench runs on.
+fn bench_config() -> GpuConfig {
+    GpuConfig::default()
+        .with_n_sms(4)
+        .with_warps_per_sm(4)
+        .with_instructions_per_warp(500)
+}
+
+fn sim(cfg: GpuConfig, apps: &[AppId]) -> SimResult {
+    Simulation::new(cfg, apps, 42).run()
+}
+
+fn pair_bench(c: &mut Criterion, group: &str, presets: &[PolicyPreset], apps: &[AppId]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &preset in presets {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(preset.label()),
+            &preset,
+            |b, &p| b.iter(|| sim(bench_config().with_preset(p), apps)),
+        );
+    }
+    g.finish();
+}
+
+/// Fig. 2 / Fig. 3: Baseline vs S-TLB vs S-(TLB+PTW) on a heavy+light pair.
+fn fig2_fig3(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig2_fig3_headroom",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::STlb,
+            PolicyPreset::STlbPtw,
+        ],
+        &[AppId::Gups, AppId::Mm],
+    );
+}
+
+/// Table III: interleaving measurement runs on the baseline.
+fn tab3_interleaving(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "tab3_interleaving",
+        &[PolicyPreset::Baseline],
+        &[AppId::Blk, AppId::Hs],
+    );
+}
+
+/// §IV doubling study: 2x-resource baseline vs private resources.
+fn doubling(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "sec4_doubling",
+        &[PolicyPreset::DoubledBaseline, PolicyPreset::STlbPtw],
+        &[AppId::Gups, AppId::Jpeg],
+    );
+}
+
+/// Fig. 5 / 6 / 7: Baseline vs DWS vs DWS++ (throughput, fairness, and
+/// weighted IPC all come from the same runs).
+fn fig5_fig6_fig7(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig5_fig6_fig7_dws",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::Dws,
+            PolicyPreset::DwsPlusPlus,
+        ],
+        &[AppId::Gups, AppId::Jpeg],
+    );
+}
+
+/// Tables V / VI: interleaving and steal accounting under DWS/DWS++.
+fn tab5_tab6(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "tab5_tab6_stealing",
+        &[PolicyPreset::Dws, PolicyPreset::DwsPlusPlus],
+        &[AppId::Gups, AppId::Sad],
+    );
+}
+
+/// Fig. 8: walk-latency accounting (heavy+medium stresses the queues most).
+fn fig8_walk_latency(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig8_walk_latency",
+        &[PolicyPreset::Baseline, PolicyPreset::Dws],
+        &[AppId::Blk, AppId::Tds],
+    );
+}
+
+/// Fig. 9: PW-share / TLB-share coupling pairs.
+fn fig9_shares(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig9_shares",
+        &[PolicyPreset::Baseline, PolicyPreset::Dws],
+        &[AppId::Sad, AppId::Mm],
+    );
+}
+
+/// Fig. 10: the DWS++ aggressiveness variants.
+fn fig10_knob(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig10_knob",
+        &[
+            PolicyPreset::DwsPlusPlusConservative,
+            PolicyPreset::DwsPlusPlus,
+            PolicyPreset::DwsPlusPlusAggressive,
+        ],
+        &[AppId::Gups, AppId::Tds],
+    );
+}
+
+/// Fig. 11: Static / MASK / MASK+DWS comparison points.
+fn fig11_alternatives(c: &mut Criterion) {
+    pair_bench(
+        c,
+        "fig11_alternatives",
+        &[
+            PolicyPreset::StaticPartition,
+            PolicyPreset::Mask,
+            PolicyPreset::MaskDws,
+        ],
+        &[AppId::Gups, AppId::Lps],
+    );
+}
+
+/// Fig. 12: sensitivity sweep points (small and large VM resources).
+fn fig12_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_sensitivity");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, entries, walkers) in [
+        ("512e-12w", 512, 12),
+        ("1024e-16w", 1024, 16),
+        ("2048e-24w", 2048, 24),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let cfg = bench_config()
+                    .with_l2_tlb_entries(entries)
+                    .with_walkers(walkers)
+                    .with_preset(PolicyPreset::Dws);
+                sim(cfg, &[AppId::Sad, AppId::Hs])
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 13: three- and four-tenant simulations.
+fn fig13_many_tenants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_many_tenants");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let three = [AppId::Gups, AppId::Tds, AppId::Mm];
+    let four = [AppId::Gups, AppId::Tds, AppId::Mm, AppId::Hs];
+    g.bench_function("3-tenants", |b| {
+        b.iter(|| {
+            let cfg = GpuConfig::default()
+                .with_n_sms(6)
+                .with_warps_per_sm(4)
+                .with_instructions_per_warp(500)
+                .with_walkers(18)
+                .with_preset(PolicyPreset::Dws);
+            sim(cfg, &three)
+        })
+    });
+    g.bench_function("4-tenants", |b| {
+        b.iter(|| {
+            let cfg = GpuConfig::default()
+                .with_n_sms(8)
+                .with_warps_per_sm(4)
+                .with_instructions_per_warp(500)
+                .with_preset(PolicyPreset::Dws);
+            sim(cfg, &four)
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 14: 64 KB large pages.
+fn fig14_large_pages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_large_pages");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for preset in [PolicyPreset::Baseline, PolicyPreset::Dws] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(preset.label()),
+            &preset,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = bench_config()
+                        .with_page_size(PageSize::Large64K)
+                        .with_preset(p);
+                    sim(cfg, &[AppId::Gups, AppId::Mm])
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Table II: the standalone calibration runs.
+fn tab2_calibration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab2_calibration");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for app in [AppId::Mm, AppId::Tds, AppId::Gups] {
+        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &app, |b, &a| {
+            b.iter(|| sim(bench_config().with_n_sms(2), &[a]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig2_fig3,
+    tab3_interleaving,
+    doubling,
+    fig5_fig6_fig7,
+    tab5_tab6,
+    fig8_walk_latency,
+    fig9_shares,
+    fig10_knob,
+    fig11_alternatives,
+    fig12_sensitivity,
+    fig13_many_tenants,
+    fig14_large_pages,
+    tab2_calibration,
+);
+criterion_main!(figures);

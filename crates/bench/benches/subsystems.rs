@@ -1,0 +1,229 @@
+//! Microbenchmarks of the substrate data structures: the event queue,
+//! caches, TLBs, the page-walk cache, the page table, and the walk
+//! subsystem's dispatch path. These are the hot loops of the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use walksteal_mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig};
+use walksteal_sim_core::{Cycle, EventQueue, SimRng, TenantId, Vpn};
+use walksteal_vm::walk::WalkContext;
+use walksteal_vm::{
+    FrameAlloc, PageSize, PageTable, PwCache, Replacement, StealMode, Tlb, TlbConfig, WalkConfig,
+    WalkPolicyKind, WalkRequest, WalkSubsystem,
+};
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(1);
+            for i in 0..10_000u64 {
+                q.push(Cycle(rng.next_below(1_000_000)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn cache_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("probe_fill_mixed", |b| {
+        let mut cache = Cache::new(CacheConfig { sets: 64, ways: 16 });
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let line = walksteal_sim_core::LineAddr(rng.next_below(4096));
+            if !cache.probe(line) {
+                cache.fill(line);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn tlb_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    g.measurement_time(Duration::from_secs(3));
+    for (label, replacement) in [("lru", Replacement::Lru), ("random", Replacement::Random)] {
+        g.bench_with_input(
+            BenchmarkId::new("probe_fill", label),
+            &replacement,
+            |b, &r| {
+                let mut tlb = Tlb::new(
+                    TlbConfig {
+                        sets: 64,
+                        ways: 16,
+                        replacement: r,
+                    },
+                    2,
+                );
+                let mut rng = SimRng::new(3);
+                let mut now = Cycle::ZERO;
+                b.iter(|| {
+                    now += 1;
+                    let t = TenantId((rng.next_below(2)) as u8);
+                    let vpn = Vpn(rng.next_below(4096));
+                    if tlb.probe(t, vpn).is_none() {
+                        tlb.fill(t, vpn, walksteal_sim_core::Ppn(vpn.0), now);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn pwc_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pwc");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("probe_fill_walk", |b| {
+        let mut pwc = PwCache::new(128);
+        let mut rng = SimRng::new(4);
+        b.iter(|| {
+            let vpn = Vpn(rng.next_below(1 << 24));
+            if pwc.probe(TenantId(0), vpn, 4).is_none() {
+                let nodes = [
+                    walksteal_sim_core::PhysAddr(0x1000),
+                    walksteal_sim_core::PhysAddr(0x2000),
+                    walksteal_sim_core::PhysAddr(0x3000),
+                    walksteal_sim_core::PhysAddr(0x4000),
+                ];
+                pwc.fill_walk(TenantId(0), vpn, &nodes);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn page_table_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("walk_path_hot", |b| {
+        let mut pt = PageTable::new(TenantId(0), PageSize::Small4K);
+        let mut frames = FrameAlloc::new();
+        // Pre-populate so the bench measures steady-state lookups.
+        for v in 0..1024 {
+            pt.walk_path(Vpn(v), &mut frames);
+        }
+        let mut rng = SimRng::new(5);
+        b.iter(|| {
+            let vpn = Vpn(rng.next_below(1024));
+            black_box(pt.walk_path(vpn, &mut frames))
+        })
+    });
+    g.finish();
+}
+
+fn walk_subsystem_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walk_subsystem");
+    g.measurement_time(Duration::from_secs(3));
+    for (label, policy) in [
+        ("shared", WalkPolicyKind::SharedQueue),
+        ("dws", WalkPolicyKind::Partitioned(StealMode::Dws)),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("enqueue_complete", label),
+            &policy,
+            |b, p| {
+                b.iter(|| {
+                    let mut ws = WalkSubsystem::new(WalkConfig {
+                        policy: p.clone(),
+                        ..WalkConfig::default()
+                    });
+                    let mut pts = vec![
+                        PageTable::new(TenantId(0), PageSize::Small4K),
+                        PageTable::new(TenantId(1), PageSize::Small4K),
+                    ];
+                    let mut frames = FrameAlloc::new();
+                    let mut mem = MemSystem::new(MemSystemConfig::default());
+                    let mut rng = SimRng::new(6);
+                    let mut scheduled = Vec::new();
+                    let mut now = Cycle::ZERO;
+                    for _ in 0..200 {
+                        now += 13;
+                        let t = TenantId(rng.next_below(2) as u8);
+                        let mut ctx = WalkContext {
+                            page_tables: &mut pts,
+                            frames: &mut frames,
+                            mem: &mut mem,
+                            mask: None,
+                        };
+                        if let Ok(Some(d)) = ws.try_enqueue(
+                            WalkRequest {
+                                tenant: t,
+                                vpn: Vpn(u64::from(t.0) * 0x10_0000 + rng.next_below(512)),
+                            },
+                            now,
+                            &mut ctx,
+                        ) {
+                            scheduled.push(d);
+                        }
+                        scheduled.sort_by_key(|d: &walksteal_vm::DispatchedWalk| d.done_at);
+                        while let Some(first) = scheduled.first().copied() {
+                            if first.done_at > now {
+                                break;
+                            }
+                            scheduled.remove(0);
+                            let mut ctx = WalkContext {
+                                page_tables: &mut pts,
+                                frames: &mut frames,
+                                mem: &mut mem,
+                                mask: None,
+                            };
+                            let (_, next) =
+                                ws.on_walker_done(first.walker, first.done_at, &mut ctx);
+                            if let Some(n) = next {
+                                scheduled.push(n);
+                                scheduled.sort_by_key(|d| d.done_at);
+                            }
+                        }
+                    }
+                    black_box(ws.queued_len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn mem_system_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_system");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("access_mixed", |b| {
+        let mut mem = MemSystem::new(MemSystemConfig::default());
+        let mut rng = SimRng::new(7);
+        let mut now = Cycle::ZERO;
+        b.iter(|| {
+            now += 2;
+            let line = walksteal_sim_core::LineAddr(rng.next_below(1 << 16));
+            let kind = if rng.chance(0.2) {
+                AccessKind::PageTable
+            } else {
+                AccessKind::Data
+            };
+            black_box(mem.access(line, now, kind))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    subsystems,
+    event_queue,
+    cache_ops,
+    tlb_ops,
+    pwc_ops,
+    page_table_ops,
+    walk_subsystem_ops,
+    mem_system_ops,
+);
+criterion_main!(subsystems);

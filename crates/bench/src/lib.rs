@@ -1,0 +1,3 @@
+//! Benchmark support crate. The actual Criterion harnesses live in
+//! `benches/`: `paper_figures` has one group per paper table/figure, and
+//! `subsystems` covers the individual substrate data structures.

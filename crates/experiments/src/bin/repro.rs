@@ -1,0 +1,119 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--verbose] [--cache DIR] [--markdown FILE] [EXPERIMENT ...]
+//!
+//! EXPERIMENT: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6
+//!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all (default: all)
+//! ```
+
+use std::process::ExitCode;
+
+use walksteal_experiments::{suite, ExpContext, Scale, Store, Table};
+
+fn usage() -> &'static str {
+    "usage: repro [--quick] [--verbose] [--cache DIR] [--markdown FILE] [EXPERIMENT ...]\n\
+     experiments: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6 \
+     fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all"
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Paper;
+    let mut cache_dir = String::from("results/cache");
+    let mut verbose = false;
+    let mut markdown: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--verbose" | "-v" => verbose = true,
+            "--cache" => match args.next() {
+                Some(dir) => cache_dir = dir,
+                None => {
+                    eprintln!("--cache needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--markdown" => match args.next() {
+                Some(f) => markdown = Some(f),
+                None => {
+                    eprintln!("--markdown needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            exp => wanted.push(exp.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_owned());
+    }
+
+    let store = Store::on_disk(format!("{cache_dir}/{}", scale.label()));
+    let mut ctx = ExpContext::new(scale, store);
+    ctx.verbose = verbose;
+
+    let mut tables: Vec<Table> = Vec::new();
+    for exp in &wanted {
+        let start = std::time::Instant::now();
+        match exp.as_str() {
+            "all" => tables.extend(suite::all(&mut ctx)),
+            "calib" => tables.push(suite::calibration(&mut ctx)),
+            "fig2" => tables.push(suite::fig2(&mut ctx)),
+            "fig3" => tables.push(suite::fig3(&mut ctx)),
+            "tab3" => tables.push(suite::tab3(&mut ctx)),
+            "doubling" => tables.push(suite::doubling(&mut ctx)),
+            "fig5" => tables.push(suite::fig5(&mut ctx)),
+            "fig6" => tables.push(suite::fig6(&mut ctx)),
+            "fig7" => tables.push(suite::fig7(&mut ctx)),
+            "tab5" => tables.push(suite::tab5(&mut ctx)),
+            "tab6" => tables.push(suite::tab6(&mut ctx)),
+            "fig8" => tables.push(suite::fig8(&mut ctx)),
+            "fig9" => tables.push(suite::fig9(&mut ctx)),
+            "fig10" => tables.extend(suite::fig10(&mut ctx)),
+            "fig11" => tables.push(suite::fig11(&mut ctx)),
+            "fig12" => tables.push(suite::fig12(&mut ctx)),
+            "fig13" => tables.push(suite::fig13(&mut ctx)),
+            "fig14" => tables.push(suite::fig14(&mut ctx)),
+            "ablation" => tables.push(suite::ablation_pend_check(&mut ctx)),
+            other => {
+                eprintln!("unknown experiment {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        if verbose {
+            eprintln!(
+                "[{exp}] done in {:.1?} (sims run: {}, cache hits: {})",
+                start.elapsed(),
+                ctx.store.misses(),
+                ctx.store.hits()
+            );
+        }
+    }
+
+    for t in &tables {
+        println!("{t}");
+    }
+    if let Some(path) = markdown {
+        let md: String = tables
+            .iter()
+            .map(Table::to_markdown)
+            .collect::<Vec<_>>()
+            .join("\n");
+        if let Err(e) = std::fs::write(&path, md) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! Experiment runners that regenerate every table and figure of the
+//! paper's evaluation (§IV and §VII).
+//!
+//! Each `fig*` / `tab*` function in [`suite`] reproduces one result:
+//!
+//! | Function | Paper result |
+//! | --- | --- |
+//! | [`suite::fig2`] | Fig. 2 — total IPC: Baseline / S-TLB / S-(TLB+PTW) |
+//! | [`suite::fig3`] | Fig. 3 — weighted IPC for the same configurations |
+//! | [`suite::tab3`] | Table III — baseline page-walk interleaving |
+//! | [`suite::doubling`] | §IV — 2× resources vs. S-(TLB+PTW) |
+//! | [`suite::fig5`] | Fig. 5 — throughput: Baseline / DWS / DWS++ |
+//! | [`suite::fig6`] | Fig. 6 — fairness: Baseline / DWS / DWS++ |
+//! | [`suite::fig7`] | Fig. 7 — weighted IPC: Baseline / DWS / DWS++ |
+//! | [`suite::tab5`] | Table V — interleaving under DWS / DWS++ |
+//! | [`suite::tab6`] | Table VI — % of walks serviced by stealing |
+//! | [`suite::fig8`] | Fig. 8 — normalized walk latency per class |
+//! | [`suite::fig9`] | Fig. 9 — PW-share ↔ TLB-share coupling |
+//! | [`suite::fig10`] | Fig. 10 — DWS++ fairness/throughput knob |
+//! | [`suite::fig11`] | Fig. 11 — vs. Static / MASK / MASK+DWS |
+//! | [`suite::fig12`] | Fig. 12 — TLB-size / walker-count sensitivity |
+//! | [`suite::fig13`] | Fig. 13 — three and four tenants |
+//! | [`suite::fig14`] | Fig. 14 — 64 KB large pages |
+//! | [`suite::calibration`] | Table II — standalone MPMI per app |
+//!
+//! Runs are cached on disk (see [`store::Store`]), so re-running the suite
+//! re-simulates only what is missing, and separate experiments share the
+//! same underlying simulations.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! repro all            # every experiment at paper scale
+//! repro --quick fig5   # one experiment at smoke-test scale
+//! ```
+
+pub mod report;
+pub mod scale;
+pub mod store;
+pub mod suite;
+
+pub use report::Table;
+pub use scale::Scale;
+pub use store::Store;
+pub use suite::ExpContext;

@@ -1,0 +1,172 @@
+//! Plain-text tables for experiment output.
+
+use std::fmt;
+
+/// A labeled table of numeric results: one row per workload (or class), one
+/// column per configuration.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_experiments::Table;
+///
+/// let mut t = Table::new("Demo", &["Baseline", "DWS"]);
+/// t.row("GUPS.MM", &[1.0, 1.82]);
+/// t.row("gmean", &[1.0, 1.4]);
+/// let text = t.to_string();
+/// assert!(text.contains("GUPS.MM"));
+/// assert!(text.contains("1.82"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The table's title (e.g. "Fig. 5: Throughput").
+    pub title: String,
+    /// Column headers (configurations).
+    pub columns: Vec<String>,
+    /// Rows: a label plus one value per column (NaN renders as "-").
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the column count.
+    pub fn row(&mut self, label: &str, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push((label.to_owned(), values.to_vec()));
+    }
+
+    /// The value at (row label, column name), if present.
+    #[must_use]
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        let (_, values) = self.rows.iter().find(|(l, _)| l == row)?;
+        Some(values[c])
+    }
+
+    /// Renders as GitHub-flavored Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n| workload |", self.title);
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push_str("\n| --- |");
+        for _ in &self.columns {
+            out.push_str(" ---: |");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in values {
+                if v.is_nan() {
+                    out.push_str(" - |");
+                } else {
+                    out.push_str(&format!(" {v:.3} |"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(9))
+            .collect::<Vec<_>>();
+
+        writeln!(f, "== {} ==", self.title)?;
+        write!(f, "{:label_w$}", "")?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, "  {c:>w$}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for (v, w) in values.iter().zip(&col_w) {
+                if v.is_nan() {
+                    write!(f, "  {:>w$}", "-")?;
+                } else {
+                    write!(f, "  {v:>w$.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_rows_and_values() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row("r1", &[1.0, 2.5]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("r1"));
+        assert!(s.contains("2.500"));
+    }
+
+    #[test]
+    fn nan_renders_as_dash() {
+        let mut t = Table::new("T", &["a"]);
+        t.row("r", &[f64::NAN]);
+        assert!(t.to_string().contains('-'));
+        assert!(t.to_markdown().contains("| - |"));
+    }
+
+    #[test]
+    fn get_by_labels() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row("r1", &[1.0, 2.0]);
+        assert_eq!(t.get("r1", "b"), Some(2.0));
+        assert_eq!(t.get("r1", "zz"), None);
+        assert_eq!(t.get("zz", "a"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row("r", &[1.0]);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new("Md", &["x"]);
+        t.row("r", &[0.5]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Md"));
+        assert!(md.contains("| r | 0.500 |"));
+    }
+}

@@ -1,0 +1,184 @@
+//! A disk-backed store of simulation results.
+//!
+//! Experiments share runs (Fig. 5, 6, 7, 10, and Tables V/VI all consume the
+//! same Baseline/DWS/DWS++ simulations), and the full paper-scale suite is
+//! hours of single-core simulation — so every completed run is cached as a
+//! JSON file keyed by its configuration. Re-running the suite simulates only
+//! what is missing.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+use walksteal_multitenant::SimResult;
+
+/// A cache of [`SimResult`]s, in memory and optionally on disk.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_experiments::Store;
+/// use walksteal_multitenant::SimResult;
+///
+/// let mut store = Store::in_memory();
+/// let mut runs = 0;
+/// let make = |runs: &mut u32| {
+///     *runs += 1;
+///     SimResult { tenants: vec![], cycles: 1, events: 0, timeline: vec![] }
+/// };
+/// store.get_or_run("demo", || make(&mut runs));
+/// store.get_or_run("demo", || make(&mut runs));
+/// assert_eq!(runs, 1); // second call was a cache hit
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    dir: Option<PathBuf>,
+    memory: HashMap<String, SimResult>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Store {
+    /// A store that caches only in memory (tests, quick runs).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Store {
+            dir: None,
+            memory: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A store persisting results under `dir` (created on demand).
+    #[must_use]
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Store {
+            dir: Some(dir.into()),
+            memory: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Turns a free-form key into a safe file name.
+    fn file_name(key: &str) -> String {
+        let safe: String = key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        // Append a hash so that sanitization collisions cannot alias.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{safe}-{h:016x}.json")
+    }
+
+    /// Returns the cached result for `key`, or computes, caches, and
+    /// returns it.
+    pub fn get_or_run(&mut self, key: &str, run: impl FnOnce() -> SimResult) -> SimResult {
+        if let Some(r) = self.memory.get(key) {
+            self.hits += 1;
+            return r.clone();
+        }
+        if let Some(dir) = &self.dir {
+            let path = dir.join(Self::file_name(key));
+            if let Ok(text) = fs::read_to_string(&path) {
+                if let Ok(r) = serde_json::from_str::<SimResult>(&text) {
+                    self.hits += 1;
+                    self.memory.insert(key.to_owned(), r.clone());
+                    return r;
+                }
+            }
+        }
+        self.misses += 1;
+        let r = run();
+        if let Some(dir) = &self.dir {
+            // Cache write failures are non-fatal: the result is still valid.
+            let _ = fs::create_dir_all(dir);
+            let path = dir.join(Self::file_name(key));
+            if let Ok(text) = serde_json::to_string(&r) {
+                let _ = fs::write(path, text);
+            }
+        }
+        self.memory.insert(key.to_owned(), r.clone());
+        r
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (i.e. simulations actually run).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(cycles: u64) -> SimResult {
+        SimResult {
+            tenants: vec![],
+            cycles,
+            events: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn memoizes() {
+        let mut s = Store::in_memory();
+        let a = s.get_or_run("k", || dummy(7));
+        let b = s.get_or_run("k", || panic!("must not re-run"));
+        assert_eq!(a, b);
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_rerun() {
+        let mut s = Store::in_memory();
+        s.get_or_run("a", || dummy(1));
+        let b = s.get_or_run("b", || dummy(2));
+        assert_eq!(b.cycles, 2);
+        assert_eq!(s.misses(), 2);
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("walksteal-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut s = Store::on_disk(&dir);
+            s.get_or_run("persist me", || dummy(42));
+        }
+        {
+            let mut s = Store::on_disk(&dir);
+            let r = s.get_or_run("persist me", || panic!("should load from disk"));
+            assert_eq!(r.cycles, 42);
+            assert_eq!(s.hits(), 1);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_names_distinguish_similar_keys() {
+        // Sanitization maps both '|' and '/' to '_' — the hash suffix keeps
+        // the file names distinct.
+        assert_ne!(Store::file_name("a|b"), Store::file_name("a/b"));
+    }
+}

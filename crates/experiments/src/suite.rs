@@ -1,0 +1,818 @@
+//! One function per paper table/figure. See the crate docs for the index.
+
+use walksteal_multitenant::{
+    fairness, weighted_ipc, GpuConfig, PolicyPreset, SimResult, Simulation,
+};
+use walksteal_sim_core::gmean;
+use walksteal_vm::PageSize;
+use walksteal_workloads::{named_pairs, paper_pairs, AppId, MpmiClass, WorkloadPair};
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::store::Store;
+
+/// Workload classes in presentation order.
+pub const CLASSES: [&str; 6] = ["LL", "ML", "MM", "HL", "HM", "HH"];
+
+/// The virtual-memory-sensitive classes (the paper's "32 of 45").
+pub const VM_SENSITIVE: [&str; 3] = ["HL", "HM", "HH"];
+
+/// Shared state for running experiments: the scale, the result cache, and
+/// the base random seed.
+pub struct ExpContext {
+    /// Simulation scale.
+    pub scale: Scale,
+    /// Result cache.
+    pub store: Store,
+    /// Base seed for workload randomness.
+    pub seed: u64,
+    /// When true, prints a progress line per fresh simulation.
+    pub verbose: bool,
+}
+
+impl ExpContext {
+    /// Creates a context.
+    #[must_use]
+    pub fn new(scale: Scale, store: Store) -> Self {
+        ExpContext {
+            scale,
+            store,
+            seed: 42,
+            verbose: false,
+        }
+    }
+
+    fn run_apps(&mut self, key: String, cfg: GpuConfig, apps: &[AppId]) -> SimResult {
+        let seed = self.seed;
+        let verbose = self.verbose;
+        self.store.get_or_run(&key, || {
+            if verbose {
+                eprintln!("  sim: {key}");
+            }
+            Simulation::new(cfg, apps, seed).run()
+        })
+    }
+
+    /// Runs (or recalls) `pair` under `preset` at this scale.
+    pub fn pair(&mut self, preset: PolicyPreset, pair: WorkloadPair) -> SimResult {
+        let cfg = self.scale.base_config().for_tenants(2).with_preset(preset);
+        let key = format!(
+            "pair|{}|{}|{}|s{}",
+            preset.label(),
+            pair,
+            self.scale.label(),
+            self.seed
+        );
+        self.run_apps(key, cfg, &pair.apps())
+    }
+
+    /// Runs `pair` under a custom configuration (`label` must uniquely
+    /// describe the tweaks relative to [`ExpContext::pair`]).
+    pub fn pair_with(&mut self, label: &str, cfg: GpuConfig, pair: WorkloadPair) -> SimResult {
+        let key = format!(
+            "pairx|{label}|{}|{}|s{}",
+            pair,
+            self.scale.label(),
+            self.seed
+        );
+        self.run_apps(key, cfg, &pair.apps())
+    }
+
+    /// Stand-alone run of `app` on the baseline, with the SM share it would
+    /// get among `share_of` tenants and the whole memory system to itself
+    /// (§IV's IPC^SA).
+    ///
+    /// The stand-alone execution budget is tripled: a co-running tenant's
+    /// IPC is averaged over many (warm) relaunched executions, so the solo
+    /// reference must amortize its one-time compulsory misses the same way
+    /// or slowdowns come out below 1.
+    pub fn standalone(&mut self, app: AppId, share_of: usize) -> SimResult {
+        let sms = self.scale.sms_per_tenant(share_of);
+        let base = self.scale.base_config();
+        let budget = base.instructions_per_warp * 3;
+        let cfg = base
+            .with_n_sms(sms)
+            .with_instructions_per_warp(budget)
+            .for_tenants(1)
+            .with_preset(PolicyPreset::Baseline);
+        let key = format!(
+            "solo|{}|{}sms|{}|s{}",
+            app,
+            sms,
+            self.scale.label(),
+            self.seed
+        );
+        self.run_apps(key, cfg, &[app])
+    }
+
+    /// Stand-alone IPCs for both constituents of `pair`.
+    pub fn standalone_ipcs(&mut self, pair: WorkloadPair) -> [f64; 2] {
+        [
+            self.standalone(pair.a, 2).tenants[0].ipc,
+            self.standalone(pair.b, 2).tenants[0].ipc,
+        ]
+    }
+}
+
+/// Appends per-class and overall gmean summary rows to a per-pair metric
+/// table. `values[pair][column]`.
+fn summarize(table: &mut Table, pairs: &[WorkloadPair], values: &[Vec<f64>]) {
+    let n_cols = values.first().map_or(0, Vec::len);
+    for class in CLASSES {
+        let rows: Vec<&Vec<f64>> = pairs
+            .iter()
+            .zip(values)
+            .filter(|(p, _)| p.class() == class)
+            .map(|(_, v)| v)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let means: Vec<f64> = (0..n_cols)
+            .map(|c| gmean(&rows.iter().map(|v| v[c]).collect::<Vec<_>>()))
+            .collect();
+        table.row(&format!("gmean {class}"), &means);
+    }
+    let all: Vec<f64> = (0..n_cols)
+        .map(|c| gmean(&values.iter().map(|v| v[c]).collect::<Vec<_>>()))
+        .collect();
+    table.row("gmean ALL", &all);
+    let vm: Vec<&Vec<f64>> = pairs
+        .iter()
+        .zip(values)
+        .filter(|(p, _)| p.is_vm_sensitive())
+        .map(|(_, v)| v)
+        .collect();
+    let vm_means: Vec<f64> = (0..n_cols)
+        .map(|c| gmean(&vm.iter().map(|v| v[c]).collect::<Vec<_>>()))
+        .collect();
+    table.row("gmean HL+HM+HH", &vm_means);
+}
+
+/// Generic per-pair sweep: runs every paper pair under `presets` and
+/// tabulates `metric(run, standalone_ipcs)` normalized (or not) per pair.
+fn sweep(
+    ctx: &mut ExpContext,
+    title: &str,
+    presets: &[PolicyPreset],
+    normalize_to_first: bool,
+    metric: impl Fn(&SimResult, &[f64; 2]) -> f64,
+) -> Table {
+    let pairs = paper_pairs();
+    let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
+    let mut table = Table::new(title, &columns);
+    let mut all_values = Vec::with_capacity(pairs.len());
+    for &pair in &pairs {
+        let sa = ctx.standalone_ipcs(pair);
+        let mut vals: Vec<f64> = presets
+            .iter()
+            .map(|&preset| metric(&ctx.pair(preset, pair), &sa))
+            .collect();
+        if normalize_to_first {
+            let base = vals[0];
+            for v in &mut vals {
+                *v /= base;
+            }
+        }
+        table.row(&format!("{pair} [{}]", pair.class()), &vals);
+        all_values.push(vals);
+    }
+    summarize(&mut table, &pairs, &all_values);
+    table
+}
+
+/// Fig. 2: total IPC of Baseline, S-TLB, and S-(TLB+PTW), normalized to the
+/// baseline.
+pub fn fig2(ctx: &mut ExpContext) -> Table {
+    sweep(
+        ctx,
+        "Fig. 2: Total IPC (normalized to Baseline)",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::STlb,
+            PolicyPreset::STlbPtw,
+        ],
+        true,
+        |run, _| run.total_ipc(),
+    )
+}
+
+/// Fig. 3: weighted IPC of Baseline, S-TLB, and S-(TLB+PTW) (absolute;
+/// range 0..2).
+pub fn fig3(ctx: &mut ExpContext) -> Table {
+    sweep(
+        ctx,
+        "Fig. 3: Weighted IPC",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::STlb,
+            PolicyPreset::STlbPtw,
+        ],
+        false,
+        |run, sa| weighted_ipc(run, sa),
+    )
+}
+
+/// Table III: baseline interleaving — walks of the other tenant that one
+/// tenant's walk waits for, for the named representative pairs and per-class
+/// means.
+pub fn tab3(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Table III: Interleaving of page walks (Baseline)",
+        &["Tenant 1", "Tenant 2", "Average"],
+    );
+    for (class, pair) in named_pairs() {
+        let r = ctx.pair(PolicyPreset::Baseline, pair);
+        let t1 = r.tenants[0].mean_interleave;
+        let t2 = r.tenants[1].mean_interleave;
+        table.row(&format!("{class} {pair}"), &[t1, t2, (t1 + t2) / 2.0]);
+    }
+    // Class means over the full 45-pair set.
+    for class in CLASSES {
+        let mut t1s = Vec::new();
+        let mut t2s = Vec::new();
+        for pair in paper_pairs().into_iter().filter(|p| p.class() == class) {
+            let r = ctx.pair(PolicyPreset::Baseline, pair);
+            t1s.push(r.tenants[0].mean_interleave);
+            t2s.push(r.tenants[1].mean_interleave);
+        }
+        let (m1, m2) = (
+            t1s.iter().sum::<f64>() / t1s.len() as f64,
+            t2s.iter().sum::<f64>() / t2s.len() as f64,
+        );
+        table.row(&format!("mean {class}"), &[m1, m2, (m1 + m2) / 2.0]);
+    }
+    table
+}
+
+/// §IV: doubled baseline resources (2048-entry TLB + 32 walkers) vs
+/// S-(TLB+PTW) — interference, not capacity, is the limiter.
+pub fn doubling(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "SecIV: 2x resources vs S-(TLB+PTW) (total IPC normalized to Baseline)",
+        &["Baseline", "Baseline-2x", "S-(TLB+PTW)"],
+    );
+    let pairs = paper_pairs();
+    let mut all = Vec::new();
+    for &pair in &pairs {
+        let base = ctx.pair(PolicyPreset::Baseline, pair).total_ipc();
+        let twox = ctx.pair(PolicyPreset::DoubledBaseline, pair).total_ipc();
+        let ideal = ctx.pair(PolicyPreset::STlbPtw, pair).total_ipc();
+        all.push(vec![1.0, twox / base, ideal / base]);
+    }
+    summarize(&mut table, &pairs, &all);
+    table
+}
+
+/// Fig. 5: throughput (total IPC) of Baseline, DWS, and DWS++, normalized.
+pub fn fig5(ctx: &mut ExpContext) -> Table {
+    sweep(
+        ctx,
+        "Fig. 5: Throughput (total IPC, normalized to Baseline)",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::Dws,
+            PolicyPreset::DwsPlusPlus,
+        ],
+        true,
+        |run, _| run.total_ipc(),
+    )
+}
+
+/// Fig. 6: fairness (min slowdown / max slowdown) of Baseline, DWS, DWS++.
+pub fn fig6(ctx: &mut ExpContext) -> Table {
+    sweep(
+        ctx,
+        "Fig. 6: Fairness (higher is better)",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::Dws,
+            PolicyPreset::DwsPlusPlus,
+        ],
+        false,
+        |run, sa| fairness(run, sa),
+    )
+}
+
+/// Fig. 7: weighted IPC of Baseline, DWS, and DWS++.
+pub fn fig7(ctx: &mut ExpContext) -> Table {
+    sweep(
+        ctx,
+        "Fig. 7: Weighted IPC",
+        &[
+            PolicyPreset::Baseline,
+            PolicyPreset::Dws,
+            PolicyPreset::DwsPlusPlus,
+        ],
+        false,
+        |run, sa| weighted_ipc(run, sa),
+    )
+}
+
+/// Table V: interleaving under Baseline, DWS, and DWS++ for the named pairs.
+pub fn tab5(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Table V: Interleaving in Baseline, DWS, and DWS++",
+        &[
+            "Base T1", "Base T2", "DWS T1", "DWS T2", "DWS++ T1", "DWS++ T2",
+        ],
+    );
+    for (class, pair) in named_pairs() {
+        let b = ctx.pair(PolicyPreset::Baseline, pair);
+        let d = ctx.pair(PolicyPreset::Dws, pair);
+        let p = ctx.pair(PolicyPreset::DwsPlusPlus, pair);
+        table.row(
+            &format!("{class} {pair}"),
+            &[
+                b.tenants[0].mean_interleave,
+                b.tenants[1].mean_interleave,
+                d.tenants[0].mean_interleave,
+                d.tenants[1].mean_interleave,
+                p.tenants[0].mean_interleave,
+                p.tenants[1].mean_interleave,
+            ],
+        );
+    }
+    table
+}
+
+/// Table VI: percentage of each tenant's walks serviced by stealing.
+pub fn tab6(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Table VI: % of walks serviced by stealing",
+        &["DWS T1", "DWS T2", "DWS++ T1", "DWS++ T2"],
+    );
+    for (class, pair) in named_pairs() {
+        let d = ctx.pair(PolicyPreset::Dws, pair);
+        let p = ctx.pair(PolicyPreset::DwsPlusPlus, pair);
+        table.row(
+            &format!("{class} {pair}"),
+            &[
+                d.tenants[0].stolen_fraction * 100.0,
+                d.tenants[1].stolen_fraction * 100.0,
+                p.tenants[0].stolen_fraction * 100.0,
+                p.tenants[1].stolen_fraction * 100.0,
+            ],
+        );
+    }
+    table
+}
+
+/// Fig. 8: per-class gmean of each tenant's walk latency normalized to its
+/// stand-alone walk latency, under Baseline / DWS / DWS++.
+pub fn fig8(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Fig. 8: Walk latency (normalized to standalone)",
+        &[
+            "Base T1", "Base T2", "DWS T1", "DWS T2", "DWS++ T1", "DWS++ T2",
+        ],
+    );
+    let presets = [
+        PolicyPreset::Baseline,
+        PolicyPreset::Dws,
+        PolicyPreset::DwsPlusPlus,
+    ];
+    for class in CLASSES {
+        let pairs: Vec<WorkloadPair> = paper_pairs()
+            .into_iter()
+            .filter(|p| p.class() == class)
+            .collect();
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        for &pair in &pairs {
+            let sa = [
+                ctx.standalone(pair.a, 2).tenants[0].mean_walk_latency,
+                ctx.standalone(pair.b, 2).tenants[0].mean_walk_latency,
+            ];
+            for (pi, &preset) in presets.iter().enumerate() {
+                let r = ctx.pair(preset, pair);
+                for t in 0..2 {
+                    if sa[t] > 0.0 && r.tenants[t].mean_walk_latency > 0.0 {
+                        cols[pi * 2 + t].push(r.tenants[t].mean_walk_latency / sa[t]);
+                    }
+                }
+            }
+        }
+        let row: Vec<f64> = cols.iter().map(|c| gmean(c)).collect();
+        table.row(class, &row);
+    }
+    table
+}
+
+/// Fig. 9: page-walker share and TLB share per tenant, Baseline vs DWS, for
+/// the paper's two representative pairs (3DS & BLK; SAD & MM).
+pub fn fig9(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Fig. 9: PW share vs TLB share (Baseline -> DWS)",
+        &["PW base", "PW DWS", "TLB base", "TLB DWS"],
+    );
+    for pair in [
+        WorkloadPair::new(AppId::Blk, AppId::Tds),
+        WorkloadPair::new(AppId::Sad, AppId::Mm),
+    ] {
+        let b = ctx.pair(PolicyPreset::Baseline, pair);
+        let d = ctx.pair(PolicyPreset::Dws, pair);
+        for t in 0..2 {
+            let app = pair.apps()[t];
+            table.row(
+                &format!("{pair}:{app}"),
+                &[
+                    b.tenants[t].pw_share,
+                    d.tenants[t].pw_share,
+                    b.tenants[t].tlb_share,
+                    d.tenants[t].tlb_share,
+                ],
+            );
+        }
+    }
+    table
+}
+
+/// Fig. 10: the DWS++ aggressiveness knob — per-class gmean fairness (a)
+/// and throughput (b) for conservative / default / aggressive parameters.
+pub fn fig10(ctx: &mut ExpContext) -> Vec<Table> {
+    let presets = [
+        PolicyPreset::Baseline,
+        PolicyPreset::Dws,
+        PolicyPreset::DwsPlusPlusConservative,
+        PolicyPreset::DwsPlusPlus,
+        PolicyPreset::DwsPlusPlusAggressive,
+    ];
+    let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
+    let mut fair_t = Table::new("Fig. 10a: Fairness by class", &columns);
+    let mut thr_t = Table::new(
+        "Fig. 10b: Throughput by class (normalized to Baseline)",
+        &columns,
+    );
+    let mut all_fair: Vec<Vec<f64>> = Vec::new();
+    let mut all_thr: Vec<Vec<f64>> = Vec::new();
+    let pairs = paper_pairs();
+    for &pair in &pairs {
+        let sa = ctx.standalone_ipcs(pair);
+        let runs: Vec<SimResult> = presets.iter().map(|&p| ctx.pair(p, pair)).collect();
+        all_fair.push(runs.iter().map(|r| fairness(r, &sa)).collect());
+        let base = runs[0].total_ipc();
+        all_thr.push(runs.iter().map(|r| r.total_ipc() / base).collect());
+    }
+    for class in CLASSES.iter().chain(["All"].iter()) {
+        let idx: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| *class == "All" || p.class() == *class)
+            .map(|(i, _)| i)
+            .collect();
+        let fair_row: Vec<f64> = (0..presets.len())
+            .map(|c| gmean(&idx.iter().map(|&i| all_fair[i][c]).collect::<Vec<_>>()))
+            .collect();
+        let thr_row: Vec<f64> = (0..presets.len())
+            .map(|c| gmean(&idx.iter().map(|&i| all_thr[i][c]).collect::<Vec<_>>()))
+            .collect();
+        fair_t.row(class, &fair_row);
+        thr_t.row(class, &thr_row);
+    }
+    vec![fair_t, thr_t]
+}
+
+/// Fig. 11: per-class throughput of Baseline, Static partitioning, MASK,
+/// DWS, and MASK+DWS.
+pub fn fig11(ctx: &mut ExpContext) -> Table {
+    let presets = [
+        PolicyPreset::Baseline,
+        PolicyPreset::StaticPartition,
+        PolicyPreset::Mask,
+        PolicyPreset::Dws,
+        PolicyPreset::MaskDws,
+    ];
+    let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
+    let mut table = Table::new(
+        "Fig. 11: Comparison with alternatives (total IPC, normalized)",
+        &columns,
+    );
+    let pairs = paper_pairs();
+    let mut per_pair: Vec<Vec<f64>> = Vec::new();
+    for &pair in &pairs {
+        let runs: Vec<f64> = presets
+            .iter()
+            .map(|&p| ctx.pair(p, pair).total_ipc())
+            .collect();
+        per_pair.push(runs.iter().map(|&v| v / runs[0]).collect());
+    }
+    for class in CLASSES.iter().chain(["All"].iter()) {
+        let idx: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| *class == "All" || p.class() == *class)
+            .map(|(i, _)| i)
+            .collect();
+        let row: Vec<f64> = (0..presets.len())
+            .map(|c| gmean(&idx.iter().map(|&i| per_pair[i][c]).collect::<Vec<_>>()))
+            .collect();
+        table.row(class, &row);
+    }
+    table
+}
+
+/// Fig. 12: DWS's improvement over a baseline with the *same* resources,
+/// sweeping the L2 TLB size and the number of walkers (named pairs).
+pub fn fig12(ctx: &mut ExpContext) -> Table {
+    // (label, l2 entries, walkers)
+    let configs: [(&str, usize, usize); 6] = [
+        ("512e", 512, 16),
+        ("1024e/16w", 1024, 16),
+        ("2048e", 2048, 16),
+        ("12w", 1024, 12),
+        ("24w", 1024, 24),
+        ("2048e+24w", 2048, 24),
+    ];
+    let columns: Vec<&str> = configs.iter().map(|(l, _, _)| *l).collect();
+    let mut table = Table::new("Fig. 12: DWS speedup vs same-resource baseline", &columns);
+    let pairs: Vec<(&str, WorkloadPair)> = named_pairs();
+    let mut per_pair: Vec<Vec<f64>> = Vec::new();
+    for &(_, pair) in &pairs {
+        let mut row = Vec::new();
+        for &(label, entries, walkers) in &configs {
+            let make = |preset: PolicyPreset, ctx: &mut ExpContext| {
+                let cfg = ctx
+                    .scale
+                    .base_config()
+                    .with_l2_tlb_entries(entries)
+                    .with_walkers(walkers)
+                    .for_tenants(2)
+                    .with_preset(preset);
+                ctx.pair_with(&format!("f12|{label}|{}", preset.label()), cfg, pair)
+            };
+            let base = make(PolicyPreset::Baseline, ctx).total_ipc();
+            let dws = make(PolicyPreset::Dws, ctx).total_ipc();
+            row.push(dws / base);
+        }
+        per_pair.push(row);
+    }
+    for class in CLASSES.iter().chain(["All"].iter()) {
+        let idx: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *class == "All" || c == class)
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let row: Vec<f64> = (0..configs.len())
+            .map(|c| gmean(&idx.iter().map(|&i| per_pair[i][c]).collect::<Vec<_>>()))
+            .collect();
+        table.row(class, &row);
+    }
+    table
+}
+
+/// The 14 three- and four-tenant combinations of Fig. 13.
+#[must_use]
+pub fn fig13_combos() -> Vec<Vec<AppId>> {
+    use AppId::*;
+    vec![
+        vec![Gups, Tds, Mm],
+        vec![Sad, Lps, Hs],
+        vec![Blk, Jpeg, Fft],
+        vec![Qtc, Srad, Ray],
+        vec![Gups, Sad, Mm],
+        vec![Blk, Tds, Hs],
+        vec![Gups, Blk, Lps],
+        vec![Gups, Tds, Mm, Hs],
+        vec![Sad, Blk, Jpeg, Fft],
+        vec![Qtc, Lps, Ray, Mm],
+        vec![Gups, Sad, Tds, Srad],
+        vec![Blk, Qtc, Hs, Mm],
+        vec![Gups, Jpeg, Lib, Fft],
+        vec![Sad, Srad, Ray, Hs],
+    ]
+}
+
+/// Fig. 13: throughput with three and four tenants, normalized to baseline.
+/// Walkers are adjusted to divide evenly (18 for three tenants, paper §VII.F).
+pub fn fig13(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Fig. 13: Three and four tenants (total IPC, normalized)",
+        &["Baseline", "DWS", "DWS++"],
+    );
+    let mut all: Vec<Vec<f64>> = Vec::new();
+    for combo in fig13_combos() {
+        let n = combo.len();
+        let walkers = if n == 3 { 18 } else { 16 };
+        let sms = ctx.scale.sms_per_tenant(n) * n;
+        let mut vals = Vec::new();
+        for preset in [
+            PolicyPreset::Baseline,
+            PolicyPreset::Dws,
+            PolicyPreset::DwsPlusPlus,
+        ] {
+            let cfg = ctx
+                .scale
+                .base_config()
+                .with_n_sms(sms)
+                .with_walkers(walkers)
+                .for_tenants(n)
+                .with_preset(preset);
+            let names: Vec<&str> = combo.iter().map(|a| a.name()).collect();
+            let key = format!(
+                "multi|{}|{}|{}|s{}",
+                preset.label(),
+                names.join("."),
+                ctx.scale.label(),
+                ctx.seed
+            );
+            let r = ctx.run_apps(key, cfg, &combo);
+            vals.push(r.total_ipc());
+        }
+        let base = vals[0];
+        let row: Vec<f64> = vals.iter().map(|v| v / base).collect();
+        let names: Vec<&str> = combo.iter().map(|a| a.name()).collect();
+        table.row(&names.join("."), &row);
+        all.push(row);
+    }
+    let g: Vec<f64> = (0..3)
+        .map(|c| gmean(&all.iter().map(|r| r[c]).collect::<Vec<_>>()))
+        .collect();
+    table.row("gmean", &g);
+    table
+}
+
+/// Fig. 14: 64 KB large pages — DWS still helps.
+pub fn fig14(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Fig. 14: Throughput with 64KB pages (normalized)",
+        &["Baseline", "DWS", "DWS++"],
+    );
+    let pairs: Vec<WorkloadPair> = named_pairs()
+        .into_iter()
+        .filter(|(c, _)| VM_SENSITIVE.contains(c))
+        .map(|(_, p)| p)
+        .collect();
+    let mut all: Vec<Vec<f64>> = Vec::new();
+    for pair in pairs {
+        let mut vals = Vec::new();
+        for preset in [
+            PolicyPreset::Baseline,
+            PolicyPreset::Dws,
+            PolicyPreset::DwsPlusPlus,
+        ] {
+            let cfg = ctx
+                .scale
+                .base_config()
+                .with_page_size(PageSize::Large64K)
+                .for_tenants(2)
+                .with_preset(preset);
+            let r = ctx.pair_with(&format!("f14|{}", preset.label()), cfg, pair);
+            vals.push(r.total_ipc());
+        }
+        let base = vals[0];
+        let row: Vec<f64> = vals.iter().map(|v| v / base).collect();
+        table.row(&pair.to_string(), &row);
+        all.push(row);
+    }
+    let g: Vec<f64> = (0..3)
+        .map(|c| gmean(&all.iter().map(|r| r[c]).collect::<Vec<_>>()))
+        .collect();
+    table.row("gmean", &g);
+    table
+}
+
+/// Ablation (DESIGN.md SS3.5b): the DWS steal-eligibility test. The paper's
+/// literal `PEND_WALKS == 0` (counts in-service walks; our default) vs the
+/// relaxed queued-walks-only reading. The relaxed test steals far more,
+/// recovering utilization but erasing the walker/TLB share shift of Fig. 9.
+pub fn ablation_pend_check(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Ablation: strict vs relaxed DWS steal test",
+        &[
+            "thr strict",
+            "thr relaxed",
+            "steal% strict",
+            "steal% relaxed",
+            "T1 pw strict",
+            "T1 pw relaxed",
+        ],
+    );
+    for (class, pair) in named_pairs() {
+        if !VM_SENSITIVE.contains(&class) {
+            continue;
+        }
+        let base = ctx.pair(PolicyPreset::Baseline, pair).total_ipc();
+        let strict = ctx.pair(PolicyPreset::Dws, pair);
+        let mut cfg = ctx
+            .scale
+            .base_config()
+            .for_tenants(2)
+            .with_preset(PolicyPreset::Dws);
+        cfg.walk.strict_pend_check = false;
+        let relaxed = ctx.pair_with("ablate-relaxed", cfg, pair);
+        let steal_pct = |r: &SimResult| {
+            100.0 * r.tenants.iter().map(|t| t.stolen_fraction).sum::<f64>()
+                / r.tenants.len() as f64
+        };
+        table.row(
+            &format!("{class} {pair}"),
+            &[
+                strict.total_ipc() / base,
+                relaxed.total_ipc() / base,
+                steal_pct(&strict),
+                steal_pct(&relaxed),
+                strict.tenants[0].pw_share,
+                relaxed.tenants[0].pw_share,
+            ],
+        );
+    }
+    table
+}
+
+/// Table II calibration: stand-alone MPMI of every modeled application,
+/// with its class bounds.
+pub fn calibration(ctx: &mut ExpContext) -> Table {
+    let mut table = Table::new(
+        "Table II calibration: standalone L2-TLB MPMI",
+        &["MPMI", "band lo", "band hi"],
+    );
+    for app in AppId::ALL {
+        let r = ctx.standalone(app, 2);
+        let (lo, hi) = match app.class() {
+            MpmiClass::Light => (0.0, 25.0),
+            MpmiClass::Medium => (25.0, 80.0),
+            MpmiClass::Heavy => (80.0, f64::INFINITY),
+        };
+        table.row(
+            &format!("{} ({})", app, app.class()),
+            &[r.tenants[0].mpmi, lo, hi],
+        );
+    }
+    table
+}
+
+/// Every experiment, in paper order.
+pub fn all(ctx: &mut ExpContext) -> Vec<Table> {
+    let mut out = vec![
+        calibration(ctx),
+        fig2(ctx),
+        fig3(ctx),
+        tab3(ctx),
+        doubling(ctx),
+    ];
+    out.push(fig5(ctx));
+    out.push(fig6(ctx));
+    out.push(fig7(ctx));
+    out.push(tab5(ctx));
+    out.push(tab6(ctx));
+    out.push(fig8(ctx));
+    out.push(fig9(ctx));
+    out.extend(fig10(ctx));
+    out.push(fig11(ctx));
+    out.push(fig12(ctx));
+    out.push(fig13(ctx));
+    out.push(fig14(ctx));
+    out.push(ablation_pend_check(ctx));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ctx() -> ExpContext {
+        ExpContext::new(Scale::Quick, Store::in_memory())
+    }
+
+    #[test]
+    fn fig9_has_four_tenant_rows() {
+        let mut ctx = quick_ctx();
+        let t = fig9(&mut ctx);
+        assert_eq!(t.rows.len(), 4);
+        // Shares are fractions.
+        for (_, vals) in &t.rows {
+            for &v in vals {
+                assert!((0.0..=1.0).contains(&v), "{vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_covers_all_apps() {
+        let mut ctx = quick_ctx();
+        let t = calibration(&mut ctx);
+        assert_eq!(t.rows.len(), 13);
+    }
+
+    #[test]
+    fn fig13_combos_are_three_or_four_tenants() {
+        for combo in fig13_combos() {
+            assert!(combo.len() == 3 || combo.len() == 4);
+        }
+        assert_eq!(fig13_combos().len(), 14);
+    }
+
+    #[test]
+    fn store_shares_runs_between_experiments() {
+        let mut ctx = quick_ctx();
+        let _ = tab5(&mut ctx);
+        let misses_after_tab5 = ctx.store.misses();
+        // tab6 consumes the same DWS/DWS++ runs.
+        let _ = tab6(&mut ctx);
+        assert_eq!(ctx.store.misses(), misses_after_tab5);
+    }
+}

@@ -1,0 +1,29 @@
+//! GPU compute model: streaming multiprocessors, warps, and coalescing.
+//!
+//! The simulator executes warps at memory-operation granularity: a warp
+//! alternates between compute bursts (k instructions, issued through its
+//! SM's shared [`IssueServer`] at one instruction per cycle) and memory
+//! instructions whose lane accesses are merged by the [`coalesce()`] function
+//! before address translation — mirroring the hardware coalescer that sits
+//! in front of the L1 TLB (paper §II).
+//!
+//! Per-SM state lives in [`SmState`]: the private L1 TLB, the private L1
+//! data cache, the issue timeline, and the L1-TLB MSHR occupancy limit that
+//! back-pressures translation-intensive warps.
+//!
+//! The warp *scheduling policy* (GTO — greedy-then-oldest) is approximated
+//! by the deterministic FIFO ordering of ready events at the issue server: a
+//! warp keeps issuing until it blocks on memory (greedy), and blocked warps
+//! resume in the order their operands return (oldest-first among
+//! simultaneously-ready warps). This preserves the property the paper leans
+//! on for the BLK observation — co-scheduled warps with disjoint working
+//! sets thrash the TLB — because warp interleaving is driven by memory
+//! completions.
+
+pub mod coalesce;
+pub mod issue;
+pub mod sm;
+
+pub use coalesce::{coalesce, MemRef};
+pub use issue::IssueServer;
+pub use sm::{SmConfig, SmState};

@@ -1,0 +1,291 @@
+//! A set-associative, LRU-replacement cache model.
+//!
+//! The same structure serves as a private per-SM L1 data cache and as one
+//! bank of the shared L2. It models *state* (which lines are resident) and
+//! leaves *timing* to its caller ([`crate::MemSystem`] or the SM model):
+//! callers probe, and on a miss decide whether to fill.
+
+use walksteal_sim_core::LineAddr;
+
+/// Geometry of a [`Cache`].
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_mem::CacheConfig;
+///
+/// // A 16 KB L1: 32 sets x 4 ways x 128-byte lines.
+/// let cfg = CacheConfig { sets: 32, ways: 4 };
+/// assert_eq!(cfg.lines(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Total line capacity of the cache.
+    #[must_use]
+    pub fn lines(self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// One way within a set: the resident line tag plus an LRU timestamp.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: LineAddr,
+    last_use: u64,
+    valid: bool,
+}
+
+impl Way {
+    const EMPTY: Way = Way {
+        tag: LineAddr(0),
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// A set-associative cache with true-LRU replacement, indexed by
+/// [`LineAddr`].
+///
+/// Physical address spaces of co-running tenants are disjoint in this
+/// simulator, so a plain line address is a sufficient tag even when tenants
+/// share the cache.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_mem::{Cache, CacheConfig};
+/// use walksteal_sim_core::LineAddr;
+///
+/// let mut c = Cache::new(CacheConfig { sets: 2, ways: 2 });
+/// assert!(!c.probe(LineAddr(7)));
+/// c.fill(LineAddr(7));
+/// assert!(c.probe(LineAddr(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be positive");
+        Cache {
+            cfg,
+            ways: vec![Way::EMPTY; cfg.sets * cfg.ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.0 as usize) & (self.cfg.sets - 1);
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    /// Looks up `line`, updating LRU state and hit/miss statistics.
+    /// Returns `true` on a hit.
+    pub fn probe(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
+            if way.valid && way.tag == line {
+                way.last_use = tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Checks residency without disturbing LRU state or statistics.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let range = self.set_range(line);
+        self.ways[range.clone()]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    /// Inserts `line`, evicting the LRU way of its set if necessary.
+    /// Returns the evicted line, if any. Filling an already-resident line
+    /// just refreshes its LRU position.
+    pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+
+        // Already resident (e.g. two outstanding misses merged upstream):
+        // refresh recency, nothing evicted.
+        for way in &mut self.ways[range.clone()] {
+            if way.valid && way.tag == line {
+                way.last_use = tick;
+                return None;
+            }
+        }
+
+        let set = &mut self.ways[range];
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("ways > 0");
+        let evicted = victim.valid.then_some(victim.tag);
+        *victim = Way {
+            tag: line,
+            last_use: tick,
+            valid: true,
+        };
+        evicted
+    }
+
+    /// Invalidates every line. Statistics are preserved.
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            *w = Way::EMPTY;
+        }
+    }
+
+    /// Number of currently valid lines.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Probe hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn cold_probe_misses() {
+        let mut c = tiny();
+        assert!(!c.probe(LineAddr(0)));
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = tiny();
+        c.fill(LineAddr(4));
+        assert!(c.probe(LineAddr(4)));
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line addresses, 2 sets).
+        c.fill(LineAddr(0));
+        c.fill(LineAddr(2));
+        assert!(c.probe(LineAddr(0))); // 0 is now MRU; 2 is LRU
+        let evicted = c.fill(LineAddr(4));
+        assert_eq!(evicted, Some(LineAddr(2)));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn fill_resident_line_is_idempotent() {
+        let mut c = tiny();
+        c.fill(LineAddr(0));
+        assert_eq!(c.fill(LineAddr(0)), None);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Odd lines map to set 1; filling set 1 must not evict set 0.
+        c.fill(LineAddr(0));
+        c.fill(LineAddr(1));
+        c.fill(LineAddr(3));
+        c.fill(LineAddr(5));
+        assert!(c.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn contains_does_not_touch_lru() {
+        let mut c = tiny();
+        c.fill(LineAddr(0));
+        c.fill(LineAddr(2));
+        // `contains` on 0 must NOT promote it...
+        assert!(c.contains(LineAddr(0)));
+        // ...so 0 is still LRU and gets evicted.
+        assert_eq!(c.fill(LineAddr(4)), Some(LineAddr(0)));
+    }
+
+    #[test]
+    fn flush_clears_lines_but_not_stats() {
+        let mut c = tiny();
+        c.fill(LineAddr(1));
+        c.probe(LineAddr(1));
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.contains(LineAddr(1)));
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_ways() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(LineAddr(0));
+        c.fill(LineAddr(1));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = Cache::new(CacheConfig { sets: 3, ways: 1 });
+    }
+
+    #[test]
+    fn config_lines() {
+        assert_eq!(CacheConfig { sets: 64, ways: 16 }.lines(), 1024);
+    }
+}

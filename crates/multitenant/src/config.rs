@@ -1,0 +1,381 @@
+//! Simulator configuration: the paper's Table I baseline plus the policy
+//! presets its evaluation compares.
+
+use walksteal_gpu::SmConfig;
+use walksteal_mem::MemSystemConfig;
+use walksteal_vm::{
+    DwsPlusPlusParams, MaskConfig, PageSize, Replacement, StealMode, TlbConfig, WalkConfig,
+    WalkPolicyKind,
+};
+
+/// The configurations compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyPreset {
+    /// Today's design: shared L2 TLB, one shared walk queue (Table I).
+    Baseline,
+    /// Baseline with doubled virtual-memory resources (2048-entry TLB, 32
+    /// walkers) but still uncontrolled sharing (§IV "does increasing ...").
+    DoubledBaseline,
+    /// Exclusive full-size L2 TLB per tenant; walkers still shared (§IV).
+    STlb,
+    /// Exclusive L2 TLB *and* walkers per tenant (§IV upper bound).
+    STlbPtw,
+    /// Walkers statically partitioned, no stealing (Fig. 11 "Static").
+    StaticPartition,
+    /// Dynamic walk stealing.
+    Dws,
+    /// DWS++ with the paper's default parameters (Table IV).
+    DwsPlusPlus,
+    /// DWS++ steal-conservative variant (Table VII).
+    DwsPlusPlusConservative,
+    /// DWS++ steal-aggressive variant (Table VII).
+    DwsPlusPlusAggressive,
+    /// MASK-style TLB-fill tokens + PTE bypass over the baseline walkers.
+    Mask,
+    /// MASK combined with DWS (the two are orthogonal; Fig. 11).
+    MaskDws,
+}
+
+impl PolicyPreset {
+    /// All presets, in evaluation order.
+    pub const ALL: [PolicyPreset; 11] = [
+        PolicyPreset::Baseline,
+        PolicyPreset::DoubledBaseline,
+        PolicyPreset::STlb,
+        PolicyPreset::STlbPtw,
+        PolicyPreset::StaticPartition,
+        PolicyPreset::Dws,
+        PolicyPreset::DwsPlusPlus,
+        PolicyPreset::DwsPlusPlusConservative,
+        PolicyPreset::DwsPlusPlusAggressive,
+        PolicyPreset::Mask,
+        PolicyPreset::MaskDws,
+    ];
+
+    /// A short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyPreset::Baseline => "Baseline",
+            PolicyPreset::DoubledBaseline => "Baseline-2x",
+            PolicyPreset::STlb => "S-TLB",
+            PolicyPreset::STlbPtw => "S-(TLB+PTW)",
+            PolicyPreset::StaticPartition => "Static",
+            PolicyPreset::Dws => "DWS",
+            PolicyPreset::DwsPlusPlus => "DWS++",
+            PolicyPreset::DwsPlusPlusConservative => "DWS++cons",
+            PolicyPreset::DwsPlusPlusAggressive => "DWS++aggr",
+            PolicyPreset::Mask => "MASK",
+            PolicyPreset::MaskDws => "MASK+DWS",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Full configuration of one simulated GPU (defaults = paper Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors (baseline: 30), split evenly among tenants.
+    pub n_sms: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Per-SM private resources (L1 TLB, L1 cache, MSHRs).
+    pub sm: SmConfig,
+    /// Shared L2 TLB geometry (baseline: 1024 entries, 16-way).
+    pub l2_tlb: TlbConfig,
+    /// L2 TLB lookup latency (interconnect + access).
+    pub l2_tlb_latency: u64,
+    /// S-TLB mode: each tenant gets an exclusive full-size L2 TLB.
+    pub l2_tlb_private: bool,
+    /// Page-walk subsystem configuration (policy lives here).
+    pub walk: WalkConfig,
+    /// Shared L2 cache + DRAM.
+    pub mem: MemSystemConfig,
+    /// MASK-style token mechanism, when enabled.
+    pub mask: Option<MaskConfig>,
+    /// Page size (Fig. 14 uses 64 KB).
+    pub page_size: PageSize,
+    /// Base warp-instruction budget per execution (scaled per app).
+    pub instructions_per_warp: u64,
+    /// Outstanding-walk merge entries at the L2 TLB (walk MSHRs). Sized so
+    /// the walk queue, not the merge table, is the binding resource (as in
+    /// the paper, where the 192-entry walk queue is the named limit).
+    pub merge_capacity: usize,
+    /// Cycles between retries when back-pressured.
+    pub retry_interval: u64,
+    /// Safety stop: abort the run at this cycle.
+    pub max_cycles: u64,
+    /// Take a timeline [`Sample`](crate::metrics::Sample) every this many
+    /// cycles (`None` disables sampling).
+    pub sample_interval: Option<u64>,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            n_sms: 30,
+            warps_per_sm: 24,
+            sm: SmConfig::default(),
+            l2_tlb: TlbConfig {
+                sets: 64,
+                ways: 16,
+                replacement: Replacement::Random,
+            },
+            l2_tlb_latency: 20,
+            l2_tlb_private: false,
+            walk: WalkConfig::default(),
+            mem: MemSystemConfig::default(),
+            mask: None,
+            page_size: PageSize::Small4K,
+            instructions_per_warp: 6_000,
+            merge_capacity: 512,
+            retry_interval: 8,
+            max_cycles: 200_000_000,
+            sample_interval: None,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Applies a [`PolicyPreset`], adjusting TLB privacy, walker policy, and
+    /// resource counts as the paper's corresponding configuration does.
+    #[must_use]
+    pub fn with_preset(mut self, preset: PolicyPreset) -> Self {
+        // Reset the preset-controlled knobs to baseline first.
+        self.l2_tlb_private = false;
+        self.mask = None;
+        self.walk.policy = WalkPolicyKind::SharedQueue;
+        match preset {
+            PolicyPreset::Baseline => {}
+            PolicyPreset::DoubledBaseline => {
+                self.l2_tlb = TlbConfig {
+                    sets: self.l2_tlb.sets * 2,
+                    ..self.l2_tlb
+                };
+                self.walk.n_walkers *= 2;
+                self.walk.queue_entries *= 2;
+            }
+            PolicyPreset::STlb => {
+                self.l2_tlb_private = true;
+            }
+            PolicyPreset::STlbPtw => {
+                self.l2_tlb_private = true;
+                self.walk.policy = WalkPolicyKind::PrivatePools;
+                self.walk.n_walkers *= self.walk.n_tenants.max(1);
+                self.walk.queue_entries *= self.walk.n_tenants.max(1);
+            }
+            PolicyPreset::StaticPartition => {
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::None);
+            }
+            PolicyPreset::Dws => {
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::Dws);
+            }
+            PolicyPreset::DwsPlusPlus => {
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::DwsPlusPlus(
+                    DwsPlusPlusParams::paper_default(),
+                ));
+            }
+            PolicyPreset::DwsPlusPlusConservative => {
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::DwsPlusPlus(
+                    DwsPlusPlusParams::conservative(),
+                ));
+            }
+            PolicyPreset::DwsPlusPlusAggressive => {
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::DwsPlusPlus(
+                    DwsPlusPlusParams::aggressive(),
+                ));
+            }
+            PolicyPreset::Mask => {
+                self.mask = Some(MaskConfig::default());
+            }
+            PolicyPreset::MaskDws => {
+                self.mask = Some(MaskConfig::default());
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::Dws);
+            }
+        }
+        self
+    }
+
+    /// Sets the number of SMs.
+    #[must_use]
+    pub fn with_n_sms(mut self, n: usize) -> Self {
+        self.n_sms = n;
+        self
+    }
+
+    /// Sets resident warps per SM.
+    #[must_use]
+    pub fn with_warps_per_sm(mut self, n: usize) -> Self {
+        self.warps_per_sm = n;
+        self
+    }
+
+    /// Sets the base per-warp instruction budget per execution.
+    #[must_use]
+    pub fn with_instructions_per_warp(mut self, n: u64) -> Self {
+        self.instructions_per_warp = n;
+        self
+    }
+
+    /// Sets the L2 TLB to `entries` total entries, keeping 16-way
+    /// associativity (Fig. 12 sweeps 512 / 1024 / 2048).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of 16 with a power-of-two set
+    /// count.
+    #[must_use]
+    pub fn with_l2_tlb_entries(mut self, entries: usize) -> Self {
+        let sets = entries / 16;
+        assert!(sets.is_power_of_two(), "L2 TLB sets must be a power of two");
+        self.l2_tlb = TlbConfig {
+            sets,
+            ways: 16,
+            replacement: self.l2_tlb.replacement,
+        };
+        self
+    }
+
+    /// Sets the number of page-table walkers, keeping the per-walker queue
+    /// depth of the Table I baseline (12 entries each; Fig. 12 sweeps
+    /// 12 / 16 / 24 walkers).
+    #[must_use]
+    pub fn with_walkers(mut self, n: usize) -> Self {
+        self.walk.queue_entries = n * 12;
+        self.walk.n_walkers = n;
+        self
+    }
+
+    /// Sets the page size (Fig. 14 uses [`PageSize::Large64K`]).
+    #[must_use]
+    pub fn with_page_size(mut self, page_size: PageSize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Enables periodic timeline sampling every `cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn with_sample_interval(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "sample interval must be positive");
+        self.sample_interval = Some(cycles);
+        self
+    }
+
+    /// Validates and specializes the configuration for `n_tenants`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_sms` is not divisible by `n_tenants`, or walkers cannot
+    /// be split evenly under a partitioned policy.
+    #[must_use]
+    pub fn for_tenants(mut self, n_tenants: usize) -> Self {
+        assert!(n_tenants > 0, "need at least one tenant");
+        assert_eq!(
+            self.n_sms % n_tenants,
+            0,
+            "SMs must divide evenly among tenants"
+        );
+        if matches!(self.walk.policy, WalkPolicyKind::Partitioned(_)) && n_tenants > 1 {
+            assert_eq!(
+                self.walk.n_walkers % n_tenants,
+                0,
+                "walkers must divide evenly among tenants"
+            );
+        }
+        self.walk.n_tenants = n_tenants;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_one() {
+        let c = GpuConfig::default();
+        assert_eq!(c.n_sms, 30);
+        assert_eq!(c.l2_tlb.entries(), 1024);
+        assert_eq!(c.walk.n_walkers, 16);
+        assert_eq!(c.walk.queue_entries, 192);
+        assert_eq!(c.walk.pwc_entries, 128);
+        assert_eq!(c.mem.l2_banks, 16);
+        assert_eq!(c.mem.dram.channels, 16);
+    }
+
+    #[test]
+    fn presets_set_policies() {
+        let dws = GpuConfig::default().with_preset(PolicyPreset::Dws);
+        assert_eq!(dws.walk.policy, WalkPolicyKind::Partitioned(StealMode::Dws));
+        let stlb = GpuConfig::default().with_preset(PolicyPreset::STlb);
+        assert!(stlb.l2_tlb_private);
+        assert_eq!(stlb.walk.policy, WalkPolicyKind::SharedQueue);
+    }
+
+    #[test]
+    fn stlb_ptw_doubles_walkers_for_two_tenants() {
+        let c = GpuConfig::default()
+            .for_tenants(2)
+            .with_preset(PolicyPreset::STlbPtw);
+        assert_eq!(c.walk.n_walkers, 32);
+        assert_eq!(c.walk.queue_entries, 384);
+        assert!(c.l2_tlb_private);
+        assert_eq!(c.walk.policy, WalkPolicyKind::PrivatePools);
+    }
+
+    #[test]
+    fn doubled_baseline_doubles_resources_without_partitioning() {
+        let c = GpuConfig::default().with_preset(PolicyPreset::DoubledBaseline);
+        assert_eq!(c.l2_tlb.entries(), 2048);
+        assert_eq!(c.walk.n_walkers, 32);
+        assert_eq!(c.walk.policy, WalkPolicyKind::SharedQueue);
+        assert!(!c.l2_tlb_private);
+    }
+
+    #[test]
+    fn presets_reset_previous_preset_state() {
+        let c = GpuConfig::default()
+            .with_preset(PolicyPreset::MaskDws)
+            .with_preset(PolicyPreset::Baseline);
+        assert!(c.mask.is_none());
+        assert_eq!(c.walk.policy, WalkPolicyKind::SharedQueue);
+    }
+
+    #[test]
+    fn mask_dws_combines_both() {
+        let c = GpuConfig::default().with_preset(PolicyPreset::MaskDws);
+        assert!(c.mask.is_some());
+        assert_eq!(c.walk.policy, WalkPolicyKind::Partitioned(StealMode::Dws));
+    }
+
+    #[test]
+    fn tlb_and_walker_sweeps() {
+        let c = GpuConfig::default().with_l2_tlb_entries(512);
+        assert_eq!(c.l2_tlb.entries(), 512);
+        let c = GpuConfig::default().with_walkers(24);
+        assert_eq!(c.walk.n_walkers, 24);
+        assert_eq!(c.walk.queue_entries, 288);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn odd_sm_split_panics() {
+        let _ = GpuConfig::default().with_n_sms(31).for_tenants(2);
+    }
+
+    #[test]
+    fn preset_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            PolicyPreset::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), PolicyPreset::ALL.len());
+    }
+}

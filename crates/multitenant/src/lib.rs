@@ -1,0 +1,50 @@
+//! The composed multi-tenant GPU simulator and the paper's methodology.
+//!
+//! This crate wires the substrates together — SMs and warps
+//! (`walksteal-gpu`), workload models (`walksteal-workloads`), TLBs / page
+//! tables / the page-walk subsystem (`walksteal-vm`), and the shared L2 +
+//! DRAM (`walksteal-mem`) — into a deterministic discrete-event
+//! [`Simulation`] of N co-running tenants on one GPU.
+//!
+//! The evaluation methodology follows §III of the paper:
+//!
+//! * SMs are spatially partitioned evenly among tenants (as with NVIDIA
+//!   MPS); the memory system is shared per the configured policy.
+//! * Simulation continues until **every tenant completes at least one full
+//!   execution**; tenants that finish early are relaunched so the others
+//!   keep experiencing contention.
+//! * Per-tenant IPC and all other statistics are measured over completed
+//!   executions only.
+//!
+//! [`GpuConfig`] defaults to the paper's Table I baseline;
+//! [`PolicyPreset`] switches among every configuration the evaluation
+//! compares (baseline, S-TLB, S-(TLB+PTW), static partitioning, DWS, the
+//! three DWS++ variants, MASK, and MASK+DWS).
+//!
+//! # Examples
+//!
+//! ```
+//! use walksteal_multitenant::{GpuConfig, PolicyPreset, Simulation};
+//! use walksteal_workloads::AppId;
+//!
+//! let cfg = GpuConfig::default()
+//!     .with_preset(PolicyPreset::Dws)
+//!     .with_instructions_per_warp(300)
+//!     .with_warps_per_sm(4)
+//!     .with_n_sms(4);
+//! let result = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 42).run();
+//! assert_eq!(result.tenants.len(), 2);
+//! assert!(result.tenants.iter().all(|t| t.completed_executions >= 1));
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod sim;
+
+pub use config::{GpuConfig, PolicyPreset};
+pub use metrics::{fairness, total_ipc, weighted_ipc, Sample, SimResult, TenantResult};
+pub use sim::Simulation;
+
+// Re-exported so downstream users can configure policies without importing
+// the substrate crates directly.
+pub use walksteal_vm::{DwsPlusPlusParams, StealMode, WalkConfig, WalkPolicyKind};

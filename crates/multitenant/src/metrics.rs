@@ -1,0 +1,212 @@
+//! Evaluation metrics: total IPC, weighted IPC, and fairness.
+//!
+//! Definitions follow §IV of the paper:
+//!
+//! * **Total IPC** (throughput): the sum of co-running tenants' IPCs —
+//!   indicative of overall GPU utilization.
+//! * **Weighted IPC**: Σᵢ IPCᶜ\[i\] / IPCˢᴬ\[i\], where IPCˢᴬ\[i\] is
+//!   tenant i's stand-alone IPC (same SMs, whole memory system to itself).
+//!   Ranges 0..n; higher means tenants are slowed less by co-running.
+//! * **Fairness**: min(Sᵢ)/max(Sᵢ) over the tenants' slowdowns
+//!   Sᵢ = IPCᶜ\[i\]/IPCˢᴬ\[i\] (Eyerman & Eeckhout). 1 is perfectly fair.
+
+use walksteal_workloads::AppId;
+
+/// Per-tenant results of one simulation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantResult {
+    /// The application this tenant ran.
+    pub app: AppId,
+    /// IPC over completed executions (warp instructions per cycle).
+    pub ipc: f64,
+    /// Warp instructions retired in completed executions.
+    pub instructions: u64,
+    /// Number of fully completed executions.
+    pub completed_executions: u32,
+    /// L2-TLB misses per million thread-level instructions (the paper's
+    /// MPMI classification metric).
+    pub mpmi: f64,
+    /// Demand misses at the L2 TLB.
+    pub l2_tlb_misses: u64,
+    /// Mean page-walk latency, arrival to completion (cycles).
+    pub mean_walk_latency: f64,
+    /// Mean number of other-tenant walks one of this tenant's walks waited
+    /// for (Tables III / V).
+    pub mean_interleave: f64,
+    /// Fraction of this tenant's walks serviced by stealing (Table VI).
+    pub stolen_fraction: f64,
+    /// Time-averaged fraction of walkers servicing this tenant (Fig. 9).
+    pub pw_share: f64,
+    /// Time-averaged fraction of (shared) L2 TLB capacity held (Fig. 9).
+    pub tlb_share: f64,
+}
+
+/// One periodic snapshot of simulator state (see
+/// [`GpuConfig::sample_interval`](crate::GpuConfig)).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Sample {
+    /// When the snapshot was taken.
+    pub cycle: u64,
+    /// Walks queued (not in service) at the walk subsystem.
+    pub queued_walks: usize,
+    /// Walkers busy servicing a walk.
+    pub busy_walkers: usize,
+    /// Warp instructions each tenant retired since the previous sample.
+    pub instructions_delta: Vec<u64>,
+}
+
+/// Results of one complete simulation run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimResult {
+    /// Per-tenant metrics, indexed by tenant id.
+    pub tenants: Vec<TenantResult>,
+    /// Cycle at which the run's stop condition was met.
+    pub cycles: u64,
+    /// Total discrete events processed (diagnostics).
+    pub events: u64,
+    /// Periodic snapshots, when sampling was enabled (else empty).
+    /// Defaults to empty on deserialization so results cached before
+    /// sampling existed still load.
+    #[serde(default)]
+    pub timeline: Vec<Sample>,
+}
+
+impl SimResult {
+    /// Sum of tenants' IPCs (the paper's throughput metric).
+    #[must_use]
+    pub fn total_ipc(&self) -> f64 {
+        self.tenants.iter().map(|t| t.ipc).sum()
+    }
+}
+
+/// Total IPC (throughput) of a run.
+#[must_use]
+pub fn total_ipc(run: &SimResult) -> f64 {
+    run.total_ipc()
+}
+
+/// Weighted IPC of `run` given each tenant's stand-alone IPC.
+///
+/// # Panics
+///
+/// Panics if `standalone_ipc.len()` differs from the tenant count or any
+/// stand-alone IPC is non-positive.
+#[must_use]
+pub fn weighted_ipc(run: &SimResult, standalone_ipc: &[f64]) -> f64 {
+    assert_eq!(
+        run.tenants.len(),
+        standalone_ipc.len(),
+        "stand-alone IPC per tenant required"
+    );
+    run.tenants
+        .iter()
+        .zip(standalone_ipc)
+        .map(|(t, &sa)| {
+            assert!(sa > 0.0, "stand-alone IPC must be positive");
+            t.ipc / sa
+        })
+        .sum()
+}
+
+/// Fairness of `run`: min slowdown over max slowdown (1 = perfectly fair).
+///
+/// # Panics
+///
+/// Panics if `standalone_ipc.len()` differs from the tenant count or any
+/// stand-alone IPC is non-positive.
+#[must_use]
+pub fn fairness(run: &SimResult, standalone_ipc: &[f64]) -> f64 {
+    assert_eq!(
+        run.tenants.len(),
+        standalone_ipc.len(),
+        "stand-alone IPC per tenant required"
+    );
+    let slowdowns: Vec<f64> = run
+        .tenants
+        .iter()
+        .zip(standalone_ipc)
+        .map(|(t, &sa)| {
+            assert!(sa > 0.0, "stand-alone IPC must be positive");
+            t.ipc / sa
+        })
+        .collect();
+    let min = slowdowns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = slowdowns.iter().copied().fold(0.0, f64::max);
+    if max == 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(app: AppId, ipc: f64) -> TenantResult {
+        TenantResult {
+            app,
+            ipc,
+            instructions: 1000,
+            completed_executions: 1,
+            mpmi: 0.0,
+            l2_tlb_misses: 0,
+            mean_walk_latency: 0.0,
+            mean_interleave: 0.0,
+            stolen_fraction: 0.0,
+            pw_share: 0.0,
+            tlb_share: 0.0,
+        }
+    }
+
+    fn run(ipcs: &[f64]) -> SimResult {
+        SimResult {
+            tenants: ipcs.iter().map(|&i| tenant(AppId::Mm, i)).collect(),
+            cycles: 100,
+            events: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn total_ipc_sums() {
+        assert_eq!(total_ipc(&run(&[0.5, 0.7])), 1.2);
+    }
+
+    #[test]
+    fn weighted_ipc_normalizes() {
+        // Both tenants at half their stand-alone speed -> weighted IPC 1.0.
+        let w = weighted_ipc(&run(&[0.5, 1.0]), &[1.0, 2.0]);
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_ipc_max_is_n() {
+        let w = weighted_ipc(&run(&[1.0, 2.0]), &[1.0, 2.0]);
+        assert!((w - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_one_when_equal_slowdowns() {
+        let f = fairness(&run(&[0.5, 1.0]), &[1.0, 2.0]);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_low_when_one_tenant_starves() {
+        let f = fairness(&run(&[0.1, 1.9]), &[2.0, 2.0]);
+        assert!((f - (0.05 / 0.95)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stand-alone IPC per tenant")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_ipc(&run(&[1.0]), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_standalone_panics() {
+        let _ = fairness(&run(&[1.0]), &[0.0]);
+    }
+}

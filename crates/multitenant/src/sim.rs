@@ -1,0 +1,671 @@
+//! The deterministic discrete-event simulation of N tenants on one GPU.
+//!
+//! Warps execute at memory-operation granularity: each warp alternates
+//! compute bursts (served by its SM's issue timeline) with memory
+//! instructions whose coalesced references traverse the full translation
+//! path — private L1 TLB, shared (or per-tenant) L2 TLB, and on a miss the
+//! page-walk subsystem — before the data access goes through the L1 cache
+//! and the shared L2/DRAM. All contended resources (walk queues, walkers,
+//! L2 banks, DRAM channels, MSHRs, merge entries) back-pressure the pipeline
+//! exactly where the hardware would.
+
+use std::collections::HashMap;
+
+use walksteal_gpu::{coalesce, MemRef, SmState};
+use walksteal_mem::{AccessKind, MemSystem};
+use walksteal_sim_core::{Cycle, EventQueue, LineAddr, Ppn, TenantId, Vpn, WalkerId};
+use walksteal_vm::{
+    walk::WalkContext, FrameAlloc, MaskState, PageTable, Tlb, WalkRequest, WalkSubsystem,
+};
+use walksteal_workloads::{AppId, WarpStream};
+
+use crate::config::GpuConfig;
+use crate::metrics::{Sample, SimResult, TenantResult};
+
+/// A translation waiting on an outstanding walk: (sm, warp, reference).
+type Waiter = (usize, usize, MemRef);
+
+/// Discrete events driving the simulation.
+#[derive(Debug, Clone)]
+enum Event {
+    /// The warp begins its next operation (compute burst + memory op).
+    WarpStart { sm: usize, warp: usize },
+    /// The warp's compute burst finished; its memory references issue.
+    WarpMem { sm: usize, warp: usize },
+    /// A page-table walker finished its walk.
+    WalkerDone { walker: WalkerId },
+    /// One memory reference's data returned to the warp.
+    RefDone { sm: usize, warp: usize },
+    /// Periodic timeline snapshot.
+    TakeSample,
+}
+
+/// Per-warp runtime state.
+struct Warp {
+    stream: WarpStream,
+    /// Coalesced references queued for issue at the end of the compute burst.
+    pending: Vec<MemRef>,
+    /// References of the in-flight memory instruction still outstanding.
+    outstanding: usize,
+    /// Whether this warp exhausted its execution budget and is waiting for
+    /// the rest of its tenant's warps.
+    finished: bool,
+}
+
+/// Per-tenant runtime state.
+struct Tenant {
+    app: AppId,
+    /// Global warp count for this tenant.
+    warps_total: usize,
+    warps_finished: usize,
+    launch_cycle: Cycle,
+    /// Warp instructions issued during the current execution.
+    instr_this_exec: u64,
+    /// (instructions, completion cycle) of each completed execution.
+    completed: Vec<(u64, Cycle)>,
+    /// All warp instructions issued, including the in-progress execution.
+    instr_total: u64,
+    /// Demand (non-retry) L2 TLB misses.
+    l2_demand_misses: u64,
+    /// Demand L2 TLB probes.
+    l2_demand_probes: u64,
+}
+
+/// A deterministic simulation of co-running tenants (see crate docs).
+pub struct Simulation {
+    cfg: GpuConfig,
+    events: EventQueue<Event>,
+    now: Cycle,
+    sms: Vec<SmState>,
+    warps: Vec<Vec<Warp>>,
+    tenants: Vec<Tenant>,
+    l2_tlbs: Vec<Tlb>,
+    walk: WalkSubsystem,
+    mem: MemSystem,
+    page_tables: Vec<PageTable>,
+    frames: FrameAlloc,
+    mask: Option<MaskState>,
+    /// Outstanding walks keyed by (tenant, vpn).
+    merge: HashMap<(TenantId, Vpn), Vec<Waiter>>,
+    /// Translations blocked on a full resource (walk queue, merge table, or
+    /// L1-TLB MSHRs), re-tried when a walker completion frees capacity.
+    /// Parked per tenant and woken round-robin so a walk-intensive tenant's
+    /// backlog cannot starve another tenant's rare misses.
+    parked: Vec<std::collections::VecDeque<Waiter>>,
+    parked_rr: usize,
+    events_processed: u64,
+    /// Tenants with >= 1 completed execution.
+    tenants_done: usize,
+    stopped: bool,
+    timeline: Vec<Sample>,
+    /// Per-tenant instruction counts at the previous sample.
+    last_sample_instr: Vec<u64>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `apps` (one tenant per entry) from `cfg`,
+    /// seeding all workload randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or `cfg` cannot host that many tenants
+    /// (SMs/walkers not evenly divisible).
+    #[must_use]
+    pub fn new(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Self {
+        assert!(!apps.is_empty(), "need at least one tenant");
+        let cfg = cfg.for_tenants(apps.len());
+        let n_tenants = apps.len();
+        let sms_per_tenant = cfg.n_sms / n_tenants;
+
+        let mut sms = Vec::with_capacity(cfg.n_sms);
+        let mut warps = Vec::with_capacity(cfg.n_sms);
+        let mut events = EventQueue::new();
+        for sm in 0..cfg.n_sms {
+            let tenant = TenantId((sm / sms_per_tenant) as u8);
+            sms.push(SmState::new(cfg.sm, tenant));
+            let mut sm_warps = Vec::with_capacity(cfg.warps_per_sm);
+            for w in 0..cfg.warps_per_sm {
+                let app = apps[tenant.index()];
+                let local_sm = sm % sms_per_tenant;
+                let warp_index = (local_sm * cfg.warps_per_sm + w) as u64;
+                let stream = WarpStream::new(
+                    app.profile(),
+                    seed ^ (0x9E37 * (tenant.index() as u64 + 1)),
+                    warp_index,
+                    cfg.instructions_per_warp,
+                );
+                sm_warps.push(Warp {
+                    stream,
+                    pending: Vec::new(),
+                    outstanding: 0,
+                    finished: false,
+                });
+                events.push(Cycle::ZERO, Event::WarpStart { sm, warp: w });
+            }
+            warps.push(sm_warps);
+        }
+
+        let tenants = apps
+            .iter()
+            .map(|&app| Tenant {
+                app,
+                warps_total: sms_per_tenant * cfg.warps_per_sm,
+                warps_finished: 0,
+                launch_cycle: Cycle::ZERO,
+                instr_this_exec: 0,
+                completed: Vec::new(),
+                instr_total: 0,
+                l2_demand_misses: 0,
+                l2_demand_probes: 0,
+            })
+            .collect();
+
+        let n_l2_tlbs = if cfg.l2_tlb_private { n_tenants } else { 1 };
+        let l2_tlbs = (0..n_l2_tlbs)
+            .map(|_| Tlb::new(cfg.l2_tlb, n_tenants))
+            .collect();
+
+        let page_tables = (0..n_tenants)
+            .map(|t| PageTable::new(TenantId(t as u8), cfg.page_size))
+            .collect();
+
+        Simulation {
+            walk: WalkSubsystem::new(cfg.walk.clone()),
+            mem: MemSystem::new(cfg.mem),
+            mask: cfg.mask.map(|m| MaskState::new(m, n_tenants)),
+            sms,
+            warps,
+            tenants,
+            l2_tlbs,
+            page_tables,
+            frames: FrameAlloc::new(),
+            merge: HashMap::new(),
+            parked: (0..n_tenants)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            parked_rr: 0,
+            events,
+            now: Cycle::ZERO,
+            events_processed: 0,
+            tenants_done: 0,
+            stopped: false,
+            timeline: Vec::new(),
+            last_sample_instr: vec![0; n_tenants],
+            cfg,
+        }
+    }
+
+    fn l2_tlb_of(&mut self, tenant: TenantId) -> &mut Tlb {
+        if self.cfg.l2_tlb_private {
+            &mut self.l2_tlbs[tenant.index()]
+        } else {
+            &mut self.l2_tlbs[0]
+        }
+    }
+
+    /// Runs to the stop condition (every tenant completed >= 1 execution)
+    /// and returns the collected metrics.
+    pub fn run(mut self) -> SimResult {
+        if let Some(interval) = self.cfg.sample_interval {
+            self.events.push(Cycle(interval), Event::TakeSample);
+        }
+        while let Some((at, ev)) = self.events.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            if self.stopped || at.0 > self.cfg.max_cycles {
+                break;
+            }
+            self.events_processed += 1;
+            match ev {
+                Event::WarpStart { sm, warp } => self.on_warp_start(sm, warp),
+                Event::WarpMem { sm, warp } => self.on_warp_mem(sm, warp),
+                Event::WalkerDone { walker } => self.on_walker_done(walker),
+                Event::RefDone { sm, warp } => self.on_ref_done(sm, warp),
+                Event::TakeSample => self.on_sample(),
+            }
+        }
+        self.collect()
+    }
+
+    fn on_sample(&mut self) {
+        let instr: Vec<u64> = {
+            let mut per_tenant = vec![0u64; self.tenants.len()];
+            for t in 0..self.tenants.len() {
+                per_tenant[t] = self.tenants[t].instr_total;
+            }
+            per_tenant
+        };
+        let delta: Vec<u64> = instr
+            .iter()
+            .zip(&self.last_sample_instr)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        self.last_sample_instr = instr;
+        self.timeline.push(Sample {
+            cycle: self.now.0,
+            queued_walks: self.walk.queued_len(),
+            busy_walkers: self.walk.busy_walkers(),
+            instructions_delta: delta,
+        });
+        let interval = self
+            .cfg
+            .sample_interval
+            .expect("sample event only scheduled when sampling enabled");
+        self.events.push(self.now + interval, Event::TakeSample);
+    }
+
+    fn on_warp_start(&mut self, sm: usize, warp: usize) {
+        let tenant = self.sms[sm].tenant();
+        let Some(op) = self.warps[sm][warp].stream.next_op() else {
+            self.on_warp_finished(sm, warp, tenant);
+            return;
+        };
+        let instructions = op.instructions();
+        let end = self.sms[sm].issue_burst(self.now, instructions);
+        let t = &mut self.tenants[tenant.index()];
+        t.instr_this_exec += instructions;
+        t.instr_total += instructions;
+
+        let refs = coalesce(&op.refs);
+        debug_assert!(!refs.is_empty(), "memory op with no references");
+        let w = &mut self.warps[sm][warp];
+        w.outstanding = refs.len();
+        // Stash the refs by scheduling the memory issue; the refs travel in
+        // the warp state to keep events small.
+        w.pending = refs;
+        self.events.push(end, Event::WarpMem { sm, warp });
+    }
+
+    fn on_warp_mem(&mut self, sm: usize, warp: usize) {
+        let refs = std::mem::take(&mut self.warps[sm][warp].pending);
+        for r in refs {
+            self.begin_ref(sm, warp, r, false);
+        }
+    }
+
+    /// Drives one coalesced reference through translation and then data.
+    fn begin_ref(&mut self, sm: usize, warp: usize, r: MemRef, is_retry: bool) {
+        let tenant = self.sms[sm].tenant();
+
+        // L1 TLB.
+        if let Some(ppn) = self.sms[sm].probe_l1_tlb(r.vpn) {
+            self.data_access(sm, warp, r, ppn, self.now);
+            return;
+        }
+        if !self.sms[sm].try_take_tlb_mshr() {
+            self.parked[tenant.index()].push_back((sm, warp, r));
+            return;
+        }
+
+        // L2 TLB (shared or per-tenant private).
+        let now = self.now;
+        let l2_lat = self.cfg.l2_tlb_latency;
+        let hit = self.l2_tlb_of(tenant).probe(tenant, r.vpn);
+        if let Some(mask) = &mut self.mask {
+            mask.on_l2_tlb_probe(tenant, hit.is_some(), now);
+        }
+        if !is_retry {
+            let t = &mut self.tenants[tenant.index()];
+            t.l2_demand_probes += 1;
+            if hit.is_none() {
+                t.l2_demand_misses += 1;
+            }
+        }
+        if let Some(ppn) = hit {
+            self.sms[sm].fill_l1_tlb(r.vpn, ppn, now + l2_lat);
+            self.sms[sm].release_tlb_mshr();
+            self.data_access(sm, warp, r, ppn, now + l2_lat);
+            return;
+        }
+
+        // L2 TLB miss: merge with an outstanding walk or start a new one.
+        let key = (tenant, r.vpn);
+        if let Some(waiters) = self.merge.get_mut(&key) {
+            waiters.push((sm, warp, r));
+            return;
+        }
+        if self.merge.len() >= self.cfg.merge_capacity {
+            self.sms[sm].release_tlb_mshr();
+            self.parked[tenant.index()].push_back((sm, warp, r));
+            return;
+        }
+        let mut ctx = WalkContext {
+            page_tables: &mut self.page_tables,
+            frames: &mut self.frames,
+            mem: &mut self.mem,
+            mask: self.mask.as_ref(),
+        };
+        match self
+            .walk
+            .try_enqueue(WalkRequest { tenant, vpn: r.vpn }, now + l2_lat, &mut ctx)
+        {
+            Ok(dispatched) => {
+                self.merge.insert(key, vec![(sm, warp, r)]);
+                if let Some(d) = dispatched {
+                    self.events
+                        .push(d.done_at, Event::WalkerDone { walker: d.walker });
+                }
+            }
+            Err(_) => {
+                self.sms[sm].release_tlb_mshr();
+                self.parked[tenant.index()].push_back((sm, warp, r));
+            }
+        }
+    }
+
+    fn on_walker_done(&mut self, walker: WalkerId) {
+        let mut ctx = WalkContext {
+            page_tables: &mut self.page_tables,
+            frames: &mut self.frames,
+            mem: &mut self.mem,
+            mask: self.mask.as_ref(),
+        };
+        let (done, next) = self.walk.on_walker_done(walker, self.now, &mut ctx);
+        if let Some(d) = next {
+            self.events
+                .push(d.done_at, Event::WalkerDone { walker: d.walker });
+        }
+
+        // Fill the L2 TLB (MASK may veto the shared-TLB fill).
+        let now = self.now;
+        let may_fill = match &self.mask {
+            Some(mask) => mask.try_take_fill_token(done.tenant),
+            None => true,
+        };
+        if may_fill {
+            self.l2_tlb_of(done.tenant)
+                .fill(done.tenant, done.vpn, done.ppn, now);
+        }
+
+        // Wake every waiter merged onto this walk.
+        let waiters = self
+            .merge
+            .remove(&(done.tenant, done.vpn))
+            .unwrap_or_default();
+        for (sm, warp, r) in waiters {
+            self.sms[sm].fill_l1_tlb(r.vpn, done.ppn, now);
+            self.sms[sm].release_tlb_mshr();
+            self.data_access(sm, warp, r, done.ppn, now);
+        }
+
+        // The completion freed capacity (a queue slot, merge entry, and
+        // MSHRs); wake a few parked translations, rotating across tenants so
+        // one tenant's backlog cannot monopolize freed slots. Each retry
+        // re-checks all resources and re-parks if still blocked.
+        let n = self.parked.len();
+        let mut woken = 0;
+        let mut scanned = 0;
+        while woken < 4 && scanned < 2 * n {
+            let t = self.parked_rr % n;
+            self.parked_rr = self.parked_rr.wrapping_add(1);
+            scanned += 1;
+            if let Some((sm, warp, r)) = self.parked[t].pop_front() {
+                woken += 1;
+                self.begin_ref(sm, warp, r, true);
+            }
+        }
+    }
+
+    /// The data phase of a reference: L1 cache, then shared L2/DRAM.
+    fn data_access(&mut self, sm: usize, warp: usize, r: MemRef, ppn: Ppn, at: Cycle) {
+        // `ppn` counts 4 KB frame granules (large pages reserve several),
+        // so the page's base line is ppn * 32 regardless of page size.
+        let line = LineAddr(ppn.0 * 32 + u64::from(r.line_in_page));
+        let l1_lat = self.sms[sm].l1_hit_latency();
+        let done_at = if self.sms[sm].access_l1_cache(line) {
+            at + l1_lat
+        } else {
+            let access = self.mem.access(line, at + l1_lat, AccessKind::Data);
+            at + l1_lat + access.latency
+        };
+        self.events.push(done_at, Event::RefDone { sm, warp });
+    }
+
+    fn on_ref_done(&mut self, sm: usize, warp: usize) {
+        let w = &mut self.warps[sm][warp];
+        debug_assert!(w.outstanding > 0, "ref completion without outstanding refs");
+        w.outstanding -= 1;
+        if w.outstanding == 0 {
+            self.events.push(self.now, Event::WarpStart { sm, warp });
+        }
+    }
+
+    /// A warp exhausted its execution budget.
+    fn on_warp_finished(&mut self, sm: usize, warp: usize, tenant: TenantId) {
+        let w = &mut self.warps[sm][warp];
+        debug_assert!(!w.finished, "warp finished twice");
+        w.finished = true;
+        let t = &mut self.tenants[tenant.index()];
+        t.warps_finished += 1;
+        if t.warps_finished < t.warps_total {
+            return;
+        }
+
+        // Execution complete for this tenant.
+        let first_completion = t.completed.is_empty();
+        t.completed.push((t.instr_this_exec, self.now));
+        t.instr_this_exec = 0;
+        t.warps_finished = 0;
+        t.launch_cycle = self.now;
+        if first_completion {
+            self.tenants_done += 1;
+            if self.tenants_done == self.tenants.len() {
+                self.stopped = true;
+                return;
+            }
+        }
+
+        // Relaunch (the methodology: keep contention alive until every
+        // tenant completes at least once).
+        let sms_per_tenant = self.cfg.n_sms / self.tenants.len();
+        let sm_base = tenant.index() * sms_per_tenant;
+        for s in sm_base..sm_base + sms_per_tenant {
+            for wi in 0..self.cfg.warps_per_sm {
+                let w = &mut self.warps[s][wi];
+                w.finished = false;
+                w.stream.relaunch();
+                self.events
+                    .push(self.now, Event::WarpStart { sm: s, warp: wi });
+            }
+        }
+    }
+
+    /// Gathers final metrics.
+    fn collect(self) -> SimResult {
+        let end = self.now;
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let tid = TenantId(i as u8);
+                let (instr, last_cycle) = t
+                    .completed
+                    .iter()
+                    .fold((0u64, Cycle::ZERO), |(si, _), &(n, c)| (si + n, c));
+                let ipc = if last_cycle.0 > 0 {
+                    instr as f64 / last_cycle.0 as f64
+                } else {
+                    0.0
+                };
+                let thread_instr = t.instr_total as f64 * 32.0;
+                let mpmi = if thread_instr > 0.0 {
+                    t.l2_demand_misses as f64 / thread_instr * 1e6
+                } else {
+                    0.0
+                };
+                let stats = self.walk.stats();
+                let tlb_share = if self.cfg.l2_tlb_private {
+                    // Private TLBs: the tenant holds its whole TLB.
+                    1.0
+                } else {
+                    self.l2_tlbs[0].share_of(tid, end)
+                };
+                TenantResult {
+                    app: t.app,
+                    ipc,
+                    instructions: instr,
+                    completed_executions: t.completed.len() as u32,
+                    mpmi,
+                    l2_tlb_misses: t.l2_demand_misses,
+                    mean_walk_latency: stats.mean_latency(tid),
+                    mean_interleave: stats.mean_interleave(tid),
+                    stolen_fraction: stats.stolen_fraction(tid),
+                    pw_share: self.walk.walker_share_of(tid, end),
+                    tlb_share,
+                }
+            })
+            .collect();
+        SimResult {
+            tenants,
+            cycles: end.0,
+            events: self.events_processed,
+            timeline: self.timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyPreset;
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig::default()
+            .with_n_sms(4)
+            .with_warps_per_sm(4)
+            .with_instructions_per_warp(400)
+    }
+
+    #[test]
+    fn single_tenant_completes() {
+        let r = Simulation::new(small_cfg(), &[AppId::Mm], 1).run();
+        assert_eq!(r.tenants.len(), 1);
+        assert_eq!(r.tenants[0].completed_executions, 1);
+        assert!(r.tenants[0].ipc > 0.0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn two_tenants_both_complete() {
+        let r = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 1).run();
+        assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
+        let b = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 1).run();
+        let b = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 2).run();
+        assert_ne!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn light_app_outruns_heavy_app_standalone() {
+        let light = Simulation::new(small_cfg(), &[AppId::Mm], 3).run();
+        let heavy = Simulation::new(small_cfg(), &[AppId::Gups], 3).run();
+        assert!(
+            light.tenants[0].ipc > heavy.tenants[0].ipc,
+            "MM {} vs GUPS {}",
+            light.tenants[0].ipc,
+            heavy.tenants[0].ipc
+        );
+    }
+
+    #[test]
+    fn heavy_app_misses_more() {
+        let light = Simulation::new(small_cfg(), &[AppId::Mm], 3).run();
+        let heavy = Simulation::new(small_cfg(), &[AppId::Gups], 3).run();
+        assert!(heavy.tenants[0].mpmi > light.tenants[0].mpmi * 10.0);
+    }
+
+    #[test]
+    fn dws_steals_in_asymmetric_pair() {
+        let cfg = small_cfg().with_preset(PolicyPreset::Dws);
+        let r = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 1).run();
+        // The heavy tenant's walks get stolen by the light tenant's walkers.
+        assert!(
+            r.tenants[0].stolen_fraction > 0.0,
+            "no stealing observed: {:?}",
+            r.tenants[0]
+        );
+    }
+
+    #[test]
+    fn relaunch_keeps_contention_alive() {
+        // MM finishes long before GUPS; it must relaunch (>1 execution).
+        // A longer budget makes GUPS's memory-bound tail dominate.
+        let cfg = small_cfg().with_instructions_per_warp(2_000);
+        let r = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 1).run();
+        assert!(
+            r.tenants[1].completed_executions > 1,
+            "light tenant should relaunch: {:?}",
+            r.tenants[1].completed_executions
+        );
+    }
+
+    #[test]
+    fn shares_sum_to_at_most_one() {
+        let r = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Blk], 5).run();
+        let pw: f64 = r.tenants.iter().map(|t| t.pw_share).sum();
+        let tlb: f64 = r.tenants.iter().map(|t| t.tlb_share).sum();
+        assert!(pw <= 1.0 + 1e-9, "pw share sum {pw}");
+        assert!(tlb <= 1.0 + 1e-9, "tlb share sum {tlb}");
+        assert!(pw > 0.0);
+        assert!(tlb > 0.0);
+    }
+
+    #[test]
+    fn baseline_interleaving_asymmetric_pair() {
+        let r = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Hs], 1).run();
+        // The light tenant's walks wait behind many heavy walks.
+        assert!(
+            r.tenants[1].mean_interleave > r.tenants[0].mean_interleave,
+            "light should interleave more: {:?} vs {:?}",
+            r.tenants[1].mean_interleave,
+            r.tenants[0].mean_interleave
+        );
+    }
+
+    #[test]
+    fn timeline_sampling_records_snapshots() {
+        let cfg = small_cfg().with_sample_interval(1_000);
+        let r = Simulation::new(cfg, &[AppId::Sad, AppId::Mm], 1).run();
+        assert!(!r.timeline.is_empty());
+        // Samples are evenly spaced and cover the run.
+        for (i, s) in r.timeline.iter().enumerate() {
+            assert_eq!(s.cycle, 1_000 * (i as u64 + 1));
+            assert_eq!(s.instructions_delta.len(), 2);
+            assert!(s.busy_walkers <= 16);
+        }
+        let last = r.timeline.last().unwrap();
+        assert!(r.cycles - last.cycle <= 1_000);
+        // Instruction deltas sum to (at most) the total issued.
+        let total: u64 = r.timeline.iter().map(|s| s.instructions_delta[1]).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn sampling_off_means_empty_timeline() {
+        let r = Simulation::new(small_cfg(), &[AppId::Mm], 1).run();
+        assert!(r.timeline.is_empty());
+    }
+
+    #[test]
+    fn four_tenants_run() {
+        let cfg = GpuConfig::default()
+            .with_n_sms(4)
+            .with_warps_per_sm(2)
+            .with_instructions_per_warp(300)
+            .with_preset(PolicyPreset::Dws);
+        let r = Simulation::new(cfg, &[AppId::Gups, AppId::Mm, AppId::Tds, AppId::Hs], 1).run();
+        assert_eq!(r.tenants.len(), 4);
+        assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
+    }
+}

@@ -1,0 +1,185 @@
+//! A deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is a min-heap keyed by [`Cycle`] with FIFO tie-breaking:
+//! two events scheduled for the same cycle pop in the order they were pushed.
+//! Determinism matters here — the whole simulator must replay bit-identically
+//! from a seed so experiments are reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::Cycle;
+
+/// One scheduled entry in the heap. Ordered so that the *earliest* cycle and,
+/// within a cycle, the *smallest* sequence number pops first from a max-heap.
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse both keys: BinaryHeap is a max-heap and we want a min-heap.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event priority queue with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'b');
+/// q.push(Cycle(1), 'a');
+/// assert_eq!(q.next_cycle(), Some(Cycle(1)));
+/// assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+/// assert_eq!(q.pop(), Some((Cycle(3), 'b')));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty event queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at cycle `at`.
+    ///
+    /// Events pushed for the same cycle pop in push order.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// The cycle of the earliest pending event, or `None` if empty.
+    #[must_use]
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether there are no pending events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_cycle", &self.next_cycle())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_cycle() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), "a");
+        q.push(Cycle(1), "b");
+        assert_eq!(q.pop(), Some((Cycle(1), "b")));
+        q.push(Cycle(2), "c");
+        q.push(Cycle(5), "d");
+        assert_eq!(q.pop(), Some((Cycle(2), "c")));
+        assert_eq!(q.pop(), Some((Cycle(5), "a")));
+        assert_eq!(q.pop(), Some((Cycle(5), "d")));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.push(Cycle(1), ());
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_cycle_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_cycle(), None);
+        q.push(Cycle(9), ());
+        q.push(Cycle(4), ());
+        assert_eq!(q.next_cycle(), Some(Cycle(4)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<u32> = EventQueue::new();
+        assert!(format!("{q:?}").contains("EventQueue"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event simulation kernel for the `walksteal` GPU simulator.
+//!
+//! This crate provides the building blocks shared by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — strongly-typed identifiers and addresses ([`Cycle`],
+//!   [`TenantId`], [`VirtAddr`], …) so that, e.g., a virtual address can never
+//!   be passed where a physical one is expected.
+//! * [`event`] — a deterministic discrete-event queue ([`EventQueue`]) with
+//!   FIFO tie-breaking for events scheduled at the same cycle.
+//! * [`rng`] — a small, fast, seedable random-number generator ([`SimRng`])
+//!   so simulations replay bit-identically from a seed.
+//! * [`stats`] — counters, running means, histograms, and the geometric /
+//!   arithmetic mean helpers used throughout the paper's evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use walksteal_sim_core::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Cycle(10), "ten");
+//! q.push(Cycle(5), "five");
+//! q.push(Cycle(10), "ten again");
+//!
+//! assert_eq!(q.pop(), Some((Cycle(5), "five")));
+//! // Same-cycle events come out in insertion order.
+//! assert_eq!(q.pop(), Some((Cycle(10), "ten")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "ten again")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+pub use event::EventQueue;
+pub use ids::{Cycle, LineAddr, PhysAddr, Ppn, SmId, TenantId, VirtAddr, Vpn, WalkerId, WarpId};
+pub use rng::SimRng;
+pub use stats::{amean, gmean, Counter, Histogram, RunningMean};

@@ -1,0 +1,202 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! [`SimRng`] is a tiny splitmix64/xorshift-style generator. We deliberately
+//! avoid thread-local or OS entropy: every stochastic decision in the
+//! simulator derives from an explicit seed so whole experiments replay
+//! bit-identically. Workload generators that need a higher-quality stream use
+//! `rand_chacha` (see `walksteal-workloads`); this type covers the cheap,
+//! hot-path decisions inside the simulator itself.
+
+/// A small deterministic pseudo-random generator (xorshift64* seeded through
+/// splitmix64).
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from `seed`. Any seed (including zero) is valid.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // Run the seed through splitmix64 once so that small, similar seeds
+        // (0, 1, 2, ...) yield uncorrelated streams, and so state is nonzero.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng {
+            state: z | 1, // xorshift state must be nonzero
+        }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Used to give each (tenant, SM, warp) its own stream without the
+    /// streams being shifted copies of one another.
+    #[must_use]
+    pub fn split(&self, stream: u64) -> SimRng {
+        SimRng::new(self.state ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // simulation purposes and avoids a division on the hot path.
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A geometrically distributed count with success probability `p`
+    /// (mean `1/p`), clamped to at least 1.
+    ///
+    /// Used for, e.g., compute-burst lengths between memory instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn next_geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        let n = (u.ln() / (1.0 - p).ln()).ceil();
+        (n as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = SimRng::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let root = SimRng::new(99);
+        let mut s0 = root.split(0);
+        let mut s1 = root.split(1);
+        let same = (0..100).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SimRng::new(5);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn next_below_zero_panics() {
+        SimRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_roughly_uniform() {
+        let mut r = SimRng::new(123);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.next_below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            // Expected 10_000 per bucket; allow 10% slack.
+            assert!((9_000..11_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn geometric_mean_close_to_inverse_p() {
+        let mut r = SimRng::new(77);
+        let p = 0.25;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| r.next_geometric(p)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_one() {
+        let mut r = SimRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(r.next_geometric(1.0), 1);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(8);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.1)));
+    }
+}

@@ -1,0 +1,381 @@
+//! Statistics primitives used across the simulator and the evaluation
+//! harness: counters, running means, histograms, and the geometric /
+//! arithmetic means the paper reports.
+
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.add(3);
+/// hits.incr();
+/// assert_eq!(hits.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter (saturating).
+    pub fn add(&mut self, n: u64) {
+        self.count = self.count.saturating_add(n);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn count(self) -> u64 {
+        self.count
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.count)
+    }
+}
+
+/// Incrementally computed arithmetic mean over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// m.push(1.0);
+/// m.push(3.0);
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty running mean.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningMean::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, sample: f64) {
+        self.sum += sample;
+        self.n += 1;
+    }
+
+    /// The arithmetic mean of all samples, or 0.0 if none were pushed.
+    #[must_use]
+    pub fn mean(self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// The sum of all samples.
+    #[must_use]
+    pub fn sum(self) -> f64 {
+        self.sum
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been pushed.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.n == 0
+    }
+}
+
+/// A fixed-bucket histogram of integer samples (e.g., queue depths or
+/// latencies). The final bucket is an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::Histogram;
+///
+/// let mut h = Histogram::new(4, 10); // 4 buckets of width 10: [0,10), [10,20), ...
+/// h.record(5);
+/// h.record(35);
+/// h.record(1000); // lands in the overflow bucket (the last one)
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(3), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    width: u64,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or `width` is zero.
+    #[must_use]
+    pub fn new(buckets: usize, width: u64) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(width > 0, "bucket width must be positive");
+        Histogram {
+            buckets: vec![0; buckets],
+            width,
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = ((sample / self.width) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Count in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of recorded samples, or 0.0 if none.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample (0 if none).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate p-th percentile (`0.0..=1.0`) using bucket lower bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (p * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return i as u64 * self.width;
+            }
+        }
+        (self.buckets.len() as u64 - 1) * self.width
+    }
+}
+
+/// Geometric mean of strictly positive values; non-positive entries are
+/// skipped. Returns 1.0 for an empty (or all-skipped) input — the identity of
+/// a normalized-speedup product.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::gmean;
+///
+/// let g = gmean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert_eq!(gmean(&[]), 1.0);
+/// ```
+#[must_use]
+pub fn gmean(values: &[f64]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u64;
+    for &v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean; returns 0.0 for an empty input.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::amean;
+///
+/// assert_eq!(amean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(amean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn amean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.count(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.count(), 10);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.add(5);
+        assert_eq!(c.count(), u64::MAX);
+    }
+
+    #[test]
+    fn running_mean_empty_is_zero() {
+        assert_eq!(RunningMean::new().mean(), 0.0);
+        assert!(RunningMean::new().is_empty());
+    }
+
+    #[test]
+    fn running_mean_accumulates() {
+        let mut m = RunningMean::new();
+        for i in 1..=10 {
+            m.push(i as f64);
+        }
+        assert_eq!(m.mean(), 5.5);
+        assert_eq!(m.sum(), 55.0);
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(3, 10);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(25);
+        h.record(99999);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max(), 99999);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(10, 1);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_percentile() {
+        let mut h = Histogram::new(100, 1);
+        for i in 0..100 {
+            h.record(i);
+        }
+        assert_eq!(h.percentile(0.5), 49);
+        assert_eq!(h.percentile(1.0), 99);
+        assert_eq!(h.percentile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_empty_percentile_is_zero() {
+        let h = Histogram::new(4, 2);
+        assert_eq!(h.percentile(0.9), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_zero_buckets_panics() {
+        let _ = Histogram::new(0, 1);
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        let g = gmean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_skips_nonpositive() {
+        let g = gmean(&[2.0, 0.0, -3.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amean_basics() {
+        assert_eq!(amean(&[4.0]), 4.0);
+        assert!((amean(&[1.0, 2.0]) - 1.5).abs() < 1e-12);
+    }
+}

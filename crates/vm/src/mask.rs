@@ -1,0 +1,237 @@
+//! A MASK-style comparison policy (Ausavarungnirun et al., ASPLOS '18).
+//!
+//! MASK redesigns the GPU memory hierarchy for multi-application
+//! concurrency. The paper compares DWS against it (Fig. 11); MASK is
+//! *orthogonal* to walk scheduling — it targets the shared L2 TLB and the
+//! contention between data and page-table entries in the caches. This module
+//! reimplements its two mechanisms relevant to that comparison:
+//!
+//! 1. **TLB-fill tokens**: per epoch, each tenant receives a share of L2-TLB
+//!    fill tokens proportional to how much it benefits from the shared TLB
+//!    (its epoch hit rate). A walk completed by a tenant without tokens
+//!    fills only the requester's L1 TLB, protecting the shared TLB from
+//!    thrashing fills.
+//! 2. **PTE cache bypassing**: page-table accesses of a token-throttled
+//!    tenant bypass the shared L2 cache, protecting data lines from PTE
+//!    pollution.
+//!
+//! This is a faithful-in-spirit reimplementation from the mechanism
+//! descriptions, not the authors' source; see DESIGN.md (substitution 3).
+
+use std::cell::Cell;
+
+use walksteal_mem::AccessKind;
+use walksteal_sim_core::{Cycle, TenantId};
+
+/// Parameters of the MASK-style mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskConfig {
+    /// Epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Total L2-TLB fill tokens distributed per epoch.
+    pub tokens_per_epoch: u64,
+    /// Hit-rate floor below which a tenant's PTE accesses bypass the L2
+    /// cache.
+    pub bypass_hit_rate: f64,
+}
+
+impl Default for MaskConfig {
+    fn default() -> Self {
+        MaskConfig {
+            epoch_cycles: 100_000,
+            tokens_per_epoch: 2_000,
+            bypass_hit_rate: 0.5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct TenantEpoch {
+    probes: u64,
+    hits: u64,
+}
+
+/// Runtime state of the MASK-style policy.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_vm::{MaskConfig, MaskState};
+/// use walksteal_sim_core::{Cycle, TenantId};
+///
+/// let mut mask = MaskState::new(MaskConfig::default(), 2);
+/// // Before any history, fills are allowed.
+/// assert!(mask.try_take_fill_token(TenantId(0)));
+/// mask.on_l2_tlb_probe(TenantId(0), true, Cycle(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaskState {
+    cfg: MaskConfig,
+    epoch: Vec<TenantEpoch>,
+    /// Fill tokens remaining this epoch, per tenant. `Cell` so that token
+    /// consumption can happen through the shared reference the walk
+    /// subsystem holds while dispatching.
+    tokens: Vec<Cell<i64>>,
+    bypass: Vec<bool>,
+    epoch_start: Cycle,
+}
+
+impl MaskState {
+    /// Creates MASK state for `n_tenants` tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tenants` is zero.
+    #[must_use]
+    pub fn new(cfg: MaskConfig, n_tenants: usize) -> Self {
+        assert!(n_tenants > 0, "need at least one tenant");
+        let fair = (cfg.tokens_per_epoch / n_tenants as u64) as i64;
+        MaskState {
+            cfg,
+            epoch: vec![TenantEpoch::default(); n_tenants],
+            tokens: (0..n_tenants).map(|_| Cell::new(fair)).collect(),
+            bypass: vec![false; n_tenants],
+            epoch_start: Cycle::ZERO,
+        }
+    }
+
+    /// Records an L2-TLB probe outcome and rolls the epoch if due.
+    pub fn on_l2_tlb_probe(&mut self, tenant: TenantId, hit: bool, now: Cycle) {
+        let e = &mut self.epoch[tenant.index()];
+        e.probes += 1;
+        if hit {
+            e.hits += 1;
+        }
+        if now.saturating_since(self.epoch_start) >= self.cfg.epoch_cycles {
+            self.roll_epoch(now);
+        }
+    }
+
+    /// Redistributes tokens in proportion to each tenant's epoch hit rate
+    /// and refreshes the PTE-bypass decision.
+    fn roll_epoch(&mut self, now: Cycle) {
+        let rates: Vec<f64> = self
+            .epoch
+            .iter()
+            .map(|e| {
+                if e.probes == 0 {
+                    // No evidence: treat as average benefit.
+                    0.5
+                } else {
+                    e.hits as f64 / e.probes as f64
+                }
+            })
+            .collect();
+        let sum: f64 = rates.iter().sum();
+        for (i, rate) in rates.iter().enumerate() {
+            let share = if sum > 0.0 {
+                rate / sum
+            } else {
+                1.0 / rates.len() as f64
+            };
+            self.tokens[i].set((self.cfg.tokens_per_epoch as f64 * share) as i64);
+            self.bypass[i] = *rate < self.cfg.bypass_hit_rate;
+        }
+        for e in &mut self.epoch {
+            *e = TenantEpoch::default();
+        }
+        self.epoch_start = now;
+    }
+
+    /// Consumes one L2-TLB fill token for `tenant`; returns whether the fill
+    /// may proceed. Without a token the walk result fills only the L1 TLB.
+    pub fn try_take_fill_token(&self, tenant: TenantId) -> bool {
+        let t = &self.tokens[tenant.index()];
+        if t.get() > 0 {
+            t.set(t.get() - 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How the walkers should access page-table entries for `tenant`.
+    #[must_use]
+    pub fn pt_access_kind(&self, tenant: TenantId) -> AccessKind {
+        if self.bypass[tenant.index()] {
+            AccessKind::PageTableBypass
+        } else {
+            AccessKind::PageTable
+        }
+    }
+
+    /// Remaining fill tokens for `tenant` this epoch.
+    #[must_use]
+    pub fn tokens_of(&self, tenant: TenantId) -> i64 {
+        self.tokens[tenant.index()].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TenantId = TenantId(0);
+    const T1: TenantId = TenantId(1);
+
+    fn cfg() -> MaskConfig {
+        MaskConfig {
+            epoch_cycles: 100,
+            tokens_per_epoch: 10,
+            bypass_hit_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn tokens_start_fair() {
+        let m = MaskState::new(cfg(), 2);
+        assert_eq!(m.tokens_of(T0), 5);
+        assert_eq!(m.tokens_of(T1), 5);
+    }
+
+    #[test]
+    fn tokens_deplete() {
+        let m = MaskState::new(cfg(), 2);
+        for _ in 0..5 {
+            assert!(m.try_take_fill_token(T0));
+        }
+        assert!(!m.try_take_fill_token(T0));
+        // Tenant 1 unaffected.
+        assert!(m.try_take_fill_token(T1));
+    }
+
+    #[test]
+    fn epoch_shifts_tokens_toward_high_hit_rate_tenant() {
+        let mut m = MaskState::new(cfg(), 2);
+        // Tenant 0 hits everything; tenant 1 misses everything.
+        for i in 0..50 {
+            m.on_l2_tlb_probe(T0, true, Cycle(i));
+            m.on_l2_tlb_probe(T1, false, Cycle(i));
+        }
+        m.on_l2_tlb_probe(T0, true, Cycle(200)); // crosses epoch boundary
+        assert!(
+            m.tokens_of(T0) > m.tokens_of(T1),
+            "{} vs {}",
+            m.tokens_of(T0),
+            m.tokens_of(T1)
+        );
+    }
+
+    #[test]
+    fn low_hit_rate_tenant_bypasses_l2_for_ptes() {
+        let mut m = MaskState::new(cfg(), 2);
+        for i in 0..50 {
+            m.on_l2_tlb_probe(T0, true, Cycle(i));
+            m.on_l2_tlb_probe(T1, false, Cycle(i));
+        }
+        m.on_l2_tlb_probe(T0, true, Cycle(200));
+        assert_eq!(m.pt_access_kind(T0), AccessKind::PageTable);
+        assert_eq!(m.pt_access_kind(T1), AccessKind::PageTableBypass);
+    }
+
+    #[test]
+    fn no_history_means_no_bypass() {
+        let m = MaskState::new(cfg(), 2);
+        assert_eq!(m.pt_access_kind(T0), AccessKind::PageTable);
+    }
+}

@@ -1,0 +1,283 @@
+//! The page-walk cache (PWC): cached partial translations.
+//!
+//! Before a walker starts a walk, the PWC is probed for the longest prefix
+//! of the virtual page number that has a cached upper-level page-table node.
+//! A hit lets the walk skip the upper levels, reducing a four-level walk to
+//! 1–3 memory accesses (Barr et al., ISCA '10; paper §II).
+//!
+//! The PWC is shared by all walkers, so under multi-tenancy it is itself a
+//! (minor) contended resource: walks from one tenant can evict another's
+//! partial translations.
+
+use walksteal_sim_core::{PhysAddr, TenantId, Vpn};
+
+/// Result of a PWC probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcHit {
+    /// The deepest level (0 = root) whose result was cached. The walk
+    /// resumes *after* this level.
+    pub level: usize,
+    /// Physical address of the page-table node to continue from.
+    pub node_addr: PhysAddr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PwcEntry {
+    tenant: TenantId,
+    level: usize,
+    prefix: u64,
+    node_addr: PhysAddr,
+    last_use: u64,
+    valid: bool,
+}
+
+/// A fully-associative, LRU page-walk cache.
+///
+/// Entries are keyed by (tenant, level, VPN-prefix) and hold the physical
+/// address of the page-table node a walk reaches after consuming that
+/// prefix.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_vm::PwCache;
+/// use walksteal_sim_core::{PhysAddr, TenantId, Vpn};
+///
+/// let mut pwc = PwCache::new(4);
+/// let vpn = Vpn(0x1 << 27); // level-0 prefix (top 9 bits of 36) is 0x1
+/// assert!(pwc.probe(TenantId(0), vpn, 4).is_none());
+/// // Cache the node reached after level 0 for this prefix.
+/// pwc.fill(TenantId(0), 0, 0x1, PhysAddr(0x9000));
+/// let hit = pwc.probe(TenantId(0), vpn, 4).unwrap();
+/// assert_eq!(hit.level, 0);
+/// assert_eq!(hit.node_addr, PhysAddr(0x9000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PwCache {
+    entries: Vec<PwcEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PwCache {
+    /// Creates a PWC with `capacity` entries (128 in the paper's baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        PwCache {
+            entries: vec![
+                PwcEntry {
+                    tenant: TenantId(0),
+                    level: 0,
+                    prefix: 0,
+                    node_addr: PhysAddr(0),
+                    last_use: 0,
+                    valid: false,
+                };
+                capacity
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The VPN prefix consumed by levels `0..=level` for a table of
+    /// `levels` levels with 9 index bits per level.
+    fn prefix_of(vpn: Vpn, level: usize, levels: usize) -> u64 {
+        let shift = 9 * (levels - 1 - level) as u64;
+        vpn.0 >> shift
+    }
+
+    /// Finds the longest-prefix match for `vpn` in a `levels`-level table.
+    ///
+    /// Checks the deepest cacheable level first (`levels - 2`, i.e. the
+    /// prefix that leaves only the leaf access) down to the root.
+    pub fn probe(&mut self, tenant: TenantId, vpn: Vpn, levels: usize) -> Option<PwcHit> {
+        self.tick += 1;
+        let tick = self.tick;
+        // Levels `0..levels-1` produce reusable node pointers; the final
+        // level's result is the translation itself (that goes in the TLB).
+        for level in (0..levels.saturating_sub(1)).rev() {
+            let prefix = Self::prefix_of(vpn, level, levels);
+            for e in &mut self.entries {
+                if e.valid && e.tenant == tenant && e.level == level && e.prefix == prefix {
+                    e.last_use = tick;
+                    self.hits += 1;
+                    return Some(PwcHit {
+                        level,
+                        node_addr: e.node_addr,
+                    });
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts (or refreshes) a partial translation: after consuming
+    /// `prefix` at `level`, the walk continues from `node_addr`.
+    pub fn fill(&mut self, tenant: TenantId, level: usize, prefix: u64, node_addr: PhysAddr) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.tenant == tenant && e.level == level && e.prefix == prefix)
+        {
+            e.node_addr = node_addr;
+            e.last_use = tick;
+            return;
+        }
+        let victim = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_use } else { 0 })
+            .expect("capacity > 0");
+        *victim = PwcEntry {
+            tenant,
+            level,
+            prefix,
+            node_addr,
+            last_use: tick,
+            valid: true,
+        };
+    }
+
+    /// Convenience: fills all cacheable levels of a completed walk.
+    ///
+    /// `node_addrs[i]` is the node visited at level `i`; the entry for level
+    /// `i` caches `node_addrs[i + 1]` (the node the prefix leads to).
+    pub fn fill_walk(&mut self, tenant: TenantId, vpn: Vpn, node_addrs: &[PhysAddr]) {
+        let levels = node_addrs.len();
+        for level in 0..levels.saturating_sub(1) {
+            let prefix = Self::prefix_of(vpn, level, levels);
+            self.fill(tenant, level, prefix, node_addrs[level + 1]);
+        }
+    }
+
+    /// Probe hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses (no prefix at all) since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: TenantId = TenantId(0);
+    const T1: TenantId = TenantId(1);
+
+    #[test]
+    fn cold_probe_misses() {
+        let mut pwc = PwCache::new(8);
+        assert!(pwc.probe(T0, Vpn(0), 4).is_none());
+        assert_eq!(pwc.misses(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut pwc = PwCache::new(8);
+        let vpn = Vpn(0x12345); // 4-level: prefixes at L0 = vpn>>27, L1 = >>18, L2 = >>9
+        pwc.fill(T0, 0, vpn.0 >> 27, PhysAddr(0x1000));
+        pwc.fill(T0, 2, vpn.0 >> 9, PhysAddr(0x3000));
+        let hit = pwc.probe(T0, vpn, 4).unwrap();
+        assert_eq!(hit.level, 2);
+        assert_eq!(hit.node_addr, PhysAddr(0x3000));
+    }
+
+    #[test]
+    fn fill_walk_caches_all_upper_levels() {
+        let mut pwc = PwCache::new(8);
+        let nodes = [
+            PhysAddr(0x1000),
+            PhysAddr(0x2000),
+            PhysAddr(0x3000),
+            PhysAddr(0x4000),
+        ];
+        pwc.fill_walk(T0, Vpn(0x777), &nodes);
+        // Deepest cached level is 2 -> continue at node_addrs[3].
+        let hit = pwc.probe(T0, Vpn(0x777), 4).unwrap();
+        assert_eq!(hit.level, 2);
+        assert_eq!(hit.node_addr, PhysAddr(0x4000));
+        assert_eq!(pwc.occupancy(), 3);
+    }
+
+    #[test]
+    fn sibling_page_hits_shared_prefix() {
+        let mut pwc = PwCache::new(8);
+        let nodes = [
+            PhysAddr(0x1000),
+            PhysAddr(0x2000),
+            PhysAddr(0x3000),
+            PhysAddr(0x4000),
+        ];
+        pwc.fill_walk(T0, Vpn(0x200), &nodes);
+        // VPN 0x201 shares all upper levels with 0x200.
+        let hit = pwc.probe(T0, Vpn(0x201), 4).unwrap();
+        assert_eq!(hit.level, 2);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut pwc = PwCache::new(8);
+        pwc.fill(T0, 2, 0x5, PhysAddr(0x1000));
+        assert!(pwc.probe(T1, Vpn(0x5 << 9), 4).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let mut pwc = PwCache::new(2);
+        pwc.fill(T0, 0, 1, PhysAddr(0x1));
+        pwc.fill(T0, 0, 2, PhysAddr(0x2));
+        // Touch prefix 1 so prefix 2 is LRU.
+        assert!(pwc.probe(T0, Vpn(1 << 27), 4).is_some());
+        pwc.fill(T0, 0, 3, PhysAddr(0x3));
+        assert!(pwc.probe(T0, Vpn(2 << 27), 4).is_none(), "prefix 2 evicted");
+        assert!(pwc.probe(T0, Vpn(1 << 27), 4).is_some());
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut pwc = PwCache::new(2);
+        pwc.fill(T0, 1, 7, PhysAddr(0x1));
+        pwc.fill(T0, 1, 7, PhysAddr(0x9));
+        assert_eq!(pwc.occupancy(), 1);
+        let hit = pwc.probe(T0, Vpn(7 << 18), 4).unwrap();
+        assert_eq!(hit.node_addr, PhysAddr(0x9));
+    }
+
+    #[test]
+    fn three_level_tables_probe_two_levels() {
+        let mut pwc = PwCache::new(4);
+        // For 3 levels, cacheable levels are 0 and 1.
+        pwc.fill(T0, 1, 0x3, PhysAddr(0x5000));
+        let hit = pwc.probe(T0, Vpn(0x3 << 9), 3).unwrap();
+        assert_eq!(hit.level, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = PwCache::new(0);
+    }
+}

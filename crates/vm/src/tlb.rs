@@ -1,0 +1,418 @@
+//! Set-associative, LRU TLBs tagged by (tenant, virtual page).
+//!
+//! The same structure serves as a private per-SM L1 TLB (32 entries) and as
+//! the shared L2 TLB (1024 entries, 16-way in the paper's baseline). Under
+//! multi-tenancy, the shared L2 TLB is one of the two contended
+//! virtual-memory resources; the TLB therefore tracks per-tenant occupancy
+//! over time so experiments can report each tenant's *TLB share* (Fig. 9).
+
+use walksteal_sim_core::{Cycle, Ppn, SimRng, TenantId, Vpn};
+
+/// Replacement policy of a [`Tlb`].
+///
+/// Small private L1 TLBs use true LRU; large shared L2 TLBs use random
+/// replacement (as hardware TLBs and GPGPU-Sim's model do). The choice is
+/// load-bearing for multi-tenancy: random replacement lets a
+/// walk-intensive tenant's fill stream probabilistically evict another
+/// tenant's actively-reused entries — the shared-TLB thrash of §IV — while
+/// true LRU would shield them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict a uniformly random way (invalid ways first).
+    #[default]
+    Random,
+}
+
+/// Geometry of a [`Tlb`].
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_vm::{Replacement, TlbConfig};
+///
+/// // The paper's shared L2 TLB: 1024 entries, 16-way.
+/// let cfg = TlbConfig { sets: 64, ways: 16, replacement: Replacement::Random };
+/// assert_eq!(cfg.entries(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl TlbConfig {
+    /// Total entry capacity.
+    #[must_use]
+    pub fn entries(self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tenant: TenantId,
+    vpn: Vpn,
+    ppn: Ppn,
+    last_use: u64,
+    valid: bool,
+}
+
+impl Entry {
+    const EMPTY: Entry = Entry {
+        tenant: TenantId(0),
+        vpn: Vpn(0),
+        ppn: Ppn(0),
+        last_use: 0,
+        valid: false,
+    };
+}
+
+/// A set-associative, LRU TLB holding translations for multiple tenants.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_vm::{Replacement, Tlb, TlbConfig};
+/// use walksteal_sim_core::{Cycle, Ppn, TenantId, Vpn};
+///
+/// let mut tlb = Tlb::new(TlbConfig { sets: 8, ways: 4, replacement: Replacement::Lru }, 2);
+/// assert_eq!(tlb.probe(TenantId(0), Vpn(9)), None);
+/// tlb.fill(TenantId(0), Vpn(9), Ppn(77), Cycle(10));
+/// assert_eq!(tlb.probe(TenantId(0), Vpn(9)), Some(Ppn(77)));
+/// // Another tenant's identical VPN does not alias.
+/// assert_eq!(tlb.probe(TenantId(1), Vpn(9)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    /// Valid entries per tenant, kept incrementally.
+    occupancy: Vec<usize>,
+    /// Time-integral of per-tenant occupancy, for share reporting.
+    occupancy_integral: Vec<f64>,
+    last_update: Cycle,
+    rng: SimRng,
+}
+
+impl Tlb {
+    /// Creates an empty TLB able to track `n_tenants` tenants' occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two, `ways` is zero, or
+    /// `n_tenants` is zero.
+    #[must_use]
+    pub fn new(cfg: TlbConfig, n_tenants: usize) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be positive");
+        assert!(n_tenants > 0, "need at least one tenant");
+        Tlb {
+            cfg,
+            entries: vec![Entry::EMPTY; cfg.sets * cfg.ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            occupancy: vec![0; n_tenants],
+            occupancy_integral: vec![0.0; n_tenants],
+            last_update: Cycle::ZERO,
+            rng: SimRng::new(0x71b5_eed0 ^ (cfg.sets * 31 + cfg.ways) as u64),
+        }
+    }
+
+    fn set_range(&self, vpn: Vpn) -> std::ops::Range<usize> {
+        let set = (vpn.0 as usize) & (self.cfg.sets - 1);
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    /// Looks up `(tenant, vpn)`, updating LRU and hit/miss statistics.
+    pub fn probe(&mut self, tenant: TenantId, vpn: Vpn) -> Option<Ppn> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        for e in &mut self.entries[range] {
+            if e.valid && e.tenant == tenant && e.vpn == vpn {
+                e.last_use = tick;
+                self.hits += 1;
+                return Some(e.ppn);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Checks residency without disturbing LRU or statistics.
+    #[must_use]
+    pub fn contains(&self, tenant: TenantId, vpn: Vpn) -> bool {
+        self.entries[self.set_range(vpn)]
+            .iter()
+            .any(|e| e.valid && e.tenant == tenant && e.vpn == vpn)
+    }
+
+    /// Integrates per-tenant occupancy up to `now`.
+    fn advance_time(&mut self, now: Cycle) {
+        let dt = now.saturating_since(self.last_update) as f64;
+        if dt > 0.0 {
+            for (acc, &occ) in self.occupancy_integral.iter_mut().zip(&self.occupancy) {
+                *acc += occ as f64 * dt;
+            }
+            self.last_update = self.last_update.max(now);
+        }
+    }
+
+    /// Inserts a translation at time `now`, evicting the set's LRU victim if
+    /// needed. Returns the evicted mapping, if any.
+    pub fn fill(
+        &mut self,
+        tenant: TenantId,
+        vpn: Vpn,
+        ppn: Ppn,
+        now: Cycle,
+    ) -> Option<(TenantId, Vpn)> {
+        self.advance_time(now);
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+
+        for e in &mut self.entries[range.clone()] {
+            if e.valid && e.tenant == tenant && e.vpn == vpn {
+                e.last_use = tick;
+                e.ppn = ppn;
+                return None;
+            }
+        }
+
+        let victim = match self.cfg.replacement {
+            Replacement::Lru => self.entries[range]
+                .iter_mut()
+                .min_by_key(|e| if e.valid { e.last_use } else { 0 })
+                .expect("ways > 0"),
+            Replacement::Random => {
+                // Prefer an invalid way; otherwise evict a random one.
+                let ways = self.cfg.ways;
+                let start = range.start;
+                let idx = match self.entries[range].iter().position(|e| !e.valid) {
+                    Some(i) => i,
+                    None => self.rng.next_below(ways as u64) as usize,
+                };
+                &mut self.entries[start + idx]
+            }
+        };
+        let evicted = victim.valid.then_some((victim.tenant, victim.vpn));
+        if let Some((t, _)) = evicted {
+            self.occupancy[t.index()] -= 1;
+        }
+        *victim = Entry {
+            tenant,
+            vpn,
+            ppn,
+            last_use: tick,
+            valid: true,
+        };
+        self.occupancy[tenant.index()] += 1;
+        evicted
+    }
+
+    /// Current number of valid entries owned by `tenant`.
+    #[must_use]
+    pub fn occupancy_of(&self, tenant: TenantId) -> usize {
+        self.occupancy[tenant.index()]
+    }
+
+    /// Time-averaged fraction of TLB capacity occupied by `tenant` over
+    /// `[0, now]`.
+    #[must_use]
+    pub fn share_of(&self, tenant: TenantId, now: Cycle) -> f64 {
+        let mut integral = self.occupancy_integral[tenant.index()];
+        // Include the un-integrated tail up to `now`.
+        let dt = now.saturating_since(self.last_update) as f64;
+        integral += self.occupancy[tenant.index()] as f64 * dt;
+        let denom = now.0 as f64 * self.cfg.entries() as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            integral / denom
+        }
+    }
+
+    /// Probe hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The TLB geometry.
+    #[must_use]
+    pub fn config(&self) -> TlbConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(
+            TlbConfig {
+                sets: 2,
+                ways: 2,
+                replacement: Replacement::Lru,
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn random_replacement_fills_invalid_ways_first() {
+        let mut t = Tlb::new(
+            TlbConfig {
+                sets: 1,
+                ways: 4,
+                replacement: Replacement::Random,
+            },
+            1,
+        );
+        for i in 0..4 {
+            assert_eq!(t.fill(T0, Vpn(i), Ppn(i), Cycle(0)), None, "way {i}");
+        }
+        assert_eq!(t.occupancy_of(T0), 4);
+        // Now full: the next fill evicts somebody.
+        assert!(t.fill(T0, Vpn(9), Ppn(9), Cycle(0)).is_some());
+    }
+
+    #[test]
+    fn random_replacement_eventually_evicts_active_entries() {
+        // The property §IV depends on: under a fill stream, even an entry
+        // that is probed constantly gets evicted with random replacement.
+        let mut t = Tlb::new(
+            TlbConfig {
+                sets: 1,
+                ways: 16,
+                replacement: Replacement::Random,
+            },
+            2,
+        );
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        let mut evicted = false;
+        for i in 0..1000 {
+            let _ = t.probe(T0, Vpn(0)); // keep it "hot"
+            t.fill(T1, Vpn(100 + i), Ppn(1), Cycle(i));
+            if !t.contains(T0, Vpn(0)) {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "random replacement should evict hot entries");
+    }
+
+    const T0: TenantId = TenantId(0);
+    const T1: TenantId = TenantId(1);
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tiny();
+        assert_eq!(t.probe(T0, Vpn(4)), None);
+        t.fill(T0, Vpn(4), Ppn(9), Cycle(0));
+        assert_eq!(t.probe(T0, Vpn(4)), Some(Ppn(9)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn tenants_do_not_alias() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(4), Ppn(9), Cycle(0));
+        assert_eq!(t.probe(T1, Vpn(4)), None);
+        t.fill(T1, Vpn(4), Ppn(10), Cycle(0));
+        assert_eq!(t.probe(T0, Vpn(4)), Some(Ppn(9)));
+        assert_eq!(t.probe(T1, Vpn(4)), Some(Ppn(10)));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = tiny();
+        // VPNs 0, 2, 4 map to set 0.
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        t.fill(T0, Vpn(2), Ppn(1), Cycle(0));
+        t.probe(T0, Vpn(0)); // 2 becomes LRU
+        let evicted = t.fill(T0, Vpn(4), Ppn(2), Cycle(0));
+        assert_eq!(evicted, Some((T0, Vpn(2))));
+    }
+
+    #[test]
+    fn cross_tenant_eviction_shifts_occupancy() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        t.fill(T0, Vpn(2), Ppn(1), Cycle(0));
+        assert_eq!(t.occupancy_of(T0), 2);
+        // Tenant 1 fills the same set twice, evicting both of tenant 0's.
+        t.fill(T1, Vpn(0), Ppn(5), Cycle(0));
+        t.fill(T1, Vpn(2), Ppn(6), Cycle(0));
+        assert_eq!(t.occupancy_of(T0), 0);
+        assert_eq!(t.occupancy_of(T1), 2);
+    }
+
+    #[test]
+    fn refill_same_vpn_updates_in_place() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(4), Ppn(9), Cycle(0));
+        assert_eq!(t.fill(T0, Vpn(4), Ppn(11), Cycle(0)), None);
+        assert_eq!(t.probe(T0, Vpn(4)), Some(Ppn(11)));
+        assert_eq!(t.occupancy_of(T0), 1);
+    }
+
+    #[test]
+    fn share_integrates_over_time() {
+        let mut t = tiny(); // 4 entries total
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        // From cycle 0 to 100, tenant 0 holds 1 of 4 entries.
+        let share = t.share_of(T0, Cycle(100));
+        assert!((share - 0.25).abs() < 1e-9, "share {share}");
+        assert_eq!(t.share_of(T1, Cycle(100)), 0.0);
+    }
+
+    #[test]
+    fn share_reflects_occupancy_changes() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        t.fill(T0, Vpn(1), Ppn(1), Cycle(0));
+        // At cycle 100, tenant1 takes over set 0 fully.
+        t.fill(T1, Vpn(0), Ppn(2), Cycle(100));
+        t.fill(T1, Vpn(2), Ppn(3), Cycle(100));
+        // [0,100): T0 holds 2/4. [100,200): T0 holds 1/4 (vpn 1 in set 1).
+        let share = t.share_of(T0, Cycle(200));
+        assert!((share - 0.375).abs() < 1e-9, "share {share}");
+    }
+
+    #[test]
+    fn contains_is_pure() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        let h = t.hits();
+        assert!(t.contains(T0, Vpn(0)));
+        assert!(!t.contains(T1, Vpn(0)));
+        assert_eq!(t.hits(), h);
+    }
+
+    #[test]
+    fn share_zero_at_time_zero() {
+        let t = tiny();
+        assert_eq!(t.share_of(T0, Cycle(0)), 0.0);
+    }
+}

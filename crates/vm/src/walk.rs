@@ -1,0 +1,1738 @@
+//! The page-walk subsystem: walkers, walk queues, and scheduling policies.
+//!
+//! This module is the paper's contribution. A pool of page-table walkers
+//! services L2-TLB misses; how pending walks queue and which walker serves
+//! which tenant is decided by a [`WalkPolicyKind`]:
+//!
+//! * [`WalkPolicyKind::SharedQueue`] — today's baseline: one monolithic FCFS
+//!   queue feeding every walker. Walks from independent tenants interleave
+//!   freely, which is the source of the slowdown quantified in §IV.
+//! * [`WalkPolicyKind::PrivatePools`] — the idealized S-(TLB+PTW)
+//!   configuration: every tenant gets its own walkers and queue (resources
+//!   are multiplied by the caller's config).
+//! * [`WalkPolicyKind::Partitioned`] with a [`StealMode`] — per-walker
+//!   queues with walker ownership, implemented with the paper's FWA / TWM /
+//!   WTM hardware tables:
+//!     * [`StealMode::None`] — naive static partitioning (Fig. 11's
+//!       "Static").
+//!     * [`StealMode::Dws`] — dynamic walk stealing: a walker whose owner
+//!       has nothing queued steals a pending walk from another tenant.
+//!     * [`StealMode::DwsPlusPlus`] — DWS++: stealing is additionally
+//!       allowed when the imbalance in queued walks exceeds an
+//!       epoch-adaptive threshold ([`DwsPlusPlusParams`]).
+//!
+//! # Fidelity notes
+//!
+//! Per the paper (§VI.B), the `PEND_WALKS` counter is incremented on arrival
+//! and decremented on walk *completion*, so it counts queued + in-service
+//! walks; DWS++'s imbalance test uses it as-is. For the *steal eligibility*
+//! check ("no page walk request is pending from its owner"), the default
+//! follows the paper literally: `PEND_WALKS == 0`, i.e. the owner has
+//! nothing queued *and* nothing in service. This is load-bearing — it is
+//! what throttles a walk-intensive tenant's stealing and thereby shifts
+//! walker (and, through fill rates, TLB) shares toward the lighter tenant
+//! (Fig. 9). Clearing [`WalkConfig::strict_pend_check`] switches to a
+//! relaxed queued-walks-only test as an ablation (more stealing, more
+//! utilization, weaker isolation).
+
+use std::collections::VecDeque;
+
+use walksteal_mem::{AccessKind, MemSystem};
+use walksteal_sim_core::{Cycle, Ppn, TenantId, Vpn, WalkerId};
+
+use crate::frame::FrameAlloc;
+use crate::mask::MaskState;
+use crate::page_table::PageTable;
+use crate::pwc::PwCache;
+
+/// Error returned by [`WalkSubsystem::try_enqueue`] when no queue slot is
+/// available; the requester must stall and retry (back-pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkQueueFull;
+
+impl std::fmt::Display for WalkQueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page-walk queue is full")
+    }
+}
+
+impl std::error::Error for WalkQueueFull {}
+
+/// Parameters controlling DWS++'s steal aggressiveness (paper Tables IV and
+/// VII).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DwsPlusPlusParams {
+    /// Walk arrivals per epoch (paper default: 200).
+    pub epoch_length: u32,
+    /// `(max_ratio, diff_thres)` pairs, sorted ascending by `max_ratio`:
+    /// the first row whose `max_ratio` is >= the measured walk-generation
+    /// ratio supplies `DIFF_THRES`. A ratio beyond the last row disables
+    /// stealing for the epoch.
+    pub thresholds: Vec<(f64, f64)>,
+    /// A walker may steal only while its own queue occupancy is at or below
+    /// this fraction (paper default: 0.51).
+    pub queue_thres: f64,
+}
+
+impl DwsPlusPlusParams {
+    /// The paper's default parameters (Table IV).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        DwsPlusPlusParams {
+            epoch_length: 200,
+            thresholds: vec![(1.5, 0.4), (2.0, 0.6), (3.0, 0.8), (4.0, 0.9)],
+            queue_thres: 0.51,
+        }
+    }
+
+    /// The conservative variant of Table VII (tighter `QUEUE_THRES`).
+    #[must_use]
+    pub fn conservative() -> Self {
+        DwsPlusPlusParams {
+            queue_thres: 0.17,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The aggressive variant of Table VII (`DIFF_THRES` pinned at 0.3,
+    /// stealing never disabled by the ratio).
+    #[must_use]
+    pub fn aggressive() -> Self {
+        DwsPlusPlusParams {
+            epoch_length: 200,
+            thresholds: vec![(f64::INFINITY, 0.3)],
+            queue_thres: 0.51,
+        }
+    }
+
+    /// `DIFF_THRES` for a measured walk-generation ratio, or `None` when the
+    /// ratio lands beyond the table (stealing disabled).
+    #[must_use]
+    pub fn diff_thres_for(&self, ratio: f64) -> Option<f64> {
+        self.thresholds
+            .iter()
+            .find(|(max_ratio, _)| ratio <= *max_ratio)
+            .map(|&(_, thres)| thres)
+    }
+}
+
+impl Default for DwsPlusPlusParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// When may a walker service a walk from a tenant other than its owner?
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum StealMode {
+    /// Never (naive static partitioning).
+    None,
+    /// Only when the owner has nothing pending (DWS).
+    #[default]
+    Dws,
+    /// DWS plus imbalance-triggered stealing (DWS++).
+    DwsPlusPlus(DwsPlusPlusParams),
+}
+
+/// Which walk-scheduling organization to simulate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum WalkPolicyKind {
+    /// One monolithic FCFS queue shared by all walkers (baseline).
+    #[default]
+    SharedQueue,
+    /// Exclusive walkers and queue per tenant (the S-(TLB+PTW) ideal);
+    /// walkers are split evenly among tenants.
+    PrivatePools,
+    /// Per-walker queues with walker ownership and the given steal mode.
+    Partitioned(StealMode),
+}
+
+/// Configuration of the [`WalkSubsystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkConfig {
+    /// Number of page-table walkers (paper baseline: 16).
+    pub n_walkers: usize,
+    /// Total pending-walk queue entries across the subsystem (baseline: 192).
+    pub queue_entries: usize,
+    /// Number of co-running tenants.
+    pub n_tenants: usize,
+    /// Scheduling policy.
+    pub policy: WalkPolicyKind,
+    /// Page-walk-cache entries (baseline: 128).
+    pub pwc_entries: usize,
+    /// Cycles for the PWC lookup at walk start.
+    pub pwc_latency: u64,
+    /// Cycles of scheduling logic charged at each dispatch (the paper
+    /// conservatively adds latency for the DWS/DWS++ table lookups).
+    pub dispatch_overhead: u64,
+    /// Use the paper's literal `PEND_WALKS == 0` steal test, which counts
+    /// in-service walks (default). Clear for the relaxed queued-walks-only
+    /// ablation. See module docs.
+    pub strict_pend_check: bool,
+}
+
+impl Default for WalkConfig {
+    /// The paper's baseline subsystem under the baseline policy.
+    fn default() -> Self {
+        WalkConfig {
+            n_walkers: 16,
+            queue_entries: 192,
+            n_tenants: 2,
+            policy: WalkPolicyKind::SharedQueue,
+            pwc_entries: 128,
+            pwc_latency: 2,
+            dispatch_overhead: 2,
+            strict_pend_check: true,
+        }
+    }
+}
+
+/// A pending walk with its bookkeeping.
+#[derive(Debug, Clone)]
+struct Pending {
+    tenant: TenantId,
+    vpn: Vpn,
+    arrival: Cycle,
+    /// Snapshot of the requester's foreign-service counter at arrival, for
+    /// measuring interleaving (how many foreign walks were serviced by
+    /// walkers this request was eligible for, while it waited).
+    foreign_at_arrival: u64,
+}
+
+/// A walk being serviced by a walker.
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Pending,
+    ppn: Ppn,
+    stolen: bool,
+    done_at: Cycle,
+}
+
+/// Result of a dispatch: the caller must schedule a walker-done event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchedWalk {
+    /// The walker now servicing a walk.
+    pub walker: WalkerId,
+    /// When the walk finishes; pass back via
+    /// [`WalkSubsystem::on_walker_done`] at this cycle.
+    pub done_at: Cycle,
+}
+
+/// A finished walk, returned by [`WalkSubsystem::on_walker_done`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedWalk {
+    /// Requesting tenant.
+    pub tenant: TenantId,
+    /// Translated virtual page.
+    pub vpn: Vpn,
+    /// Resulting physical frame.
+    pub ppn: Ppn,
+    /// Whether a walker owned by another tenant serviced it.
+    pub stolen: bool,
+    /// Cycles from arrival at the subsystem to completion.
+    pub latency: u64,
+}
+
+/// An L2-TLB miss to hand to [`WalkSubsystem::try_enqueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRequest {
+    /// Requesting tenant.
+    pub tenant: TenantId,
+    /// Virtual page to translate.
+    pub vpn: Vpn,
+}
+
+/// Mutable context the subsystem needs while dispatching walks: the page
+/// tables to walk, the frame allocator backing first-touch allocation, the
+/// memory system timing page-table accesses, and (optionally) MASK state
+/// controlling PTE cache bypass.
+pub struct WalkContext<'a> {
+    /// Per-tenant page tables, indexed by tenant id.
+    pub page_tables: &'a mut [PageTable],
+    /// Physical-frame allocator.
+    pub frames: &'a mut FrameAlloc,
+    /// The shared L2 + DRAM below the walkers.
+    pub mem: &'a mut MemSystem,
+    /// MASK token state, when the MASK comparison policy is active.
+    pub mask: Option<&'a MaskState>,
+}
+
+/// Per-tenant statistics exported by the subsystem.
+#[derive(Debug, Clone, Default)]
+pub struct WalkStats {
+    /// Walks accepted into the subsystem.
+    pub enqueued: Vec<u64>,
+    /// Walks completed.
+    pub completed: Vec<u64>,
+    /// Completed walks that were serviced by a foreign-owned walker.
+    pub stolen: Vec<u64>,
+    /// Sum over completed walks of (completion - arrival).
+    pub total_latency: Vec<u64>,
+    /// Sum over dispatched walks of (dispatch - arrival).
+    pub total_queue_wait: Vec<u64>,
+    /// Sum over dispatched walks of the number of *other-tenant* walks
+    /// dispatched while they waited (the paper's interleaving metric).
+    pub total_interleave: Vec<u64>,
+    /// Rejected enqueue attempts (queue full), for back-pressure visibility.
+    pub rejected: Vec<u64>,
+}
+
+impl WalkStats {
+    fn new(n: usize) -> Self {
+        WalkStats {
+            enqueued: vec![0; n],
+            completed: vec![0; n],
+            stolen: vec![0; n],
+            total_latency: vec![0; n],
+            total_queue_wait: vec![0; n],
+            total_interleave: vec![0; n],
+            rejected: vec![0; n],
+        }
+    }
+
+    /// Mean walks of other tenants that one of `tenant`'s walks waited for.
+    #[must_use]
+    pub fn mean_interleave(&self, tenant: TenantId) -> f64 {
+        let n = self.completed[tenant.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.total_interleave[tenant.index()] as f64 / n as f64
+        }
+    }
+
+    /// Mean arrival-to-completion walk latency for `tenant`.
+    #[must_use]
+    pub fn mean_latency(&self, tenant: TenantId) -> f64 {
+        let n = self.completed[tenant.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency[tenant.index()] as f64 / n as f64
+        }
+    }
+
+    /// Fraction of `tenant`'s completed walks serviced by stealing.
+    #[must_use]
+    pub fn stolen_fraction(&self, tenant: TenantId) -> f64 {
+        let n = self.completed[tenant.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.stolen[tenant.index()] as f64 / n as f64
+        }
+    }
+}
+
+/// Queue organization per policy.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one Scheduler per simulation; size is irrelevant
+enum Scheduler {
+    Shared {
+        queue: VecDeque<Pending>,
+        capacity: usize,
+    },
+    PerTenant {
+        queues: Vec<VecDeque<Pending>>,
+        per_tenant_capacity: usize,
+    },
+    Partitioned(Part),
+}
+
+/// State of the partitioned organizations (static / DWS / DWS++): the FWA,
+/// TWM and WTM hardware tables plus the per-walker queues they describe.
+#[derive(Debug)]
+struct Part {
+    /// FWA: free queue slots per walker.
+    fwa_free: Vec<u32>,
+    /// FWA: the per-walker `is_stolen` bit.
+    fwa_is_stolen: Vec<bool>,
+    /// TWM: walker-ownership bitmap per tenant.
+    twm_owned: Vec<Vec<bool>>,
+    /// TWM: `PEND_WALKS` per tenant (queued + in-service; see module docs).
+    twm_pend: Vec<u32>,
+    /// TWM: `ENQ_EPOCH` per tenant (DWS++).
+    twm_enq_epoch: Vec<u32>,
+    /// WTM: owner tenant per walker.
+    wtm: Vec<TenantId>,
+    /// The per-walker pending queues the FWA summarizes.
+    queues: Vec<VecDeque<Pending>>,
+    per_walker_capacity: usize,
+    /// Global arrival counter for epochs (DWS++).
+    epoch_counter: u32,
+    /// Current `DIFF_THRES`; `None` disables imbalance stealing.
+    diff_thres: Option<f64>,
+    steal: StealMode,
+    /// Round-robin arrival cursor for the naive static organization.
+    rr_cursor: usize,
+}
+
+impl Part {
+    fn new(n_walkers: usize, n_tenants: usize, queue_entries: usize, steal: StealMode) -> Self {
+        let per_walker_capacity = queue_entries / n_walkers;
+        assert!(per_walker_capacity > 0, "queue entries < walkers");
+        let walkers_per_tenant = n_walkers / n_tenants;
+        assert!(walkers_per_tenant > 0, "walkers < tenants");
+        let mut twm_owned = vec![vec![false; n_walkers]; n_tenants];
+        let mut wtm = vec![TenantId(0); n_walkers];
+        for w in 0..n_walkers {
+            let owner = (w / walkers_per_tenant).min(n_tenants - 1);
+            twm_owned[owner][w] = true;
+            wtm[w] = TenantId(owner as u8);
+        }
+        let initial_diff_thres = match &steal {
+            StealMode::DwsPlusPlus(p) => p.diff_thres_for(1.0),
+            _ => None,
+        };
+        Part {
+            fwa_free: vec![per_walker_capacity as u32; n_walkers],
+            fwa_is_stolen: vec![false; n_walkers],
+            twm_owned,
+            twm_pend: vec![0; n_tenants],
+            twm_enq_epoch: vec![0; n_tenants],
+            wtm,
+            queues: (0..n_walkers).map(|_| VecDeque::new()).collect(),
+            per_walker_capacity,
+            epoch_counter: 0,
+            diff_thres: initial_diff_thres,
+            steal,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Whether this is the naive static organization: no FWA-guided
+    /// enqueue, no sibling rebalancing, no stealing. Walkers serve only
+    /// their own queue; arrivals are assigned round-robin. This is the
+    /// paper's "Static" comparator (Fig. 11) — the FWA machinery is part
+    /// of the DWS proposal, so the straw man must not benefit from it.
+    fn is_naive(&self) -> bool {
+        matches!(self.steal, StealMode::None)
+    }
+
+    /// Round-robin choice among `tenant`'s walkers with a free queue slot.
+    fn round_robin_owned(&mut self, tenant: TenantId) -> Option<usize> {
+        let owned: Vec<usize> = self.twm_owned[tenant.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o)
+            .map(|(w, _)| w)
+            .collect();
+        for i in 0..owned.len() {
+            let w = owned[(self.rr_cursor + i) % owned.len()];
+            if self.fwa_free[w] > 0 {
+                self.rr_cursor = (self.rr_cursor + i + 1) % owned.len();
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// The owned walker with the most free queue slots, if it has any.
+    fn least_loaded_owned(&self, tenant: TenantId) -> Option<usize> {
+        self.twm_owned[tenant.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &owned)| owned)
+            .max_by_key(|&(w, _)| self.fwa_free[w])
+            .filter(|&(w, _)| self.fwa_free[w] > 0)
+            .map(|(w, _)| w)
+    }
+
+    /// The walker owned by `tenant` with the deepest queue, if non-empty.
+    fn most_loaded_owned(&self, tenant: TenantId) -> Option<usize> {
+        self.twm_owned[tenant.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &owned)| owned)
+            .min_by_key(|&(w, _)| self.fwa_free[w])
+            .filter(|&(w, _)| !self.queues[w].is_empty())
+            .map(|(w, _)| w)
+    }
+
+    /// Whether `tenant` has any walk queued (FWA view).
+    fn has_queued(&self, tenant: TenantId) -> bool {
+        self.twm_owned[tenant.index()]
+            .iter()
+            .enumerate()
+            .any(|(w, &owned)| owned && !self.queues[w].is_empty())
+    }
+
+    /// The foreign tenant with the most *queued* walks, if any.
+    fn steal_victim(&self, not: TenantId) -> Option<TenantId> {
+        let mut best: Option<(TenantId, usize)> = None;
+        for t in 0..self.twm_pend.len() {
+            let tenant = TenantId(t as u8);
+            if tenant == not {
+                continue;
+            }
+            let queued: usize = self.twm_owned[t]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &owned)| owned)
+                .map(|(w, _)| self.queues[w].len())
+                .sum();
+            if queued > 0 && best.is_none_or(|(_, b)| queued > b) {
+                best = Some((tenant, queued));
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    fn pop_from_walker(&mut self, w: usize) -> Pending {
+        let p = self.queues[w].pop_front().expect("queue checked non-empty");
+        self.fwa_free[w] += 1;
+        p
+    }
+
+    /// Recomputes the TWM bitmaps and WTM owner map to split the walkers
+    /// evenly among `active` tenants (paper SecVI.C: dynamically changing
+    /// the number of tenants). Queued and in-service walks are untouched —
+    /// the system converges as they drain.
+    fn repartition(&mut self, active: &[bool]) {
+        let n_walkers = self.wtm.len();
+        let active_ids: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(t, _)| t)
+            .collect();
+        assert!(!active_ids.is_empty(), "at least one tenant must be active");
+        let per = n_walkers / active_ids.len();
+        assert!(per > 0, "more active tenants than walkers");
+        for bitmap in &mut self.twm_owned {
+            bitmap.iter_mut().for_each(|b| *b = false);
+        }
+        for w in 0..n_walkers {
+            let slot = (w / per).min(active_ids.len() - 1);
+            let owner = active_ids[slot];
+            self.twm_owned[owner][w] = true;
+            self.wtm[w] = TenantId(owner as u8);
+        }
+    }
+}
+
+/// The page-walk subsystem: walkers + queues + policy + PWC.
+///
+/// Drive it from a discrete-event loop:
+///
+/// 1. On an L2-TLB miss, call [`try_enqueue`](Self::try_enqueue). If it
+///    returns a [`DispatchedWalk`], schedule a walker-done event at its
+///    `done_at` cycle (a full queue instead returns [`WalkQueueFull`] —
+///    retry later).
+/// 2. When a walker-done event fires, call
+///    [`on_walker_done`](Self::on_walker_done); it yields the
+///    [`CompletedWalk`] (fill your TLBs, wake your warps) and possibly a new
+///    [`DispatchedWalk`] to schedule.
+#[derive(Debug)]
+pub struct WalkSubsystem {
+    cfg: WalkConfig,
+    pwc: PwCache,
+    walkers: Vec<Option<InFlight>>,
+    sched: Scheduler,
+    stats: WalkStats,
+    /// Per tenant T: walks of *other* tenants dispatched onto walkers that
+    /// T's requests are eligible to be serviced by (all walkers under the
+    /// shared queue; T's owned walkers under partitioned policies). The
+    /// difference of this counter between a walk's arrival and its dispatch
+    /// is the paper's interleaving metric.
+    foreign_service: Vec<u64>,
+    /// Time-integral of walkers busy per serviced tenant, for PW share.
+    busy_integral: Vec<f64>,
+    busy_count: Vec<usize>,
+    last_busy_update: Cycle,
+}
+
+impl WalkSubsystem {
+    /// Creates an idle subsystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero walkers/queue
+    /// entries/tenants, or fewer walkers than tenants in a partitioned
+    /// policy).
+    #[must_use]
+    pub fn new(cfg: WalkConfig) -> Self {
+        assert!(cfg.n_walkers > 0, "need at least one walker");
+        assert!(cfg.queue_entries > 0, "need at least one queue entry");
+        assert!(cfg.n_tenants > 0, "need at least one tenant");
+        let sched = match &cfg.policy {
+            WalkPolicyKind::SharedQueue => Scheduler::Shared {
+                queue: VecDeque::new(),
+                capacity: cfg.queue_entries,
+            },
+            WalkPolicyKind::PrivatePools => {
+                assert!(
+                    cfg.n_walkers >= cfg.n_tenants,
+                    "walkers < tenants in private pools"
+                );
+                Scheduler::PerTenant {
+                    queues: (0..cfg.n_tenants).map(|_| VecDeque::new()).collect(),
+                    per_tenant_capacity: cfg.queue_entries / cfg.n_tenants,
+                }
+            }
+            WalkPolicyKind::Partitioned(steal) => Scheduler::Partitioned(Part::new(
+                cfg.n_walkers,
+                cfg.n_tenants,
+                cfg.queue_entries,
+                steal.clone(),
+            )),
+        };
+        let n = cfg.n_tenants;
+        WalkSubsystem {
+            pwc: PwCache::new(cfg.pwc_entries),
+            walkers: vec![None; cfg.n_walkers],
+            sched,
+            stats: WalkStats::new(n),
+            foreign_service: vec![0; n],
+            busy_integral: vec![0.0; n],
+            busy_count: vec![0; n],
+            last_busy_update: Cycle::ZERO,
+            cfg,
+        }
+    }
+
+    /// The owner of `walker` under partitioned policies; under shared
+    /// policies every walker notionally serves every tenant, reported as the
+    /// requesting tenant itself.
+    fn owner_of(&self, walker: usize) -> TenantId {
+        match &self.sched {
+            Scheduler::Partitioned(p) => p.wtm[walker],
+            Scheduler::PerTenant { queues, .. } => {
+                let per = self.cfg.n_walkers / queues.len();
+                TenantId(((walker / per).min(queues.len() - 1)) as u8)
+            }
+            Scheduler::Shared { .. } => TenantId(0),
+        }
+    }
+
+    fn advance_busy(&mut self, now: Cycle) {
+        let dt = now.saturating_since(self.last_busy_update) as f64;
+        if dt > 0.0 {
+            for (acc, &c) in self.busy_integral.iter_mut().zip(&self.busy_count) {
+                *acc += c as f64 * dt;
+            }
+            self.last_busy_update = self.last_busy_update.max(now);
+        }
+    }
+
+    /// Credits a dispatch of `tenant`'s walk on `walker` against the
+    /// foreign-service counters of every tenant it could delay.
+    fn note_foreign_service(&mut self, walker: usize, tenant: TenantId) {
+        match &self.sched {
+            Scheduler::Shared { .. } => {
+                for t in 0..self.foreign_service.len() {
+                    if t != tenant.index() {
+                        self.foreign_service[t] += 1;
+                    }
+                }
+            }
+            // Private pools never service foreign walks.
+            Scheduler::PerTenant { .. } => {}
+            Scheduler::Partitioned(p) => {
+                let owner = p.wtm[walker];
+                if owner != tenant {
+                    self.foreign_service[owner.index()] += 1;
+                }
+            }
+        }
+    }
+
+    /// Starts servicing `req` on `walker` at `now`; computes the whole walk
+    /// timing through the PWC, page table, and memory system.
+    fn dispatch(
+        &mut self,
+        walker: usize,
+        req: Pending,
+        stolen: bool,
+        now: Cycle,
+        ctx: &mut WalkContext<'_>,
+    ) -> DispatchedWalk {
+        debug_assert!(self.walkers[walker].is_none(), "walker already busy");
+        self.advance_busy(now);
+
+        let t = req.tenant;
+        let interleave = self.foreign_service[t.index()] - req.foreign_at_arrival;
+        self.stats.total_interleave[t.index()] += interleave;
+        self.stats.total_queue_wait[t.index()] += now.saturating_since(req.arrival);
+        self.note_foreign_service(walker, t);
+        self.busy_count[t.index()] += 1;
+
+        let levels = ctx.page_tables[t.index()].page_size().levels();
+        let path = ctx.page_tables[t.index()].walk_path(req.vpn, ctx.frames);
+        let hit = self.pwc.probe(t, req.vpn, levels);
+        let first_level = hit.map_or(0, |h| h.level + 1);
+
+        let kind = match ctx.mask {
+            Some(mask) => mask.pt_access_kind(t),
+            None => AccessKind::PageTable,
+        };
+        let mut at = now + self.cfg.dispatch_overhead + self.cfg.pwc_latency;
+        for entry in &path.entry_addrs[first_level..] {
+            let access = ctx.mem.access(entry.line(128), at, kind);
+            at += access.latency;
+        }
+        self.pwc.fill_walk(t, req.vpn, &path.node_addrs);
+
+        if let Scheduler::Partitioned(p) = &mut self.sched {
+            p.fwa_is_stolen[walker] = stolen;
+        }
+
+        self.walkers[walker] = Some(InFlight {
+            req,
+            ppn: path.ppn,
+            stolen,
+            done_at: at,
+        });
+        DispatchedWalk {
+            walker: WalkerId(walker as u8),
+            done_at: at,
+        }
+    }
+
+    /// Accepts an L2-TLB miss at cycle `now`.
+    ///
+    /// Returns a [`DispatchedWalk`] when a walker starts on it (or on
+    /// another pending walk freed up by the arrival) immediately; `Ok(None)`
+    /// when it was queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalkQueueFull`] when no queue slot is available for this
+    /// tenant; the caller must retry later (back-pressure).
+    pub fn try_enqueue(
+        &mut self,
+        req: WalkRequest,
+        now: Cycle,
+        ctx: &mut WalkContext<'_>,
+    ) -> Result<Option<DispatchedWalk>, WalkQueueFull> {
+        let pending = Pending {
+            tenant: req.tenant,
+            vpn: req.vpn,
+            arrival: now,
+            foreign_at_arrival: self.foreign_service[req.tenant.index()],
+        };
+        let t = req.tenant.index();
+
+        match &mut self.sched {
+            Scheduler::Shared { queue, capacity } => {
+                if queue.len() >= *capacity {
+                    self.stats.rejected[t] += 1;
+                    return Err(WalkQueueFull);
+                }
+                queue.push_back(pending);
+                self.stats.enqueued[t] += 1;
+                // Any idle walker takes the head of the shared queue.
+                if let Some(w) = self.walkers.iter().position(Option::is_none) {
+                    let Scheduler::Shared { queue, .. } = &mut self.sched else {
+                        unreachable!("scheduler variant fixed at construction")
+                    };
+                    let head = queue.pop_front().expect("just pushed");
+                    return Ok(Some(self.dispatch(w, head, false, now, ctx)));
+                }
+                Ok(None)
+            }
+            Scheduler::PerTenant {
+                queues,
+                per_tenant_capacity,
+            } => {
+                if queues[t].len() >= *per_tenant_capacity {
+                    self.stats.rejected[t] += 1;
+                    return Err(WalkQueueFull);
+                }
+                queues[t].push_back(pending);
+                self.stats.enqueued[t] += 1;
+                let per = self.cfg.n_walkers / self.cfg.n_tenants;
+                let range = t * per..(t + 1) * per;
+                if let Some(w) = range.clone().find(|&w| self.walkers[w].is_none()) {
+                    let Scheduler::PerTenant { queues, .. } = &mut self.sched else {
+                        unreachable!("scheduler variant fixed at construction")
+                    };
+                    let head = queues[t].pop_front().expect("just pushed");
+                    return Ok(Some(self.dispatch(w, head, false, now, ctx)));
+                }
+                Ok(None)
+            }
+            Scheduler::Partitioned(p) => {
+                // Paper step 1-2: TWM bitmap -> owned walkers; FWA -> least
+                // loaded owned walker. The naive static organization lacks
+                // the FWA and assigns round-robin instead.
+                let chosen = if p.is_naive() {
+                    p.round_robin_owned(req.tenant)
+                } else {
+                    p.least_loaded_owned(req.tenant)
+                };
+                let Some(w) = chosen else {
+                    self.stats.rejected[t] += 1;
+                    return Err(WalkQueueFull);
+                };
+                p.queues[w].push_back(pending);
+                p.fwa_free[w] -= 1;
+                p.twm_pend[t] += 1;
+                self.stats.enqueued[t] += 1;
+
+                // DWS++ epoch accounting.
+                if let StealMode::DwsPlusPlus(params) = &p.steal {
+                    p.twm_enq_epoch[t] += 1;
+                    p.epoch_counter += 1;
+                    if p.epoch_counter >= params.epoch_length {
+                        let max = p.twm_enq_epoch.iter().copied().max().unwrap_or(0) as f64;
+                        let min = p.twm_enq_epoch.iter().copied().min().unwrap_or(0).max(1) as f64;
+                        p.diff_thres = params.diff_thres_for(max / min);
+                        p.epoch_counter = 0;
+                        p.twm_enq_epoch.iter_mut().for_each(|c| *c = 0);
+                    }
+                }
+
+                // An idle owned walker picks the work up immediately. Under
+                // the naive organization only the assigned walker may.
+                let owned_idle = if p.is_naive() {
+                    self.walkers[w].is_none().then_some(w)
+                } else {
+                    p.twm_owned[t]
+                        .iter()
+                        .enumerate()
+                        .find(|&(wi, &owned)| owned && self.walkers[wi].is_none())
+                        .map(|(wi, _)| wi)
+                };
+                if let Some(wi) = owned_idle {
+                    let Scheduler::Partitioned(p) = &mut self.sched else {
+                        unreachable!("scheduler variant fixed at construction")
+                    };
+                    let head = p.pop_from_walker(w);
+                    return Ok(Some(self.dispatch(wi, head, false, now, ctx)));
+                }
+
+                // Otherwise, an idle *foreign* walker may steal it right
+                // away, under the same eligibility rules it would apply at
+                // walk completion.
+                if !matches!(p.steal, StealMode::None) {
+                    let foreign_idle = (0..self.cfg.n_walkers)
+                        .find(|&w| self.walkers[w].is_none() && p.wtm[w] != req.tenant);
+                    if let Some(wf) = foreign_idle {
+                        if let Some(victim_walker) = self.steal_choice(wf, now) {
+                            let Scheduler::Partitioned(p) = &mut self.sched else {
+                                unreachable!("scheduler variant fixed at construction")
+                            };
+                            let head = p.pop_from_walker(victim_walker);
+                            return Ok(Some(self.dispatch(wf, head, true, now, ctx)));
+                        }
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Decides whether walker `w` (whose own queue is empty or whose DWS++
+    /// conditions allow) may steal, and from which victim walker's queue.
+    /// Returns the victim walker index.
+    fn steal_choice(&self, w: usize, _now: Cycle) -> Option<usize> {
+        let Scheduler::Partitioned(p) = &self.sched else {
+            return None;
+        };
+        let owner = p.wtm[w];
+        let own_queue_empty = p.queues[w].is_empty();
+
+        let owner_has_work = if self.cfg.strict_pend_check {
+            p.twm_pend[owner.index()] > 0
+        } else {
+            p.has_queued(owner)
+        };
+
+        let allowed = match &p.steal {
+            StealMode::None => false,
+            StealMode::Dws => !owner_has_work,
+            StealMode::DwsPlusPlus(params) => {
+                if !owner_has_work {
+                    true // the DWS condition
+                } else if !own_queue_empty && p.fwa_is_stolen[w] {
+                    // No consecutive steals while the owner has work.
+                    false
+                } else {
+                    // QUEUE_THRES: don't steal while our own queue is loaded.
+                    let occupancy = (p.per_walker_capacity - p.queues[w].len()) as f64;
+                    let own_frac = 1.0 - occupancy / p.per_walker_capacity as f64;
+                    if own_frac > params.queue_thres {
+                        false
+                    } else {
+                        // DIFF_THRES on normalized PEND_WALKS imbalance.
+                        match p.diff_thres {
+                            None => false,
+                            Some(thres) => {
+                                let own = p.twm_pend[owner.index()] as f64;
+                                let max_other =
+                                    p.twm_pend
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|&(t, _)| t != owner.index())
+                                        .map(|(_, &v)| v)
+                                        .max()
+                                        .unwrap_or(0) as f64;
+                                let diff = (max_other - own) / self.cfg.queue_entries as f64;
+                                diff > thres
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if !allowed {
+            return None;
+        }
+        let victim = p.steal_victim(owner)?;
+        p.most_loaded_owned(victim)
+    }
+
+    /// Completes the walk on `walker` at cycle `now`.
+    ///
+    /// Returns the finished walk and, if the walker immediately picked up
+    /// another request (its own queue, a sibling's, or a stolen one), the
+    /// new dispatch to schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walker` was not busy (i.e. no matching
+    /// [`DispatchedWalk`] was outstanding).
+    pub fn on_walker_done(
+        &mut self,
+        walker: WalkerId,
+        now: Cycle,
+        ctx: &mut WalkContext<'_>,
+    ) -> (CompletedWalk, Option<DispatchedWalk>) {
+        let w = walker.index();
+        self.advance_busy(now);
+        let inflight = self.walkers[w].take().expect("walker was not busy");
+        debug_assert_eq!(inflight.done_at, now, "walker-done event at wrong cycle");
+        let t = inflight.req.tenant;
+        self.busy_count[t.index()] -= 1;
+        self.stats.completed[t.index()] += 1;
+        if inflight.stolen {
+            self.stats.stolen[t.index()] += 1;
+        }
+        self.stats.total_latency[t.index()] += now.saturating_since(inflight.req.arrival);
+
+        let completed = CompletedWalk {
+            tenant: t,
+            vpn: inflight.req.vpn,
+            ppn: inflight.ppn,
+            stolen: inflight.stolen,
+            latency: now.saturating_since(inflight.req.arrival),
+        };
+
+        // Per-policy: pick the next request for this walker.
+        let pool_owner = self.owner_of(w);
+        let next = match &mut self.sched {
+            Scheduler::Shared { queue, .. } => queue.pop_front().map(|r| (r, false)),
+            Scheduler::PerTenant { queues, .. } => {
+                queues[pool_owner.index()].pop_front().map(|r| (r, false))
+            }
+            Scheduler::Partitioned(p) => {
+                // TWM PEND_WALKS decrements when a walk finishes (paper).
+                p.twm_pend[t.index()] = p.twm_pend[t.index()].saturating_sub(1);
+                let owner = p.wtm[w];
+
+                if !p.queues[w].is_empty() {
+                    // Step 1: serve own queue... unless DWS++ decides the
+                    // imbalance warrants a steal instead.
+                    if let Some(victim_walker) = self.steal_choice(w, now) {
+                        let Scheduler::Partitioned(p) = &mut self.sched else {
+                            unreachable!("scheduler variant fixed at construction")
+                        };
+                        Some((p.pop_from_walker(victim_walker), true))
+                    } else {
+                        let Scheduler::Partitioned(p) = &mut self.sched else {
+                            unreachable!("scheduler variant fixed at construction")
+                        };
+                        Some((p.pop_from_walker(w), false))
+                    }
+                } else if p.is_naive() {
+                    // Naive static: no sibling rebalancing, no stealing.
+                    None
+                } else if let Some(sib) = p.most_loaded_owned(owner) {
+                    // Steps 2/3a: owner has walks queued on a sibling walker.
+                    Some((p.pop_from_walker(sib), false))
+                } else if let Some(victim_walker) = self.steal_choice(w, now) {
+                    // Step 3b: steal.
+                    let Scheduler::Partitioned(p) = &mut self.sched else {
+                        unreachable!("scheduler variant fixed at construction")
+                    };
+                    Some((p.pop_from_walker(victim_walker), true))
+                } else {
+                    // Idle; servicing-own resets the is_stolen bit only when
+                    // we actually serve, so leave it as-is here.
+                    None
+                }
+            }
+        };
+
+        let dispatched = next.map(|(req, stolen)| self.dispatch(w, req, stolen, now, ctx));
+        (completed, dispatched)
+    }
+
+    /// Accumulated per-tenant statistics.
+    #[must_use]
+    pub fn stats(&self) -> &WalkStats {
+        &self.stats
+    }
+
+    /// Number of walks currently queued (not in service).
+    #[must_use]
+    pub fn queued_len(&self) -> usize {
+        match &self.sched {
+            Scheduler::Shared { queue, .. } => queue.len(),
+            Scheduler::PerTenant { queues, .. } => queues.iter().map(VecDeque::len).sum(),
+            Scheduler::Partitioned(p) => p.queues.iter().map(VecDeque::len).sum(),
+        }
+    }
+
+    /// Number of walkers currently servicing a walk.
+    #[must_use]
+    pub fn busy_walkers(&self) -> usize {
+        self.walkers.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Time-averaged fraction of all walkers busy servicing `tenant` over
+    /// `[0, now]` (the paper's *PW share*, Fig. 9).
+    #[must_use]
+    pub fn walker_share_of(&self, tenant: TenantId, now: Cycle) -> f64 {
+        let mut integral = self.busy_integral[tenant.index()];
+        let dt = now.saturating_since(self.last_busy_update) as f64;
+        integral += self.busy_count[tenant.index()] as f64 * dt;
+        let denom = now.0 as f64 * self.cfg.n_walkers as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            integral / denom
+        }
+    }
+
+    /// The page-walk cache, for inspection.
+    #[must_use]
+    pub fn pwc(&self) -> &PwCache {
+        &self.pwc
+    }
+
+    /// The subsystem configuration.
+    #[must_use]
+    pub fn config(&self) -> &WalkConfig {
+        &self.cfg
+    }
+
+    /// Re-splits walker ownership among the tenants flagged `active`
+    /// (paper SecVI.C: a tenant arrived or departed). Pending and in-flight
+    /// walks are serviced undisturbed; new arrivals observe the updated TWM
+    /// and completions the updated WTM, so the partition converges within
+    /// one queue drain.
+    ///
+    /// No-op under the shared-queue and private-pool organizations, which
+    /// have no ownership tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` has no `true` entry, marks more tenants than
+    /// there are walkers, or its length differs from the configured tenant
+    /// count.
+    pub fn set_active_tenants(&mut self, active: &[bool]) {
+        assert_eq!(
+            active.len(),
+            self.cfg.n_tenants,
+            "active flags must cover all tenants"
+        );
+        if let Scheduler::Partitioned(p) = &mut self.sched {
+            p.repartition(active);
+        }
+    }
+
+    /// The owner of each walker (WTM view), for inspection; `None` under
+    /// non-partitioned organizations.
+    #[must_use]
+    pub fn walker_owners(&self) -> Option<Vec<TenantId>> {
+        match &self.sched {
+            Scheduler::Partitioned(p) => Some(p.wtm.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageSize;
+    use walksteal_mem::MemSystemConfig;
+
+    const T0: TenantId = TenantId(0);
+    const T1: TenantId = TenantId(1);
+
+    struct Rig {
+        pts: Vec<PageTable>,
+        frames: FrameAlloc,
+        mem: MemSystem,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                pts: vec![
+                    PageTable::new(T0, PageSize::Small4K),
+                    PageTable::new(T1, PageSize::Small4K),
+                ],
+                frames: FrameAlloc::new(),
+                mem: MemSystem::new(MemSystemConfig::default()),
+            }
+        }
+
+        fn ctx(&mut self) -> WalkContext<'_> {
+            WalkContext {
+                page_tables: &mut self.pts,
+                frames: &mut self.frames,
+                mem: &mut self.mem,
+                mask: None,
+            }
+        }
+    }
+
+    fn cfg(policy: WalkPolicyKind) -> WalkConfig {
+        WalkConfig {
+            n_walkers: 4,
+            queue_entries: 8,
+            n_tenants: 2,
+            policy,
+            pwc_entries: 16,
+            pwc_latency: 2,
+            dispatch_overhead: 2,
+            strict_pend_check: false,
+        }
+    }
+
+    /// Drives the subsystem until all scheduled walks complete, returning
+    /// completions in completion order.
+    fn drain(
+        ws: &mut WalkSubsystem,
+        rig: &mut Rig,
+        mut scheduled: Vec<DispatchedWalk>,
+    ) -> Vec<CompletedWalk> {
+        let mut out = Vec::new();
+        while !scheduled.is_empty() {
+            scheduled.sort_by_key(|d| d.done_at);
+            let d = scheduled.remove(0);
+            let (done, next) = ws.on_walker_done(d.walker, d.done_at, &mut rig.ctx());
+            out.push(done);
+            if let Some(n) = next {
+                scheduled.push(n);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_walk_completes_with_translation() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::SharedQueue));
+        let mut rig = Rig::new();
+        let d = ws
+            .try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(5),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            )
+            .unwrap()
+            .expect("idle walker dispatches immediately");
+        assert!(d.done_at > Cycle(0));
+        let done = drain(&mut ws, &mut rig, vec![d]);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tenant, T0);
+        assert_eq!(done[0].vpn, Vpn(5));
+        assert_eq!(rig.pts[0].translate(Vpn(5)), Some(done[0].ppn));
+        assert!(!done[0].stolen);
+    }
+
+    #[test]
+    fn walk_takes_hundreds_of_cycles_cold() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::SharedQueue));
+        let mut rig = Rig::new();
+        let d = ws
+            .try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(5),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            )
+            .unwrap()
+            .unwrap();
+        // Four cold page-table accesses, each >= an L2 miss.
+        assert!(d.done_at.0 >= 4 * 130, "walk too fast: {:?}", d.done_at);
+    }
+
+    #[test]
+    fn pwc_accelerates_sibling_walks() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::SharedQueue));
+        let mut rig = Rig::new();
+        let d1 = ws
+            .try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(0x100),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            )
+            .unwrap()
+            .unwrap();
+        let lat1 = d1.done_at.0;
+        drain(&mut ws, &mut rig, vec![d1]);
+        // Sibling page: upper levels hit the PWC and the leaf line is in L2.
+        let d2 = ws
+            .try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(0x101),
+                },
+                Cycle(10_000),
+                &mut rig.ctx(),
+            )
+            .unwrap()
+            .unwrap();
+        let lat2 = d2.done_at.0 - 10_000;
+        assert!(lat2 < lat1 / 2, "PWC hit walk {lat2} vs cold {lat1}");
+    }
+
+    #[test]
+    fn shared_queue_is_fcfs_across_tenants() {
+        let mut ws = WalkSubsystem::new(WalkConfig {
+            n_walkers: 1,
+            queue_entries: 8,
+            ..cfg(WalkPolicyKind::SharedQueue)
+        });
+        let mut rig = Rig::new();
+        let d = ws
+            .try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(1),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            )
+            .unwrap()
+            .unwrap();
+        for i in 0..3 {
+            assert!(ws
+                .try_enqueue(
+                    WalkRequest {
+                        tenant: TenantId(i % 2),
+                        vpn: Vpn(100 + u64::from(i))
+                    },
+                    Cycle(1),
+                    &mut rig.ctx(),
+                )
+                .unwrap()
+                .is_none());
+        }
+        let done = drain(&mut ws, &mut rig, vec![d]);
+        let vpns: Vec<u64> = done.iter().map(|c| c.vpn.0).collect();
+        assert_eq!(vpns, vec![1, 100, 101, 102]);
+    }
+
+    #[test]
+    fn shared_queue_full_rejects() {
+        let mut ws = WalkSubsystem::new(WalkConfig {
+            n_walkers: 1,
+            queue_entries: 2,
+            ..cfg(WalkPolicyKind::SharedQueue)
+        });
+        let mut rig = Rig::new();
+        // One in service + two queued = full.
+        ws.try_enqueue(
+            WalkRequest {
+                tenant: T0,
+                vpn: Vpn(1),
+            },
+            Cycle(0),
+            &mut rig.ctx(),
+        )
+        .unwrap();
+        ws.try_enqueue(
+            WalkRequest {
+                tenant: T0,
+                vpn: Vpn(2),
+            },
+            Cycle(0),
+            &mut rig.ctx(),
+        )
+        .unwrap();
+        ws.try_enqueue(
+            WalkRequest {
+                tenant: T0,
+                vpn: Vpn(3),
+            },
+            Cycle(0),
+            &mut rig.ctx(),
+        )
+        .unwrap();
+        let r = ws.try_enqueue(
+            WalkRequest {
+                tenant: T0,
+                vpn: Vpn(4),
+            },
+            Cycle(0),
+            &mut rig.ctx(),
+        );
+        assert_eq!(r, Err(WalkQueueFull));
+        assert_eq!(ws.stats().rejected[0], 1);
+    }
+
+    #[test]
+    fn static_partition_never_steals() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::None)));
+        let mut rig = Rig::new();
+        // Load tenant 0 with more walks than its 2 walkers can hold; tenant 1
+        // idle. Under static partitioning t1's walkers must stay idle.
+        let mut sched = Vec::new();
+        for i in 0..6 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        assert_eq!(ws.busy_walkers(), 2, "only tenant 0's walkers run");
+        let done = drain(&mut ws, &mut rig, sched);
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().all(|c| !c.stolen));
+    }
+
+    #[test]
+    fn dws_steals_when_owner_idle() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        for i in 0..6 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        // Tenant 1's walkers are idle and steal immediately.
+        assert_eq!(ws.busy_walkers(), 4, "foreign walkers steal");
+        let done = drain(&mut ws, &mut rig, sched);
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().any(|c| c.stolen), "some walks were stolen");
+        assert!(ws.stats().stolen[0] > 0);
+    }
+
+    #[test]
+    fn dws_does_not_steal_when_owner_has_queued_work() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        // Both tenants flooded: every walker busy with its own tenant, and
+        // both have queued work, so no steals should ever occur.
+        for i in 0..4 {
+            for t in [T0, T1] {
+                if let Ok(Some(d)) = ws.try_enqueue(
+                    WalkRequest {
+                        tenant: t,
+                        vpn: Vpn(0x10_0000 * u64::from(t.0) + i * 0x1000),
+                    },
+                    Cycle(0),
+                    &mut rig.ctx(),
+                ) {
+                    sched.push(d);
+                }
+            }
+        }
+        let done = drain(&mut ws, &mut rig, sched);
+        assert_eq!(done.len(), 8);
+        assert!(
+            done.iter().all(|c| !c.stolen),
+            "no steal under symmetric load"
+        );
+    }
+
+    #[test]
+    fn dws_interleaving_is_bounded() {
+        // A tenant-0 walk never waits for more than one tenant-1 walk under
+        // DWS: tenant 0's walks only ever queue at tenant 0's walkers, and a
+        // stolen (foreign) walk occupies a walker for at most one service.
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        // Heavy tenant 1 floods; light tenant 0 trickles.
+        for i in 0..8 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T1,
+                    vpn: Vpn(0x100_0000 + i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        for i in 0..4 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(i * 0x1000),
+                },
+                Cycle(10 + i),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        drain(&mut ws, &mut rig, sched);
+        // Mean interleaving for the light tenant stays at most ~1.
+        assert!(
+            ws.stats().mean_interleave(T0) <= 1.0 + 1e-9,
+            "interleave {}",
+            ws.stats().mean_interleave(T0)
+        );
+    }
+
+    #[test]
+    fn private_pools_isolate_tenants() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::PrivatePools));
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        for i in 0..4 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        assert_eq!(ws.busy_walkers(), 2, "tenant 0 only uses its own pool");
+        let done = drain(&mut ws, &mut rig, sched);
+        assert!(done.iter().all(|c| !c.stolen));
+    }
+
+    #[test]
+    fn partitioned_enqueue_full_when_owned_queues_full() {
+        let mut ws = WalkSubsystem::new(WalkConfig {
+            n_walkers: 2,
+            queue_entries: 4, // 2 per walker
+            ..cfg(WalkPolicyKind::Partitioned(StealMode::Dws))
+        });
+        let mut rig = Rig::new();
+        // Tenant 0 owns walker 0 only: 1 in service + 2 queued = full.
+        // (With DWS, walker 1 steals one, freeing a slot; so fill more.)
+        let mut accepted = 0;
+        for i in 0..10 {
+            if ws
+                .try_enqueue(
+                    WalkRequest {
+                        tenant: T0,
+                        vpn: Vpn(i * 0x1000),
+                    },
+                    Cycle(0),
+                    &mut rig.ctx(),
+                )
+                .is_ok()
+            {
+                accepted += 1;
+            }
+        }
+        // 2 in service (own + stolen) + 2 queued in own + 2 queued in the
+        // foreign walker's queue? No: queued walks always sit in the OWNER's
+        // walker queue. So capacity = 2 in service + 2 queued = 4.
+        assert_eq!(accepted, 4);
+        assert!(ws.stats().rejected[0] > 0);
+    }
+
+    #[test]
+    fn dwspp_steals_under_imbalance_even_with_owner_work() {
+        let params = DwsPlusPlusParams {
+            epoch_length: 4,
+            thresholds: vec![(f64::INFINITY, 0.05)],
+            queue_thres: 0.99,
+        };
+        let mut ws = WalkSubsystem::new(WalkConfig {
+            n_walkers: 2,
+            queue_entries: 16, // 8 per walker
+            ..cfg(WalkPolicyKind::Partitioned(StealMode::DwsPlusPlus(params)))
+        });
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        // Tenant 1: one walk in service, one queued (owner has work).
+        for i in 0..2 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T1,
+                    vpn: Vpn(0x100_0000 + i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        // Tenant 0: flood its single walker far beyond tenant 1's load.
+        for i in 0..8 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(i * 0x1000),
+                },
+                Cycle(1),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        let done = drain(&mut ws, &mut rig, sched);
+        // Tenant 1's walker should at some point steal tenant-0 work even
+        // though tenant 1 still has queued walks.
+        assert!(
+            done.iter().any(|c| c.stolen && c.tenant == T0),
+            "DWS++ imbalance steal did not trigger"
+        );
+    }
+
+    #[test]
+    fn dwspp_ratio_table_lookup() {
+        let p = DwsPlusPlusParams::paper_default();
+        assert_eq!(p.diff_thres_for(1.0), Some(0.4));
+        assert_eq!(p.diff_thres_for(1.5), Some(0.4));
+        assert_eq!(p.diff_thres_for(1.8), Some(0.6));
+        assert_eq!(p.diff_thres_for(2.5), Some(0.8));
+        assert_eq!(p.diff_thres_for(3.5), Some(0.9));
+        assert_eq!(p.diff_thres_for(10.0), None);
+    }
+
+    #[test]
+    fn dwspp_no_consecutive_steal_with_owner_work() {
+        // After a steal, a walker with owner work pending must serve its
+        // owner next (is_stolen bit).
+        let params = DwsPlusPlusParams {
+            epoch_length: 1000,
+            thresholds: vec![(f64::INFINITY, 0.0)],
+            queue_thres: 1.0,
+        };
+        let mut ws = WalkSubsystem::new(WalkConfig {
+            n_walkers: 2,
+            queue_entries: 16,
+            ..cfg(WalkPolicyKind::Partitioned(StealMode::DwsPlusPlus(params)))
+        });
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        for i in 0..6 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        for i in 0..4 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T1,
+                    vpn: Vpn(0x100_0000 + i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        // Track per-walker service order: no two consecutive stolen walks on
+        // the same walker while its owner had queued work.
+        let mut last_stolen = [false; 2];
+        let mut scheduled = sched;
+        while !scheduled.is_empty() {
+            scheduled.sort_by_key(|d| d.done_at);
+            let d = scheduled.remove(0);
+            let w = d.walker.index();
+            let (done, next) = ws.on_walker_done(d.walker, d.done_at, &mut rig.ctx());
+            if done.stolen && last_stolen[w] {
+                // Both consecutive services on this walker were steals; only
+                // legal if the owner had nothing queued in between, which we
+                // can't observe here — so assert the weaker invariant below
+                // via stats instead.
+            }
+            last_stolen[w] = done.stolen;
+            if let Some(n) = next {
+                scheduled.push(n);
+            }
+        }
+        // The strong invariant: every enqueued walk completed.
+        let s = ws.stats();
+        assert_eq!(
+            s.enqueued[0] + s.enqueued[1],
+            s.completed[0] + s.completed[1]
+        );
+    }
+
+    #[test]
+    fn conservation_of_walks() {
+        for policy in [
+            WalkPolicyKind::SharedQueue,
+            WalkPolicyKind::PrivatePools,
+            WalkPolicyKind::Partitioned(StealMode::None),
+            WalkPolicyKind::Partitioned(StealMode::Dws),
+            WalkPolicyKind::Partitioned(StealMode::DwsPlusPlus(DwsPlusPlusParams::paper_default())),
+        ] {
+            let mut ws = WalkSubsystem::new(cfg(policy.clone()));
+            let mut rig = Rig::new();
+            let mut sched = Vec::new();
+            let mut accepted = 0;
+            for i in 0..20 {
+                let t = TenantId((i % 3 == 0) as u8);
+                match ws.try_enqueue(
+                    WalkRequest {
+                        tenant: t,
+                        vpn: Vpn(u64::from(t.0) * 0x100_0000 + i * 0x1000),
+                    },
+                    Cycle(i * 3),
+                    &mut rig.ctx(),
+                ) {
+                    Ok(Some(d)) => {
+                        accepted += 1;
+                        sched.push(d);
+                    }
+                    Ok(None) => accepted += 1,
+                    Err(WalkQueueFull) => {}
+                }
+            }
+            let done = drain(&mut ws, &mut rig, sched);
+            assert_eq!(done.len(), accepted, "policy {policy:?} lost walks");
+            assert_eq!(ws.queued_len(), 0);
+            assert_eq!(ws.busy_walkers(), 0);
+        }
+    }
+
+    #[test]
+    fn walker_share_integrates() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::SharedQueue));
+        let mut rig = Rig::new();
+        let d = ws
+            .try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(1),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            )
+            .unwrap()
+            .unwrap();
+        let total = d.done_at;
+        ws.on_walker_done(d.walker, d.done_at, &mut rig.ctx());
+        // One of four walkers busy for the whole interval => share 0.25.
+        let share = ws.walker_share_of(T0, total);
+        assert!((share - 0.25).abs() < 1e-9, "share {share}");
+        assert_eq!(ws.walker_share_of(T1, total), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "walker was not busy")]
+    fn done_on_idle_walker_panics() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::SharedQueue));
+        let mut rig = Rig::new();
+        ws.on_walker_done(WalkerId(0), Cycle(10), &mut rig.ctx());
+    }
+
+    #[test]
+    fn queue_full_error_display() {
+        assert_eq!(WalkQueueFull.to_string(), "page-walk queue is full");
+    }
+
+    #[test]
+    fn departure_gives_walkers_to_remaining_tenant() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        let owners = ws.walker_owners().unwrap();
+        assert_eq!(owners, vec![T0, T0, T1, T1]);
+        // Tenant 1 departs: tenant 0 owns everything.
+        ws.set_active_tenants(&[true, false]);
+        let owners = ws.walker_owners().unwrap();
+        assert_eq!(owners, vec![T0, T0, T0, T0]);
+    }
+
+    #[test]
+    fn arrival_resplits_walkers() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        ws.set_active_tenants(&[true, false]);
+        ws.set_active_tenants(&[true, true]);
+        assert_eq!(ws.walker_owners().unwrap(), vec![T0, T0, T1, T1]);
+    }
+
+    #[test]
+    fn in_flight_walks_survive_repartition() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        for i in 0..6u64 {
+            let t = TenantId((i % 2) as u8);
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: t,
+                    vpn: Vpn(u64::from(t.0) * 0x100_0000 + i * 0x1000),
+                },
+                Cycle(0),
+                &mut rig.ctx(),
+            ) {
+                sched.push(d);
+            }
+        }
+        // Tenant 1 departs mid-flight.
+        ws.set_active_tenants(&[true, false]);
+        let done = drain(&mut ws, &mut rig, sched);
+        assert_eq!(done.len(), 6, "repartition lost walks");
+        // After convergence: new tenant-0 arrivals use all four walkers.
+        let mut sched2 = Vec::new();
+        for i in 0..4u64 {
+            if let Ok(Some(d)) = ws.try_enqueue(
+                WalkRequest {
+                    tenant: T0,
+                    vpn: Vpn(0x20_0000 + i * 0x1000),
+                },
+                Cycle(100_000),
+                &mut rig.ctx(),
+            ) {
+                sched2.push(d);
+            }
+        }
+        assert_eq!(ws.busy_walkers(), 4, "departed tenant's walkers unused");
+        drain(&mut ws, &mut rig, sched2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn repartition_to_nobody_panics() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::Dws)));
+        ws.set_active_tenants(&[false, false]);
+    }
+
+    #[test]
+    fn shared_queue_repartition_is_noop() {
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::SharedQueue));
+        assert!(ws.walker_owners().is_none());
+        ws.set_active_tenants(&[true, false]); // must not panic
+    }
+}

@@ -1,0 +1,224 @@
+//! The multi-tenant workload pairs of the paper's evaluation.
+//!
+//! The 13 applications yield 78 possible pairs; the paper evaluates 45 of
+//! them, weighting toward the virtual-memory-sensitive HL/HM/HH classes
+//! (32 of the 45) while keeping representatives of LL/ML/MM. We fix a
+//! canonical 45-pair list with exactly that split, containing every pair
+//! the paper names in its tables and figures.
+
+use std::fmt;
+
+use crate::apps::{AppId, MpmiClass};
+
+/// A two-tenant workload: `a` is tenant 0, `b` is tenant 1.
+///
+/// Following the paper's naming, the heavier application is listed first
+/// (e.g. `GUPS.MM` is Heavy-with-Light).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadPair {
+    /// Tenant 0's application.
+    pub a: AppId,
+    /// Tenant 1's application.
+    pub b: AppId,
+}
+
+impl WorkloadPair {
+    /// Creates a pair.
+    #[must_use]
+    pub fn new(a: AppId, b: AppId) -> Self {
+        WorkloadPair { a, b }
+    }
+
+    /// The workload's class label, heavier constituent first ("HL", "MM", …).
+    #[must_use]
+    pub fn class(self) -> String {
+        let (x, y) = if self.a.class() >= self.b.class() {
+            (self.a.class(), self.b.class())
+        } else {
+            (self.b.class(), self.a.class())
+        };
+        format!("{x}{y}")
+    }
+
+    /// Both applications.
+    #[must_use]
+    pub fn apps(self) -> [AppId; 2] {
+        [self.a, self.b]
+    }
+
+    /// Whether the workload is virtual-memory sensitive (HL, HM, or HH) —
+    /// the paper's "32 of 45" subset.
+    #[must_use]
+    pub fn is_vm_sensitive(self) -> bool {
+        self.a.class() == MpmiClass::Heavy || self.b.class() == MpmiClass::Heavy
+    }
+}
+
+impl fmt::Display for WorkloadPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.a, self.b)
+    }
+}
+
+macro_rules! pair {
+    ($a:ident, $b:ident) => {
+        WorkloadPair {
+            a: AppId::$a,
+            b: AppId::$b,
+        }
+    };
+}
+
+/// The canonical 45 pairs: 3 LL + 5 ML + 5 MM + 12 HL + 14 HM + 6 HH
+/// (13 VM-insensitive, 32 VM-sensitive, matching the paper's split).
+#[must_use]
+pub fn paper_pairs() -> Vec<WorkloadPair> {
+    vec![
+        // LL (3)
+        pair!(Hs, Mm),
+        pair!(Fft, Hs),
+        pair!(Ray, Fft),
+        // ML (5)
+        pair!(Tds, Fft),
+        pair!(Lib, Mm),
+        pair!(Lps, Ray),
+        pair!(Jpeg, Hs),
+        pair!(Srad, Mm),
+        // MM (5)
+        pair!(Tds, Srad),
+        pair!(Lib, Jpeg),
+        pair!(Lps, Tds),
+        pair!(Srad, Jpeg),
+        pair!(Lib, Lps),
+        // HL (12)
+        pair!(Blk, Hs),
+        pair!(Gups, Mm),
+        pair!(Sad, Mm),
+        pair!(Qtc, Fft),
+        pair!(Blk, Mm),
+        pair!(Gups, Hs),
+        pair!(Sad, Ray),
+        pair!(Qtc, Hs),
+        pair!(Blk, Fft),
+        pair!(Gups, Ray),
+        pair!(Sad, Fft),
+        pair!(Qtc, Ray),
+        // HM (14)
+        pair!(Blk, Tds),
+        pair!(Gups, Jpeg),
+        pair!(Gups, Tds),
+        pair!(Sad, Tds),
+        pair!(Blk, Lib),
+        pair!(Qtc, Lps),
+        pair!(Sad, Srad),
+        pair!(Gups, Lib),
+        pair!(Blk, Srad),
+        pair!(Qtc, Jpeg),
+        pair!(Sad, Lps),
+        pair!(Gups, Lps),
+        pair!(Blk, Jpeg),
+        pair!(Qtc, Srad),
+        // HH (6)
+        pair!(Gups, Sad),
+        pair!(Qtc, Blk),
+        pair!(Sad, Qtc),
+        pair!(Gups, Blk),
+        pair!(Sad, Blk),
+        pair!(Gups, Qtc),
+    ]
+}
+
+/// The two representative pairs per class the paper names in
+/// Tables III, V, and VI.
+#[must_use]
+pub fn named_pairs() -> Vec<(&'static str, WorkloadPair)> {
+    vec![
+        ("LL", pair!(Hs, Mm)),
+        ("LL", pair!(Fft, Hs)),
+        ("ML", pair!(Tds, Fft)),
+        ("ML", pair!(Lib, Mm)),
+        ("MM", pair!(Tds, Srad)),
+        ("MM", pair!(Lib, Jpeg)),
+        ("HL", pair!(Blk, Hs)),
+        ("HL", pair!(Gups, Mm)),
+        ("HM", pair!(Blk, Tds)),
+        ("HM", pair!(Gups, Jpeg)),
+        ("HH", pair!(Gups, Sad)),
+        ("HH", pair!(Qtc, Blk)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn forty_five_distinct_pairs() {
+        let pairs = paper_pairs();
+        assert_eq!(pairs.len(), 45);
+        let set: HashSet<_> = pairs
+            .iter()
+            .map(|p| {
+                let mut apps = [p.a, p.b];
+                apps.sort();
+                apps
+            })
+            .collect();
+        assert_eq!(set.len(), 45, "duplicate pair");
+        // No self-pairs.
+        assert!(pairs.iter().all(|p| p.a != p.b));
+    }
+
+    #[test]
+    fn class_split_matches_paper() {
+        let pairs = paper_pairs();
+        let count = |c: &str| pairs.iter().filter(|p| p.class() == c).count();
+        assert_eq!(count("LL"), 3);
+        assert_eq!(count("ML"), 5);
+        assert_eq!(count("MM"), 5);
+        assert_eq!(count("HL"), 12);
+        assert_eq!(count("HM"), 14);
+        assert_eq!(count("HH"), 6);
+        assert_eq!(pairs.iter().filter(|p| p.is_vm_sensitive()).count(), 32);
+    }
+
+    #[test]
+    fn heavier_app_listed_first() {
+        for p in paper_pairs() {
+            assert!(
+                p.a.class() >= p.b.class(),
+                "{p}: {:?} should come first",
+                p.b
+            );
+        }
+    }
+
+    #[test]
+    fn named_pairs_are_in_the_45() {
+        let all = paper_pairs();
+        for (class, p) in named_pairs() {
+            assert!(all.contains(&p), "{p} missing from paper_pairs");
+            assert_eq!(p.class(), class, "{p}");
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            WorkloadPair::new(AppId::Gups, AppId::Mm).to_string(),
+            "GUPS.MM"
+        );
+        assert_eq!(
+            WorkloadPair::new(AppId::Blk, AppId::Tds).to_string(),
+            "BLK.3DS"
+        );
+    }
+
+    #[test]
+    fn class_label_orders_heavy_first() {
+        assert_eq!(WorkloadPair::new(AppId::Mm, AppId::Gups).class(), "HL");
+        assert_eq!(WorkloadPair::new(AppId::Gups, AppId::Mm).class(), "HL");
+        assert_eq!(WorkloadPair::new(AppId::Hs, AppId::Mm).class(), "LL");
+    }
+}

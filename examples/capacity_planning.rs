@@ -1,0 +1,62 @@
+//! Capacity planning: can a provider buy their way out of walker
+//! contention with more hardware, or is scheduling the better lever?
+//!
+//! Sweeps the number of page-table walkers and the L2 TLB size for a
+//! heavy+medium pair under the baseline shared queue and under DWS
+//! (paper §IV "does increasing TLB size and PTWs solve the problem?" and
+//! Fig. 12).
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+use walksteal::workloads::AppId;
+
+fn base() -> GpuConfig {
+    GpuConfig::default()
+        .with_n_sms(10)
+        .with_warps_per_sm(12)
+        .with_instructions_per_warp(2_000)
+}
+
+fn main() {
+    let apps = [AppId::Sad, AppId::Jpeg];
+    println!("SAD (heavy) + JPEG (medium), sweeping hardware vs policy.\n");
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "configuration", "Baseline", "DWS", "DWS gain"
+    );
+    let mut reference = 0.0;
+    for (label, entries, walkers) in [
+        ("512e TLB, 12 PTW", 512, 12),
+        ("1024e TLB, 16 PTW", 1024, 16),
+        ("2048e TLB, 24 PTW", 2048, 24),
+        ("4096e TLB, 32 PTW", 4096, 32),
+    ] {
+        let mk = |preset| {
+            let cfg = base()
+                .with_l2_tlb_entries(entries)
+                .with_walkers(walkers)
+                .with_preset(preset);
+            Simulation::new(cfg, &apps, 3).run().total_ipc()
+        };
+        let b = mk(PolicyPreset::Baseline);
+        let d = mk(PolicyPreset::Dws);
+        if reference == 0.0 {
+            reference = b;
+        }
+        println!(
+            "{label:<16} {:>10.3} {:>10.3} {:>7.1}%",
+            b,
+            d,
+            (d / b - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nMore hardware lifts both bars, but uncontrolled interleaving keeps\n\
+         the baseline below DWS at the same resource point — controlling\n\
+         interference beats buying capacity (paper §IV, Fig. 12)."
+    );
+}

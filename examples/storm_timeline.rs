@@ -1,0 +1,81 @@
+//! Storm timeline: watch walk-queue pressure over time.
+//!
+//! Real kernels emit bursts of TLB misses at phase changes; the workload
+//! models reproduce that with miss storms. This example samples the walk
+//! subsystem every few thousand cycles and renders queue depth and walker
+//! occupancy as sparklines — under the baseline the victim's storms pile up
+//! behind the neighbor's walks; under DWS each tenant's storms drain
+//! through its own (plus stolen) walkers.
+//!
+//! ```text
+//! cargo run --release --example storm_timeline
+//! ```
+
+use walksteal::multitenant::{GpuConfig, PolicyPreset, Sample, Simulation};
+use walksteal::workloads::AppId;
+
+const BARS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇'];
+
+fn sparkline(values: &[f64], max: f64) -> String {
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if max > 0.0 {
+                ((v / max) * (BARS.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+fn render(label: &str, timeline: &[Sample]) {
+    // Bucket the timeline into at most 72 columns.
+    let cols = 72usize.min(timeline.len().max(1));
+    let chunk = timeline.len().div_ceil(cols);
+    let queue: Vec<f64> = timeline
+        .chunks(chunk)
+        .map(|c| c.iter().map(|s| s.queued_walks as f64).sum::<f64>() / c.len() as f64)
+        .collect();
+    let busy: Vec<f64> = timeline
+        .chunks(chunk)
+        .map(|c| c.iter().map(|s| s.busy_walkers as f64).sum::<f64>() / c.len() as f64)
+        .collect();
+    let qmax = queue.iter().copied().fold(0.0, f64::max);
+    println!("{label}");
+    println!(
+        "  queue depth (max {qmax:>5.0}): {}",
+        sparkline(&queue, qmax)
+    );
+    println!("  busy walkers (of 16):      {}", sparkline(&busy, 16.0));
+}
+
+fn main() {
+    let apps = [AppId::Sad, AppId::Jpeg];
+    println!("SAD (heavy) + JPEG (medium, bursty) — walk-subsystem pressure over time.\n");
+    for preset in [
+        PolicyPreset::Baseline,
+        PolicyPreset::StaticPartition,
+        PolicyPreset::Dws,
+    ] {
+        let cfg = GpuConfig::default()
+            .with_n_sms(10)
+            .with_warps_per_sm(12)
+            .with_instructions_per_warp(2_000)
+            .with_sample_interval(2_000)
+            .with_preset(preset);
+        let r = Simulation::new(cfg, &apps, 5).run();
+        render(
+            &format!(
+                "{:<9} total IPC {:.3} ({} samples over {} cycles)",
+                preset.label(),
+                r.total_ipc(),
+                r.timeline.len(),
+                r.cycles
+            ),
+            &r.timeline,
+        );
+        println!();
+    }
+}

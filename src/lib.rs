@@ -1,0 +1,54 @@
+//! # walksteal
+//!
+//! A from-scratch Rust reproduction of *Improving GPU Multi-tenancy with Page
+//! Walk Stealing* (B. Pratheek, Neha Jawalkar, Arkaprava Basu — HPCA 2021).
+//!
+//! GPUs share one L2 TLB and one pool of page-table walkers across all
+//! streaming multiprocessors. Under spatial multi-tenancy (multiple
+//! applications resident at once, as with NVIDIA MPS/MIG) walk requests from
+//! independent tenants interleave in the shared walk queue, so a tenant with a
+//! modest page-walk rate queues behind tens of walks from a walk-intensive
+//! neighbor. The paper proposes **dynamic walk stealing (DWS)**: soft-partition
+//! the walkers per tenant (per-walker queues + ownership) and let an idle
+//! walker *steal* a pending walk from another tenant, bounding cross-tenant
+//! interleaving to at most one walk. **DWS++** loosens the steal condition
+//! with an epoch-adaptive imbalance threshold to trade throughput for
+//! fairness.
+//!
+//! This crate is a facade that re-exports the whole workspace:
+//!
+//! * [`sim`] — discrete-event kernel, typed ids, RNG, statistics.
+//! * [`mem`] — caches, MSHRs, DRAM channel model.
+//! * [`vm`] — page tables, TLBs, page-walk cache, walkers, and the
+//!   walk-scheduling policies (baseline shared queue, static partition,
+//!   DWS, DWS++, MASK-style tokens).
+//! * [`gpu`] — SMs, warps, GTO scheduling, coalescing.
+//! * [`workloads`] — synthetic models of the 13 MAFIA benchmarks.
+//! * [`multitenant`] — the composed multi-tenant GPU simulator, the paper's
+//!   methodology, and its metrics (total IPC, weighted IPC, fairness, …).
+//! * [`experiments`] — runners that regenerate every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+//! use walksteal::workloads::AppId;
+//!
+//! // Two tenants: page-walk-heavy GUPS next to a light matrix multiply,
+//! // at toy scale so the doctest runs in milliseconds.
+//! let cfg = GpuConfig::default()
+//!     .with_preset(PolicyPreset::Dws)
+//!     .with_n_sms(4)
+//!     .with_warps_per_sm(4)
+//!     .with_instructions_per_warp(300);
+//! let result = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 1).run();
+//! assert!(result.total_ipc() > 0.0);
+//! ```
+
+pub use walksteal_experiments as experiments;
+pub use walksteal_gpu as gpu;
+pub use walksteal_mem as mem;
+pub use walksteal_multitenant as multitenant;
+pub use walksteal_sim_core as sim;
+pub use walksteal_vm as vm;
+pub use walksteal_workloads as workloads;

@@ -1,0 +1,67 @@
+//! Workload-model calibration tests.
+//!
+//! The fast tests assert the *ordering* the paper's Table II classes imply
+//! at a reduced scale; the `#[ignore]`d test asserts the exact MPMI bands
+//! at paper scale (run with `cargo test --release -- --ignored`, ~a minute
+//! of simulation).
+
+use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+use walksteal::workloads::{AppId, MpmiClass};
+
+fn standalone_mpmi(app: AppId, cfg: GpuConfig) -> f64 {
+    Simulation::new(cfg.with_preset(PolicyPreset::Baseline), &[app], 42)
+        .run()
+        .tenants[0]
+        .mpmi
+}
+
+fn mid_scale() -> GpuConfig {
+    GpuConfig::default()
+        .with_n_sms(6)
+        .with_warps_per_sm(12)
+        .with_instructions_per_warp(2_500)
+}
+
+#[test]
+fn class_representatives_are_ordered() {
+    // One representative per class keeps this test fast.
+    let light = standalone_mpmi(AppId::Mm, mid_scale());
+    let medium = standalone_mpmi(AppId::Srad, mid_scale());
+    let heavy = standalone_mpmi(AppId::Gups, mid_scale());
+    assert!(
+        light < medium && medium < heavy,
+        "ordering violated: L={light:.1} M={medium:.1} H={heavy:.1}"
+    );
+    assert!(heavy > 10.0 * light, "heavy should dwarf light");
+}
+
+#[test]
+fn heavy_apps_are_walk_bound() {
+    // Heavy apps' IPC should be far below the compute bound; light apps
+    // close to it.
+    let cfg = mid_scale();
+    let light = Simulation::new(cfg.clone(), &[AppId::Mm], 1).run().tenants[0].ipc;
+    let heavy = Simulation::new(cfg, &[AppId::Gups], 1).run().tenants[0].ipc;
+    assert!(light > 3.0 * heavy, "MM {light} vs GUPS {heavy}");
+}
+
+#[test]
+#[ignore = "paper-scale calibration; run with --ignored (slow)"]
+fn paper_scale_mpmi_bands_hold() {
+    let cfg = GpuConfig::default().with_n_sms(15);
+    for app in AppId::ALL {
+        let mpmi = standalone_mpmi(app, cfg.clone());
+        match app.class() {
+            MpmiClass::Light => {
+                assert!(mpmi < 25.0, "{app}: MPMI {mpmi:.1} not Light")
+            }
+            MpmiClass::Medium => assert!(
+                (25.0..80.0).contains(&mpmi),
+                "{app}: MPMI {mpmi:.1} not Medium"
+            ),
+            MpmiClass::Heavy => {
+                assert!(mpmi > 80.0, "{app}: MPMI {mpmi:.1} not Heavy")
+            }
+        }
+    }
+}

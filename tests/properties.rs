@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the walk-stealing design guarantees.
+
+use proptest::prelude::*;
+
+use walksteal::mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig};
+use walksteal::sim::{Cycle, EventQueue, TenantId, Vpn};
+use walksteal::vm::walk::WalkContext;
+use walksteal::vm::{
+    FrameAlloc, PageSize, PageTable, Replacement, StealMode, Tlb, TlbConfig, WalkConfig,
+    WalkPolicyKind, WalkRequest, WalkSubsystem,
+};
+
+proptest! {
+    /// Events pop in nondecreasing cycle order, FIFO within a cycle.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle(t), i);
+        }
+        let mut last: Option<(Cycle, usize)> = None;
+        while let Some((at, id)) = q.pop() {
+            if let Some((lat, lid)) = last {
+                prop_assert!(at >= lat);
+                if at == lat {
+                    prop_assert!(id > lid, "FIFO violated within a cycle");
+                }
+            }
+            last = Some((at, id));
+        }
+    }
+
+    /// Walking any VPN yields a stable mapping, and re-walking agrees with
+    /// `translate`.
+    #[test]
+    fn page_table_round_trip(vpns in proptest::collection::vec(0u64..(1 << 30), 1..50)) {
+        let mut pt = PageTable::new(TenantId(0), PageSize::Small4K);
+        let mut frames = FrameAlloc::new();
+        for &v in &vpns {
+            let first = pt.walk_path(Vpn(v), &mut frames);
+            prop_assert_eq!(pt.translate(Vpn(v)), Some(first.ppn));
+            let again = pt.walk_path(Vpn(v), &mut frames);
+            prop_assert_eq!(first, again);
+        }
+    }
+
+    /// Distinct pages of distinct tenants never share a frame.
+    #[test]
+    fn tenants_get_disjoint_frames(vpns in proptest::collection::vec(0u64..(1 << 20), 1..40)) {
+        let mut frames = FrameAlloc::new();
+        let mut a = PageTable::new(TenantId(0), PageSize::Small4K);
+        let mut b = PageTable::new(TenantId(1), PageSize::Small4K);
+        let mut seen = std::collections::HashSet::new();
+        for &v in &vpns {
+            let pa = a.walk_path(Vpn(v), &mut frames).ppn;
+            let pb = b.walk_path(Vpn(v), &mut frames).ppn;
+            prop_assert_ne!(pa, pb);
+            seen.insert(pa);
+            seen.insert(pb);
+        }
+        // Every distinct page got a distinct frame.
+        prop_assert_eq!(seen.len(), 2 * vpns.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+
+    /// A TLB probe never returns another tenant's mapping, under any
+    /// interleaving of fills from two tenants.
+    #[test]
+    fn tlb_never_leaks_across_tenants(
+        ops in proptest::collection::vec((0u8..2, 0u64..64, 0u64..1000), 1..300),
+        lru in proptest::bool::ANY,
+    ) {
+        let replacement = if lru { Replacement::Lru } else { Replacement::Random };
+        let mut tlb = Tlb::new(TlbConfig { sets: 4, ways: 2, replacement }, 2);
+        let mut truth = std::collections::HashMap::new();
+        for (i, &(t, v, _)) in ops.iter().enumerate() {
+            let tenant = TenantId(t);
+            let ppn = walksteal::sim::Ppn(i as u64 + 1000 * u64::from(t));
+            tlb.fill(tenant, Vpn(v), ppn, Cycle(i as u64));
+            truth.insert((t, v), ppn);
+        }
+        for &(t, v, _) in &ops {
+            if let Some(hit) = tlb.probe(TenantId(t), Vpn(v)) {
+                prop_assert_eq!(hit, truth[&(t, v)], "stale or foreign mapping");
+            }
+        }
+    }
+
+    /// Cache occupancy never exceeds capacity, and a probe immediately
+    /// after a fill hits.
+    #[test]
+    fn cache_capacity_respected(lines in proptest::collection::vec(0u64..4096, 1..300)) {
+        let cfg = CacheConfig { sets: 8, ways: 2 };
+        let mut c = Cache::new(cfg);
+        for &l in &lines {
+            c.fill(walksteal::sim::LineAddr(l));
+            prop_assert!(c.contains(walksteal::sim::LineAddr(l)));
+            prop_assert!(c.occupancy() <= cfg.lines());
+        }
+    }
+
+    /// Memory-system latency is always at least the L2 hit latency, and
+    /// accesses at later times never return before earlier bank frees.
+    #[test]
+    fn mem_latency_floor(lines in proptest::collection::vec(0u64..512, 1..100)) {
+        let cfg = MemSystemConfig::default();
+        let mut mem = MemSystem::new(cfg);
+        for (i, &l) in lines.iter().enumerate() {
+            let a = mem.access(walksteal::sim::LineAddr(l), Cycle(i as u64 * 3), AccessKind::Data);
+            prop_assert!(a.latency >= cfg.l2_hit_latency);
+        }
+    }
+
+    /// Conservation: every accepted walk completes exactly once, for every
+    /// policy, under arbitrary arrival patterns — and DWS walks are only
+    /// ever stolen when marked so.
+    #[test]
+    fn walk_subsystem_conserves_walks(
+        arrivals in proptest::collection::vec((0u8..2, 0u64..64, 1u64..30), 1..120),
+        policy_sel in 0usize..4,
+    ) {
+        let policy = match policy_sel {
+            0 => WalkPolicyKind::SharedQueue,
+            1 => WalkPolicyKind::PrivatePools,
+            2 => WalkPolicyKind::Partitioned(StealMode::None),
+            _ => WalkPolicyKind::Partitioned(StealMode::Dws),
+        };
+        let mut ws = WalkSubsystem::new(WalkConfig {
+            n_walkers: 4,
+            queue_entries: 16,
+            n_tenants: 2,
+            policy: policy.clone(),
+            pwc_entries: 16,
+            pwc_latency: 2,
+            dispatch_overhead: 2,
+            strict_pend_check: true,
+        });
+        let mut pts = vec![
+            PageTable::new(TenantId(0), PageSize::Small4K),
+            PageTable::new(TenantId(1), PageSize::Small4K),
+        ];
+        let mut frames = FrameAlloc::new();
+        let mut mem = MemSystem::new(MemSystemConfig::default());
+        let mut scheduled: Vec<walksteal::vm::DispatchedWalk> = Vec::new();
+        let mut accepted = 0u64;
+        let mut completed = 0u64;
+        let mut now = Cycle::ZERO;
+
+        let drain_until = |ws: &mut WalkSubsystem,
+                               scheduled: &mut Vec<walksteal::vm::DispatchedWalk>,
+                               pts: &mut Vec<PageTable>,
+                               frames: &mut FrameAlloc,
+                               mem: &mut MemSystem,
+                               t: Cycle,
+                               completed: &mut u64| {
+            loop {
+                scheduled.sort_by_key(|d| d.done_at);
+                let Some(first) = scheduled.first().copied() else { break };
+                if first.done_at > t {
+                    break;
+                }
+                scheduled.remove(0);
+                let mut ctx = WalkContext {
+                    page_tables: pts,
+                    frames,
+                    mem,
+                    mask: None,
+                };
+                let (done, next) = ws.on_walker_done(first.walker, first.done_at, &mut ctx);
+                prop_assert!(!(policy == WalkPolicyKind::Partitioned(StealMode::None) && done.stolen));
+                *completed += 1;
+                if let Some(n) = next {
+                    scheduled.push(n);
+                }
+            }
+            Ok(())
+        };
+
+        for &(t, v, dt) in &arrivals {
+            now += dt;
+            drain_until(&mut ws, &mut scheduled, &mut pts, &mut frames, &mut mem, now, &mut completed)?;
+            let mut ctx = WalkContext {
+                page_tables: &mut pts,
+                frames: &mut frames,
+                mem: &mut mem,
+                mask: None,
+            };
+            let req = WalkRequest {
+                tenant: TenantId(t),
+                vpn: Vpn(u64::from(t) * 0x10_0000 + v),
+            };
+            if let Ok(d) = ws.try_enqueue(req, now, &mut ctx) {
+                accepted += 1;
+                if let Some(d) = d {
+                    scheduled.push(d);
+                }
+            }
+        }
+        drain_until(
+            &mut ws, &mut scheduled, &mut pts, &mut frames, &mut mem,
+            Cycle(u64::MAX / 2), &mut completed,
+        )?;
+        prop_assert_eq!(accepted, completed, "{:?} lost or duplicated walks", policy);
+        prop_assert_eq!(ws.queued_len(), 0);
+        prop_assert_eq!(ws.busy_walkers(), 0);
+        let stats = ws.stats();
+        prop_assert_eq!(stats.completed.iter().sum::<u64>(), completed);
+    }
+
+    /// End-to-end: tiny random pairs complete under every policy, and
+    /// total instructions retired equal the sum over completed executions.
+    #[test]
+    fn tiny_simulations_complete(seed in 0u64..50, app_a in 0usize..13, app_b in 0usize..13) {
+        use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+        use walksteal::workloads::AppId;
+        let apps = [AppId::ALL[app_a], AppId::ALL[app_b]];
+        let cfg = GpuConfig::default()
+            .with_n_sms(2)
+            .with_warps_per_sm(2)
+            .with_instructions_per_warp(150)
+            .with_preset(PolicyPreset::Dws);
+        let r = Simulation::new(cfg, &apps, seed).run();
+        prop_assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
+        for t in &r.tenants {
+            prop_assert!(t.instructions > 0);
+            prop_assert!(t.ipc > 0.0);
+        }
+    }
+}
