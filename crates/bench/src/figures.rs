@@ -1,0 +1,218 @@
+//! One benchmark group per paper table/figure.
+//!
+//! Each group runs the *same code path* the corresponding experiment uses,
+//! at a reduced machine scale so the whole suite completes in minutes. The
+//! `repro` binary (walksteal-experiments) regenerates the actual numbers at
+//! paper scale; these benches track the simulator's performance on each
+//! experiment's workload shape and guard against regressions.
+
+use walksteal_multitenant::{GpuConfig, PolicyPreset, SimResult, Simulation};
+use walksteal_vm::PageSize;
+use walksteal_workloads::AppId;
+
+use crate::harness::{bench, BenchResult};
+
+/// The reduced machine every figure-bench runs on.
+fn bench_config() -> GpuConfig {
+    GpuConfig::default()
+        .with_n_sms(4)
+        .with_warps_per_sm(4)
+        .with_instructions_per_warp(500)
+}
+
+fn sim(cfg: GpuConfig, apps: &[AppId]) -> SimResult {
+    Simulation::new(cfg, apps, 42).run()
+}
+
+fn pair_bench(
+    out: &mut Vec<BenchResult>,
+    group: &str,
+    presets: &[PolicyPreset],
+    apps: &[AppId],
+) {
+    for &preset in presets {
+        out.push(bench(&format!("{group}/{}", preset.label()), || {
+            std::hint::black_box(sim(bench_config().with_preset(preset), apps));
+        }));
+    }
+}
+
+/// Runs every figure group whose name contains `filter`.
+pub fn run(filter: &str) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let mut group = |name: &str, f: &mut dyn FnMut(&mut Vec<BenchResult>)| {
+        if name.contains(filter) {
+            f(&mut out);
+        }
+    };
+
+    // Fig. 2 / Fig. 3: Baseline vs S-TLB vs S-(TLB+PTW) on a heavy+light pair.
+    group("fig2_fig3_headroom", &mut |out| {
+        pair_bench(
+            out,
+            "fig2_fig3_headroom",
+            &[
+                PolicyPreset::Baseline,
+                PolicyPreset::STlb,
+                PolicyPreset::STlbPtw,
+            ],
+            &[AppId::Gups, AppId::Mm],
+        );
+    });
+
+    // Table III: interleaving measurement runs on the baseline.
+    group("tab3_interleaving", &mut |out| {
+        pair_bench(
+            out,
+            "tab3_interleaving",
+            &[PolicyPreset::Baseline],
+            &[AppId::Blk, AppId::Hs],
+        );
+    });
+
+    // §IV doubling study: 2x-resource baseline vs private resources.
+    group("sec4_doubling", &mut |out| {
+        pair_bench(
+            out,
+            "sec4_doubling",
+            &[PolicyPreset::DoubledBaseline, PolicyPreset::STlbPtw],
+            &[AppId::Gups, AppId::Jpeg],
+        );
+    });
+
+    // Fig. 5 / 6 / 7: Baseline vs DWS vs DWS++ (throughput, fairness, and
+    // weighted IPC all come from the same runs).
+    group("fig5_fig6_fig7_dws", &mut |out| {
+        pair_bench(
+            out,
+            "fig5_fig6_fig7_dws",
+            &[
+                PolicyPreset::Baseline,
+                PolicyPreset::Dws,
+                PolicyPreset::DwsPlusPlus,
+            ],
+            &[AppId::Gups, AppId::Jpeg],
+        );
+    });
+
+    // Tables V / VI: interleaving and steal accounting under DWS/DWS++.
+    group("tab5_tab6_stealing", &mut |out| {
+        pair_bench(
+            out,
+            "tab5_tab6_stealing",
+            &[PolicyPreset::Dws, PolicyPreset::DwsPlusPlus],
+            &[AppId::Gups, AppId::Sad],
+        );
+    });
+
+    // Fig. 8: walk-latency accounting (heavy+medium stresses the queues most).
+    group("fig8_walk_latency", &mut |out| {
+        pair_bench(
+            out,
+            "fig8_walk_latency",
+            &[PolicyPreset::Baseline, PolicyPreset::Dws],
+            &[AppId::Blk, AppId::Tds],
+        );
+    });
+
+    // Fig. 9: PW-share / TLB-share coupling pairs.
+    group("fig9_shares", &mut |out| {
+        pair_bench(
+            out,
+            "fig9_shares",
+            &[PolicyPreset::Baseline, PolicyPreset::Dws],
+            &[AppId::Sad, AppId::Mm],
+        );
+    });
+
+    // Fig. 10: the DWS++ aggressiveness variants.
+    group("fig10_knob", &mut |out| {
+        pair_bench(
+            out,
+            "fig10_knob",
+            &[
+                PolicyPreset::DwsPlusPlusConservative,
+                PolicyPreset::DwsPlusPlus,
+                PolicyPreset::DwsPlusPlusAggressive,
+            ],
+            &[AppId::Gups, AppId::Tds],
+        );
+    });
+
+    // Fig. 11: Static / MASK / MASK+DWS comparison points.
+    group("fig11_alternatives", &mut |out| {
+        pair_bench(
+            out,
+            "fig11_alternatives",
+            &[
+                PolicyPreset::StaticPartition,
+                PolicyPreset::Mask,
+                PolicyPreset::MaskDws,
+            ],
+            &[AppId::Gups, AppId::Lps],
+        );
+    });
+
+    // Fig. 12: sensitivity sweep points (small and large VM resources).
+    group("fig12_sensitivity", &mut |out| {
+        for (label, entries, walkers) in [
+            ("512e-12w", 512, 12),
+            ("1024e-16w", 1024, 16),
+            ("2048e-24w", 2048, 24),
+        ] {
+            out.push(bench(&format!("fig12_sensitivity/{label}"), || {
+                let cfg = bench_config()
+                    .with_l2_tlb_entries(entries)
+                    .with_walkers(walkers)
+                    .with_preset(PolicyPreset::Dws);
+                std::hint::black_box(sim(cfg, &[AppId::Sad, AppId::Hs]));
+            }));
+        }
+    });
+
+    // Fig. 13: three- and four-tenant simulations.
+    group("fig13_many_tenants", &mut |out| {
+        let three = [AppId::Gups, AppId::Tds, AppId::Mm];
+        let four = [AppId::Gups, AppId::Tds, AppId::Mm, AppId::Hs];
+        out.push(bench("fig13_many_tenants/3-tenants", || {
+            let cfg = GpuConfig::default()
+                .with_n_sms(6)
+                .with_warps_per_sm(4)
+                .with_instructions_per_warp(500)
+                .with_walkers(18)
+                .with_preset(PolicyPreset::Dws);
+            std::hint::black_box(sim(cfg, &three));
+        }));
+        out.push(bench("fig13_many_tenants/4-tenants", || {
+            let cfg = GpuConfig::default()
+                .with_n_sms(8)
+                .with_warps_per_sm(4)
+                .with_instructions_per_warp(500)
+                .with_preset(PolicyPreset::Dws);
+            std::hint::black_box(sim(cfg, &four));
+        }));
+    });
+
+    // Fig. 14: 64 KB large pages.
+    group("fig14_large_pages", &mut |out| {
+        for preset in [PolicyPreset::Baseline, PolicyPreset::Dws] {
+            out.push(bench(&format!("fig14_large_pages/{}", preset.label()), || {
+                let cfg = bench_config()
+                    .with_page_size(PageSize::Large64K)
+                    .with_preset(preset);
+                std::hint::black_box(sim(cfg, &[AppId::Gups, AppId::Mm]));
+            }));
+        }
+    });
+
+    // Table II: the standalone calibration runs.
+    group("tab2_calibration", &mut |out| {
+        for app in [AppId::Mm, AppId::Tds, AppId::Gups] {
+            out.push(bench(&format!("tab2_calibration/{}", app.name()), || {
+                std::hint::black_box(sim(bench_config().with_n_sms(2), &[app]));
+            }));
+        }
+    });
+
+    out
+}

@@ -1,0 +1,76 @@
+//! The measurement loop: warm up, calibrate, time, report.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark.
+const WINDOW: Duration = Duration::from_millis(300);
+
+/// One benchmark's outcome.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` label.
+    pub name: String,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// `1e9 / mean_ns` — iterations per second.
+    #[must_use]
+    pub fn per_sec(&self) -> f64 {
+        1e9 / self.mean_ns
+    }
+}
+
+/// Times `f`, printing and returning the result.
+///
+/// Runs one warm-up call, estimates the iteration cost from a short probe,
+/// then measures a batch sized to fill [`WINDOW`].
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
+    f();
+    // Probe: run until 10 ms or 1k iterations to estimate per-iter cost.
+    let probe_start = Instant::now();
+    let mut probe_iters = 0u64;
+    while probe_start.elapsed() < Duration::from_millis(10) && probe_iters < 1_000 {
+        f();
+        probe_iters += 1;
+    }
+    let per_iter = probe_start.elapsed().as_secs_f64() / probe_iters as f64;
+    let iters = ((WINDOW.as_secs_f64() / per_iter) as u64).max(1);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let result = BenchResult {
+        name: name.to_owned(),
+        iters,
+        mean_ns,
+    };
+    println!(
+        "{:<44} {:>12.0} ns/iter   {:>14.0} iters/s   ({} iters)",
+        result.name,
+        result.mean_ns,
+        result.per_sec(),
+        result.iters
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_numbers() {
+        let r = bench("test/noop-ish", || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(r.iters >= 1);
+        assert!(r.mean_ns > 0.0);
+        assert!(r.per_sec() > 0.0);
+    }
+}

@@ -1,3 +1,21 @@
-//! Benchmark support crate. The actual Criterion harnesses live in
-//! `benches/`: `paper_figures` has one group per paper table/figure, and
-//! `subsystems` covers the individual substrate data structures.
+//! Self-contained `std::time` benchmark harness.
+//!
+//! Two suites, mirroring the old layout: [`figures`] has one benchmark
+//! group per paper table/figure (each runs the same code path as the
+//! corresponding experiment, at a reduced machine scale), and
+//! [`subsystems`] covers the substrate data structures — the simulator's
+//! hot loops. The `walksteal-bench` binary runs both:
+//!
+//! ```text
+//! walksteal-bench [FILTER]   # run groups whose name contains FILTER
+//! ```
+//!
+//! The harness is deliberately simple — calibrate an iteration count to a
+//! fixed measurement window, report mean ns/iter — and depends only on the
+//! workspace crates, so it builds offline.
+
+pub mod figures;
+pub mod harness;
+pub mod subsystems;
+
+pub use harness::{bench, BenchResult};

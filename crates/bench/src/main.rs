@@ -1,0 +1,17 @@
+//! `walksteal-bench [FILTER]` — run the benchmark suites.
+//!
+//! With no argument, runs every group; with one, runs the groups whose
+//! name contains the filter (e.g. `walksteal-bench event_queue`).
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    println!("== subsystems ==");
+    let mut results = walksteal_bench::subsystems::run(&filter);
+    println!("== paper figures ==");
+    results.extend(walksteal_bench::figures::run(&filter));
+    if results.is_empty() {
+        eprintln!("no benchmark group matches '{filter}'");
+        std::process::exit(1);
+    }
+    println!("{} benchmarks done", results.len());
+}

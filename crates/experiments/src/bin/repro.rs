@@ -1,18 +1,25 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--verbose] [--cache DIR] [--markdown FILE] [EXPERIMENT ...]
+//! repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE]
+//!       [--selftest-perf] [EXPERIMENT ...]
 //!
 //! EXPERIMENT: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6
 //!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all (default: all)
 //! ```
+//!
+//! `--jobs N` spreads cache-missing simulations over N worker threads
+//! (default: the machine's available parallelism); the printed tables are
+//! bit-identical to `--jobs 1`. `--selftest-perf` skips the experiments and
+//! instead measures the engine itself, writing `BENCH_parallel.json`.
 
 use std::process::ExitCode;
 
-use walksteal_experiments::{suite, ExpContext, Scale, Store, Table};
+use walksteal_experiments::{parallel, perf, suite, ExpContext, Scale, Store, Table};
 
 fn usage() -> &'static str {
-    "usage: repro [--quick] [--verbose] [--cache DIR] [--markdown FILE] [EXPERIMENT ...]\n\
+    "usage: repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE] \
+     [--selftest-perf] [EXPERIMENT ...]\n\
      experiments: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6 \
      fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all"
 }
@@ -22,6 +29,8 @@ fn main() -> ExitCode {
     let mut cache_dir = String::from("results/cache");
     let mut verbose = false;
     let mut markdown: Option<String> = None;
+    let mut jobs = parallel::default_jobs();
+    let mut selftest = false;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -29,6 +38,14 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--verbose" | "-v" => verbose = true,
+            "--selftest-perf" => selftest = true,
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--cache" => match args.next() {
                 Some(dir) => cache_dir = dir,
                 None => {
@@ -54,6 +71,19 @@ fn main() -> ExitCode {
             exp => wanted.push(exp.to_owned()),
         }
     }
+
+    if selftest {
+        let report = perf::selftest(jobs).pretty();
+        let path = "BENCH_parallel.json";
+        println!("{report}");
+        if let Err(e) = std::fs::write(path, format!("{report}\n")) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+        return ExitCode::SUCCESS;
+    }
+
     if wanted.is_empty() {
         wanted.push("all".to_owned());
     }
@@ -61,30 +91,31 @@ fn main() -> ExitCode {
     let store = Store::on_disk(format!("{cache_dir}/{}", scale.label()));
     let mut ctx = ExpContext::new(scale, store);
     ctx.verbose = verbose;
+    ctx.jobs = jobs;
 
     let mut tables: Vec<Table> = Vec::new();
     for exp in &wanted {
         let start = std::time::Instant::now();
         match exp.as_str() {
-            "all" => tables.extend(suite::all(&mut ctx)),
-            "calib" => tables.push(suite::calibration(&mut ctx)),
-            "fig2" => tables.push(suite::fig2(&mut ctx)),
-            "fig3" => tables.push(suite::fig3(&mut ctx)),
-            "tab3" => tables.push(suite::tab3(&mut ctx)),
-            "doubling" => tables.push(suite::doubling(&mut ctx)),
-            "fig5" => tables.push(suite::fig5(&mut ctx)),
-            "fig6" => tables.push(suite::fig6(&mut ctx)),
-            "fig7" => tables.push(suite::fig7(&mut ctx)),
-            "tab5" => tables.push(suite::tab5(&mut ctx)),
-            "tab6" => tables.push(suite::tab6(&mut ctx)),
-            "fig8" => tables.push(suite::fig8(&mut ctx)),
-            "fig9" => tables.push(suite::fig9(&mut ctx)),
-            "fig10" => tables.extend(suite::fig10(&mut ctx)),
-            "fig11" => tables.push(suite::fig11(&mut ctx)),
-            "fig12" => tables.push(suite::fig12(&mut ctx)),
-            "fig13" => tables.push(suite::fig13(&mut ctx)),
-            "fig14" => tables.push(suite::fig14(&mut ctx)),
-            "ablation" => tables.push(suite::ablation_pend_check(&mut ctx)),
+            "all" => tables.extend(ctx.run(suite::all)),
+            "calib" => tables.push(ctx.run(suite::calibration)),
+            "fig2" => tables.push(ctx.run(suite::fig2)),
+            "fig3" => tables.push(ctx.run(suite::fig3)),
+            "tab3" => tables.push(ctx.run(suite::tab3)),
+            "doubling" => tables.push(ctx.run(suite::doubling)),
+            "fig5" => tables.push(ctx.run(suite::fig5)),
+            "fig6" => tables.push(ctx.run(suite::fig6)),
+            "fig7" => tables.push(ctx.run(suite::fig7)),
+            "tab5" => tables.push(ctx.run(suite::tab5)),
+            "tab6" => tables.push(ctx.run(suite::tab6)),
+            "fig8" => tables.push(ctx.run(suite::fig8)),
+            "fig9" => tables.push(ctx.run(suite::fig9)),
+            "fig10" => tables.extend(ctx.run(suite::fig10)),
+            "fig11" => tables.push(ctx.run(suite::fig11)),
+            "fig12" => tables.push(ctx.run(suite::fig12)),
+            "fig13" => tables.push(ctx.run(suite::fig13)),
+            "fig14" => tables.push(ctx.run(suite::fig14)),
+            "ablation" => tables.push(ctx.run(suite::ablation_pend_check)),
             other => {
                 eprintln!("unknown experiment {other}\n{}", usage());
                 return ExitCode::FAILURE;

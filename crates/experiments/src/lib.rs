@@ -34,11 +34,16 @@
 //! repro --quick fig5   # one experiment at smoke-test scale
 //! ```
 
+pub mod key;
+pub mod parallel;
+pub mod perf;
 pub mod report;
 pub mod scale;
 pub mod store;
 pub mod suite;
 
+pub use key::ExpKey;
+pub use parallel::Job;
 pub use report::Table;
 pub use scale::Scale;
 pub use store::Store;

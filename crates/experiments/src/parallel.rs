@@ -1,0 +1,212 @@
+//! Deterministic parallel execution of independent simulation jobs.
+//!
+//! The experiment suite is embarrassingly parallel — every `(pair, preset,
+//! scale, seed)` cell of the evaluation matrix is an independent simulation —
+//! but its *output* must not depend on scheduling. The engine therefore
+//! splits execution from aggregation:
+//!
+//! 1. the suite is replayed in *plan* mode to materialize the full job list
+//!    up front (see [`ExpContext::run`](crate::ExpContext::run)),
+//! 2. [`run_jobs`] simulates the jobs on a work-stealing pool of scoped
+//!    threads, and
+//! 3. results are merged into the [`Store`] **in canonical job order**, so
+//!    the store — and every table derived from it — is bit-identical to a
+//!    serial run no matter how the pool interleaved the work.
+//!
+//! The pool is built purely on `std`: one `Mutex<VecDeque>` of job indices
+//! per worker (pop your own front, steal a victim's back) and an `mpsc`
+//! channel carrying results home. Each simulation seeds its own RNG from the
+//! job, so thread count and steal order cannot perturb any result.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+
+use walksteal_multitenant::{GpuConfig, SimResult, Simulation};
+use walksteal_workloads::AppId;
+
+use crate::key::ExpKey;
+use crate::store::Store;
+
+/// One simulation to run: the cache key plus everything needed to run it.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Cache identity of the run.
+    pub key: ExpKey,
+    /// Full hardware/policy configuration.
+    pub cfg: GpuConfig,
+    /// Tenant applications, in tenant order.
+    pub apps: Vec<AppId>,
+    /// Base workload seed.
+    pub seed: u64,
+}
+
+impl Job {
+    /// Runs the simulation this job describes.
+    #[must_use]
+    pub fn simulate(&self) -> SimResult {
+        Simulation::new(self.cfg.clone(), &self.apps, self.seed).run()
+    }
+}
+
+/// The machine's available parallelism (the `--jobs` default).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Simulates `jobs` on up to `workers` threads and merges the results into
+/// `store` in job order.
+///
+/// After this returns, the store is indistinguishable from one that ran each
+/// job serially in the given order: identical contents, and identical
+/// miss accounting (each job counts one miss).
+pub fn run_jobs(store: &mut Store, jobs: Vec<Job>, workers: usize, verbose: bool) {
+    if jobs.is_empty() {
+        return;
+    }
+    let workers = workers.clamp(1, jobs.len());
+    if workers == 1 {
+        for job in &jobs {
+            if verbose {
+                eprintln!("  sim: {}", job.key);
+            }
+            let r = job.simulate();
+            store.insert(&job.key, r);
+        }
+        return;
+    }
+
+    // Round-robin the job indices across per-worker deques. Workers pop
+    // their own front and steal a victim's back, so early finishers drain
+    // the stragglers' queues instead of idling.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..jobs.len() {
+        queues[i % workers].lock().unwrap().push_back(i);
+    }
+
+    let mut results: Vec<Option<SimResult>> = vec![None; jobs.len()];
+    let (tx, rx) = mpsc::channel::<(usize, SimResult)>();
+    let jobs_ref = &jobs;
+    let queues_ref = &queues;
+    std::thread::scope(|s| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            s.spawn(move || {
+                while let Some(i) = claim(queues_ref, me) {
+                    let r = jobs_ref[i].simulate();
+                    if tx.send((i, r)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let total = jobs_ref.len();
+        let mut done = 0usize;
+        for (i, r) in rx {
+            done += 1;
+            if verbose {
+                eprintln!("  sim [{done}/{total}]: {}", jobs_ref[i].key);
+            }
+            results[i] = Some(r);
+        }
+    });
+
+    // Merge in canonical (job-list) order, not completion order.
+    for (job, r) in jobs.iter().zip(results) {
+        store.insert(&job.key, r.expect("every job was simulated"));
+    }
+}
+
+/// Takes the next job index for worker `me`: own queue first, then steal.
+fn claim(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(i) = queues[me].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    for step in 1..queues.len() {
+        let victim = (me + step) % queues.len();
+        if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walksteal_multitenant::PolicyPreset;
+    use walksteal_workloads::{AppId, WorkloadPair};
+
+    fn tiny_jobs(n: usize) -> Vec<Job> {
+        let pairs = [
+            WorkloadPair::new(AppId::Gups, AppId::Mm),
+            WorkloadPair::new(AppId::Jpeg, AppId::Hs),
+            WorkloadPair::new(AppId::Fft, AppId::Blk),
+        ];
+        (0..n)
+            .map(|i| {
+                let pair = pairs[i % pairs.len()];
+                let seed = 42 + (i / pairs.len()) as u64;
+                let cfg = GpuConfig::default()
+                    .with_n_sms(4)
+                    .with_warps_per_sm(4)
+                    .with_instructions_per_warp(300)
+                    .with_preset(PolicyPreset::Dws);
+                Job {
+                    key: ExpKey::pair(PolicyPreset::Dws, pair, "quick", seed),
+                    cfg,
+                    apps: pair.apps().to_vec(),
+                    seed,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_store() {
+        let jobs = tiny_jobs(6);
+        let mut serial = Store::in_memory();
+        run_jobs(&mut serial, jobs.clone(), 1, false);
+        let mut parallel = Store::in_memory();
+        run_jobs(&mut parallel, jobs.clone(), 4, false);
+        assert_eq!(serial.misses(), parallel.misses());
+        for job in &jobs {
+            let a = serial.lookup(&job.key).expect("serial ran the job");
+            let b = parallel.lookup(&job.key).expect("parallel ran the job");
+            assert_eq!(a, b, "results diverge for {}", job.key);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = tiny_jobs(2);
+        let mut store = Store::in_memory();
+        run_jobs(&mut store, jobs.clone(), 16, false);
+        assert_eq!(store.misses(), 2);
+        assert!(store.lookup(&jobs[0].key).is_some());
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let mut store = Store::in_memory();
+        run_jobs(&mut store, Vec::new(), 8, false);
+        assert_eq!(store.misses(), 0);
+    }
+
+    #[test]
+    fn claim_drains_all_queues() {
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..3).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..7 {
+            queues[i % 3].lock().unwrap().push_back(i);
+        }
+        let mut seen: Vec<usize> = Vec::new();
+        while let Some(i) = claim(&queues, 1) {
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,237 @@
+//! `repro --selftest-perf`: the engine measuring itself.
+//!
+//! Three throughput measurements, reported as JSON (the repo checks a
+//! snapshot in as `BENCH_parallel.json`):
+//!
+//! 1. **Event-queue micro-benchmark** — an identical synthetic push/pop
+//!    workload driven through the calendar-queue [`EventQueue`] and the
+//!    reference [`BinaryHeapQueue`], reporting events/sec for each and
+//!    their ratio.
+//! 2. **Whole-simulation throughput** — a quick-scale pair simulation,
+//!    reporting simulated events/sec end to end (best of three runs).
+//! 3. **Parallel scaling** — the same batch of quick-scale simulations
+//!    through [`parallel::run_jobs`] with one worker and with `jobs`
+//!    workers, reporting wall-clock for both and the speedup. The two
+//!    stores are also compared, so the selftest doubles as a determinism
+//!    check.
+
+use std::time::Instant;
+
+use walksteal_multitenant::{PolicyPreset, Simulation};
+use walksteal_sim_core::{BinaryHeapQueue, Cycle, EventQueue, Json, SimRng};
+use walksteal_workloads::{paper_pairs, AppId};
+
+use crate::key::ExpKey;
+use crate::parallel::{self, Job};
+use crate::scale::Scale;
+use crate::store::Store;
+
+/// Push/pop pairs driven through each queue in the micro-benchmark.
+const QUEUE_OPS: u64 = 2_000_000;
+
+/// Simulations in the parallel-scaling batch (per `jobs`, min 8).
+fn batch_size(jobs: usize) -> usize {
+    (2 * jobs).max(8)
+}
+
+/// The operations both queue implementations share.
+trait Queue {
+    fn push(&mut self, at: Cycle, value: u64);
+    fn pop(&mut self) -> Option<(Cycle, u64)>;
+}
+
+impl Queue for EventQueue<u64> {
+    fn push(&mut self, at: Cycle, value: u64) {
+        EventQueue::push(self, at, value);
+    }
+    fn pop(&mut self) -> Option<(Cycle, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Queue for BinaryHeapQueue<u64> {
+    fn push(&mut self, at: Cycle, value: u64) {
+        BinaryHeapQueue::push(self, at, value);
+    }
+    fn pop(&mut self) -> Option<(Cycle, u64)> {
+        BinaryHeapQueue::pop(self)
+    }
+}
+
+/// Drives `ops` pop+push pairs through `q` and returns events/sec.
+///
+/// The workload mimics the simulator's profile: a warm queue of ~1k pending
+/// events, short geometric delays (wakeups, memory latencies) plus an
+/// occasional far-future event (sample ticks, relaunches) that lands beyond
+/// the calendar window.
+fn drive(q: &mut dyn Queue, ops: u64) -> f64 {
+    let mut rng = SimRng::new(0xC0FFEE);
+    for i in 0..1024 {
+        q.push(Cycle(rng.next_below(512)), i);
+    }
+    let start = Instant::now();
+    for n in 0..ops {
+        let (at, _) = q.pop().expect("queue stays warm");
+        let delay = 1 + rng.next_geometric(1.0 / 120.0);
+        q.push(Cycle(at.0 + delay), n);
+        if rng.chance(1.0 / 64.0) {
+            let (far_at, _) = q.pop().expect("queue stays warm");
+            q.push(Cycle(far_at.0 + 5_000 + rng.next_below(4_096)), n);
+        }
+    }
+    // Each loop iteration pops and pushes at least one event.
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+fn queue_micro() -> Json {
+    let heap = drive(&mut BinaryHeapQueue::new(), QUEUE_OPS);
+    let calendar = drive(&mut EventQueue::new(), QUEUE_OPS);
+    eprintln!(
+        "queue micro: calendar {calendar:.0} ev/s vs heap {heap:.0} ev/s ({:.2}x)",
+        calendar / heap
+    );
+    Json::Obj(vec![
+        ("ops".into(), Json::UInt(QUEUE_OPS)),
+        ("binary_heap_events_per_sec".into(), Json::Num(heap)),
+        ("calendar_events_per_sec".into(), Json::Num(calendar)),
+        ("calendar_over_heap".into(), Json::Num(calendar / heap)),
+    ])
+}
+
+fn sim_throughput() -> Json {
+    let cfg = Scale::Quick
+        .base_config()
+        .for_tenants(2)
+        .with_preset(PolicyPreset::DwsPlusPlus);
+    let apps = [AppId::Gups, AppId::Mm];
+    let mut events = 0u64;
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let r = Simulation::new(cfg.clone(), &apps, 42).run();
+        let rate = r.events as f64 / start.elapsed().as_secs_f64();
+        events = r.events;
+        best = best.max(rate);
+    }
+    eprintln!("simulation: {events} events, best {best:.0} ev/s");
+    Json::Obj(vec![
+        ("scale".into(), Json::Str("quick".into())),
+        ("events".into(), Json::UInt(events)),
+        ("events_per_sec".into(), Json::Num(best)),
+    ])
+}
+
+fn scaling_jobs(n: usize) -> Vec<Job> {
+    let pairs = paper_pairs();
+    (0..n)
+        .map(|i| {
+            let pair = pairs[i % pairs.len()];
+            let seed = 42 + (i / pairs.len()) as u64;
+            let cfg = Scale::Quick
+                .base_config()
+                .for_tenants(2)
+                .with_preset(PolicyPreset::Dws);
+            Job {
+                key: ExpKey::pair(PolicyPreset::Dws, pair, "quick", seed),
+                cfg,
+                apps: pair.apps().to_vec(),
+                seed,
+            }
+        })
+        .collect()
+}
+
+fn parallel_scaling(jobs: usize) -> Json {
+    let batch = scaling_jobs(batch_size(jobs));
+    let n = batch.len();
+
+    let mut serial_store = Store::in_memory();
+    let start = Instant::now();
+    parallel::run_jobs(&mut serial_store, batch.clone(), 1, false);
+    let serial = start.elapsed().as_secs_f64();
+
+    let mut parallel_store = Store::in_memory();
+    let start = Instant::now();
+    parallel::run_jobs(&mut parallel_store, batch.clone(), jobs, false);
+    let par = start.elapsed().as_secs_f64();
+
+    let identical = batch
+        .iter()
+        .all(|j| serial_store.lookup(&j.key) == parallel_store.lookup(&j.key));
+    assert!(identical, "parallel results diverged from serial");
+    eprintln!(
+        "parallel: {n} sims, serial {serial:.2}s, {jobs} workers {par:.2}s ({:.2}x)",
+        serial / par
+    );
+    Json::Obj(vec![
+        ("n_sims".into(), Json::UInt(n as u64)),
+        ("serial_secs".into(), Json::Num(serial)),
+        ("parallel_secs".into(), Json::Num(par)),
+        ("sims_per_sec_serial".into(), Json::Num(n as f64 / serial)),
+        ("sims_per_sec_parallel".into(), Json::Num(n as f64 / par)),
+        ("speedup".into(), Json::Num(serial / par)),
+        ("identical_results".into(), Json::Bool(identical)),
+    ])
+}
+
+/// Runs all three measurements with `jobs` workers and returns the report.
+#[must_use]
+pub fn selftest(jobs: usize) -> Json {
+    Json::Obj(vec![
+        ("jobs".into(), Json::UInt(jobs as u64)),
+        (
+            "host_parallelism".into(),
+            Json::UInt(parallel::default_jobs() as u64),
+        ),
+        ("queue_micro".into(), queue_micro()),
+        ("simulation".into(), sim_throughput()),
+        ("parallel".into(), parallel_scaling(jobs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_queues_agree_on_the_micro_workload() {
+        // Replay a short prefix of the benchmark loop on both queues and
+        // check every popped (cycle, value) pair matches.
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut rng_a = SimRng::new(0xC0FFEE);
+        let mut rng_b = SimRng::new(0xC0FFEE);
+        for i in 0..64 {
+            cal.push(Cycle(rng_a.next_below(512)), i);
+            heap.push(Cycle(rng_b.next_below(512)), i);
+        }
+        for n in 0..5_000u64 {
+            let a = cal.pop().unwrap();
+            let b = heap.pop().unwrap();
+            assert_eq!(a, b, "divergence at op {n}");
+            let (da, db) = (
+                1 + rng_a.next_geometric(1.0 / 120.0),
+                1 + rng_b.next_geometric(1.0 / 120.0),
+            );
+            assert_eq!(da, db);
+            cal.push(Cycle(a.0 .0 + da), n);
+            heap.push(Cycle(b.0 .0 + db), n);
+        }
+    }
+
+    #[test]
+    fn batch_size_covers_the_workers() {
+        assert_eq!(batch_size(1), 8);
+        assert_eq!(batch_size(8), 16);
+        assert!(batch_size(3) >= 6);
+    }
+
+    #[test]
+    fn scaling_jobs_have_distinct_keys() {
+        let jobs = scaling_jobs(50); // wraps past the 45 paper pairs
+        let mut keys: Vec<String> = jobs.iter().map(|j| j.key.to_string()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len());
+    }
+}

@@ -5,35 +5,45 @@
 //! hours of single-core simulation — so every completed run is cached as a
 //! JSON file keyed by its configuration. Re-running the suite simulates only
 //! what is missing.
+//!
+//! In memory the cache is keyed on the typed [`ExpKey`]; the key is rendered
+//! to its legacy string form only to name the file on disk, so caches written
+//! by earlier versions remain readable.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 
 use walksteal_multitenant::SimResult;
+use walksteal_sim_core::Json;
+
+use crate::key::ExpKey;
 
 /// A cache of [`SimResult`]s, in memory and optionally on disk.
 ///
 /// # Examples
 ///
 /// ```
-/// use walksteal_experiments::Store;
-/// use walksteal_multitenant::SimResult;
+/// use walksteal_experiments::{key::ExpKey, Store};
+/// use walksteal_multitenant::{PolicyPreset, SimResult};
+/// use walksteal_workloads::{AppId, WorkloadPair};
 ///
+/// let pair = WorkloadPair::new(AppId::Gups, AppId::Mm);
+/// let key = ExpKey::pair(PolicyPreset::Dws, pair, "quick", 42);
 /// let mut store = Store::in_memory();
 /// let mut runs = 0;
 /// let make = |runs: &mut u32| {
 ///     *runs += 1;
 ///     SimResult { tenants: vec![], cycles: 1, events: 0, timeline: vec![] }
 /// };
-/// store.get_or_run("demo", || make(&mut runs));
-/// store.get_or_run("demo", || make(&mut runs));
+/// store.get_or_run(&key, || make(&mut runs));
+/// store.get_or_run(&key, || make(&mut runs));
 /// assert_eq!(runs, 1); // second call was a cache hit
 /// ```
 #[derive(Debug)]
 pub struct Store {
     dir: Option<PathBuf>,
-    memory: HashMap<String, SimResult>,
+    memory: HashMap<ExpKey, SimResult>,
     hits: u64,
     misses: u64,
 }
@@ -61,7 +71,7 @@ impl Store {
         }
     }
 
-    /// Turns a free-form key into a safe file name.
+    /// Turns a rendered key into a safe file name.
     fn file_name(key: &str) -> String {
         let safe: String = key
             .chars()
@@ -82,34 +92,62 @@ impl Store {
         format!("{safe}-{h:016x}.json")
     }
 
-    /// Returns the cached result for `key`, or computes, caches, and
-    /// returns it.
-    pub fn get_or_run(&mut self, key: &str, run: impl FnOnce() -> SimResult) -> SimResult {
-        if let Some(r) = self.memory.get(key) {
-            self.hits += 1;
-            return r.clone();
-        }
-        if let Some(dir) = &self.dir {
-            let path = dir.join(Self::file_name(key));
-            if let Ok(text) = fs::read_to_string(&path) {
-                if let Ok(r) = serde_json::from_str::<SimResult>(&text) {
-                    self.hits += 1;
-                    self.memory.insert(key.to_owned(), r.clone());
-                    return r;
-                }
-            }
-        }
-        self.misses += 1;
-        let r = run();
-        if let Some(dir) = &self.dir {
+    fn disk_path(&self, key: &ExpKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|dir| dir.join(Self::file_name(&key.to_string())))
+    }
+
+    fn load_from_disk(&mut self, key: &ExpKey) -> Option<SimResult> {
+        let path = self.disk_path(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let r = SimResult::from_json(&Json::parse(&text).ok()?)?;
+        self.memory.insert(key.clone(), r.clone());
+        Some(r)
+    }
+
+    fn persist(&self, key: &ExpKey, r: &SimResult) {
+        if let (Some(dir), Some(path)) = (&self.dir, self.disk_path(key)) {
             // Cache write failures are non-fatal: the result is still valid.
             let _ = fs::create_dir_all(dir);
-            let path = dir.join(Self::file_name(key));
-            if let Ok(text) = serde_json::to_string(&r) {
-                let _ = fs::write(path, text);
-            }
+            let _ = fs::write(path, r.to_json().dump());
         }
-        self.memory.insert(key.to_owned(), r.clone());
+    }
+
+    /// Returns the cached result for `key` without running anything.
+    ///
+    /// Counts a hit when found (in memory or on disk); counts nothing when
+    /// absent.
+    pub fn lookup(&mut self, key: &ExpKey) -> Option<SimResult> {
+        if let Some(r) = self.memory.get(key) {
+            self.hits += 1;
+            return Some(r.clone());
+        }
+        let r = self.load_from_disk(key)?;
+        self.hits += 1;
+        Some(r)
+    }
+
+    /// Records a freshly simulated result, counting it as a miss.
+    ///
+    /// This is the merge half of the parallel engine: workers simulate
+    /// cache-missing jobs off-thread and the engine inserts the results in
+    /// canonical job order, leaving the store exactly as if `get_or_run` had
+    /// simulated each one in place.
+    pub fn insert(&mut self, key: &ExpKey, r: SimResult) {
+        self.misses += 1;
+        self.persist(key, &r);
+        self.memory.insert(key.clone(), r);
+    }
+
+    /// Returns the cached result for `key`, or computes, caches, and
+    /// returns it.
+    pub fn get_or_run(&mut self, key: &ExpKey, run: impl FnOnce() -> SimResult) -> SimResult {
+        if let Some(r) = self.lookup(key) {
+            return r;
+        }
+        let r = run();
+        self.insert(key, r.clone());
         r
     }
 
@@ -129,6 +167,13 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use walksteal_multitenant::PolicyPreset;
+    use walksteal_workloads::{AppId, WorkloadPair};
+
+    fn key(seed: u64) -> ExpKey {
+        let pair = WorkloadPair::new(AppId::Gups, AppId::Mm);
+        ExpKey::pair(PolicyPreset::Dws, pair, "quick", seed)
+    }
 
     fn dummy(cycles: u64) -> SimResult {
         SimResult {
@@ -142,8 +187,8 @@ mod tests {
     #[test]
     fn memoizes() {
         let mut s = Store::in_memory();
-        let a = s.get_or_run("k", || dummy(7));
-        let b = s.get_or_run("k", || panic!("must not re-run"));
+        let a = s.get_or_run(&key(1), || dummy(7));
+        let b = s.get_or_run(&key(1), || panic!("must not re-run"));
         assert_eq!(a, b);
         assert_eq!(s.hits(), 1);
         assert_eq!(s.misses(), 1);
@@ -152,10 +197,28 @@ mod tests {
     #[test]
     fn distinct_keys_rerun() {
         let mut s = Store::in_memory();
-        s.get_or_run("a", || dummy(1));
-        let b = s.get_or_run("b", || dummy(2));
+        s.get_or_run(&key(1), || dummy(1));
+        let b = s.get_or_run(&key(2), || dummy(2));
         assert_eq!(b.cycles, 2);
         assert_eq!(s.misses(), 2);
+    }
+
+    #[test]
+    fn insert_behaves_like_a_computed_run() {
+        let mut s = Store::in_memory();
+        s.insert(&key(1), dummy(9));
+        let r = s.get_or_run(&key(1), || panic!("must not re-run"));
+        assert_eq!(r.cycles, 9);
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn lookup_misses_count_nothing() {
+        let mut s = Store::in_memory();
+        assert!(s.lookup(&key(1)).is_none());
+        assert_eq!(s.hits(), 0);
+        assert_eq!(s.misses(), 0);
     }
 
     #[test]
@@ -164,11 +227,11 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             let mut s = Store::on_disk(&dir);
-            s.get_or_run("persist me", || dummy(42));
+            s.get_or_run(&key(42), || dummy(42));
         }
         {
             let mut s = Store::on_disk(&dir);
-            let r = s.get_or_run("persist me", || panic!("should load from disk"));
+            let r = s.get_or_run(&key(42), || panic!("should load from disk"));
             assert_eq!(r.cycles, 42);
             assert_eq!(s.hits(), 1);
         }

@@ -1,12 +1,16 @@
 //! One function per paper table/figure. See the crate docs for the index.
 
+use std::collections::HashSet;
+
 use walksteal_multitenant::{
-    fairness, weighted_ipc, GpuConfig, PolicyPreset, SimResult, Simulation,
+    fairness, weighted_ipc, GpuConfig, PolicyPreset, SimResult, Simulation, TenantResult,
 };
 use walksteal_sim_core::gmean;
 use walksteal_vm::PageSize;
 use walksteal_workloads::{named_pairs, paper_pairs, AppId, MpmiClass, WorkloadPair};
 
+use crate::key::ExpKey;
+use crate::parallel::{self, Job};
 use crate::report::Table;
 use crate::scale::Scale;
 use crate::store::Store;
@@ -17,8 +21,8 @@ pub const CLASSES: [&str; 6] = ["LL", "ML", "MM", "HL", "HM", "HH"];
 /// The virtual-memory-sensitive classes (the paper's "32 of 45").
 pub const VM_SENSITIVE: [&str; 3] = ["HL", "HM", "HH"];
 
-/// Shared state for running experiments: the scale, the result cache, and
-/// the base random seed.
+/// Shared state for running experiments: the scale, the result cache, the
+/// base random seed, and the degree of parallelism.
 pub struct ExpContext {
     /// Simulation scale.
     pub scale: Scale,
@@ -28,10 +32,49 @@ pub struct ExpContext {
     pub seed: u64,
     /// When true, prints a progress line per fresh simulation.
     pub verbose: bool,
+    /// Worker threads for [`ExpContext::run`] (1 = fully serial).
+    pub jobs: usize,
+    /// `Some` while a plan pass is collecting jobs (see [`ExpContext::run`]).
+    plan: Option<Plan>,
+}
+
+/// Jobs collected during a plan pass.
+#[derive(Default)]
+struct Plan {
+    seen: HashSet<ExpKey>,
+    jobs: Vec<Job>,
+}
+
+/// What [`ExpContext`] answers during a plan pass: structurally valid (one
+/// tenant per app, strictly positive rates so every downstream metric is
+/// well-defined) but never observed — the replay pass recomputes every
+/// table from real results.
+fn placeholder(apps: &[AppId]) -> SimResult {
+    SimResult {
+        tenants: apps
+            .iter()
+            .map(|&app| TenantResult {
+                app,
+                ipc: 1.0,
+                instructions: 1,
+                completed_executions: 1,
+                mpmi: 1.0,
+                l2_tlb_misses: 0,
+                mean_walk_latency: 1.0,
+                mean_interleave: 0.0,
+                stolen_fraction: 0.0,
+                pw_share: 0.5,
+                tlb_share: 0.5,
+            })
+            .collect(),
+        cycles: 1,
+        events: 0,
+        timeline: Vec::new(),
+    }
 }
 
 impl ExpContext {
-    /// Creates a context.
+    /// Creates a (serial) context.
     #[must_use]
     pub fn new(scale: Scale, store: Store) -> Self {
         ExpContext {
@@ -39,10 +82,48 @@ impl ExpContext {
             store,
             seed: 42,
             verbose: false,
+            jobs: 1,
+            plan: None,
         }
     }
 
-    fn run_apps(&mut self, key: String, cfg: GpuConfig, apps: &[AppId]) -> SimResult {
+    /// Runs `f` with the configured parallelism.
+    ///
+    /// With `jobs <= 1` this is just `f(self)`. Otherwise `f` is first
+    /// replayed in *plan* mode — every cache-missing simulation is recorded
+    /// as a [`Job`] and answered with a placeholder — the collected jobs run
+    /// on the work-stealing pool (see [`parallel::run_jobs`]), and `f` runs
+    /// once more against the now-warm cache. Everything `f` returns comes
+    /// from that second pass, so the output is bit-identical to a serial
+    /// run. `f` must request the same simulations on both passes; it can
+    /// read the placeholder results, just not branch the *job set* on them
+    /// (no experiment does — the evaluation matrix is fixed up front).
+    pub fn run<T>(&mut self, f: impl Fn(&mut ExpContext) -> T) -> T {
+        if self.jobs > 1 {
+            self.plan = Some(Plan::default());
+            let _ = f(self);
+            let plan = self.plan.take().expect("plan mode set above");
+            parallel::run_jobs(&mut self.store, plan.jobs, self.jobs, self.verbose);
+        }
+        f(self)
+    }
+
+    fn run_apps(&mut self, key: ExpKey, cfg: GpuConfig, apps: &[AppId]) -> SimResult {
+        if self.plan.is_some() {
+            if let Some(r) = self.store.lookup(&key) {
+                return r;
+            }
+            let plan = self.plan.as_mut().expect("checked above");
+            if plan.seen.insert(key.clone()) {
+                plan.jobs.push(Job {
+                    key,
+                    cfg,
+                    apps: apps.to_vec(),
+                    seed: self.seed,
+                });
+            }
+            return placeholder(apps);
+        }
         let seed = self.seed;
         let verbose = self.verbose;
         self.store.get_or_run(&key, || {
@@ -56,25 +137,14 @@ impl ExpContext {
     /// Runs (or recalls) `pair` under `preset` at this scale.
     pub fn pair(&mut self, preset: PolicyPreset, pair: WorkloadPair) -> SimResult {
         let cfg = self.scale.base_config().for_tenants(2).with_preset(preset);
-        let key = format!(
-            "pair|{}|{}|{}|s{}",
-            preset.label(),
-            pair,
-            self.scale.label(),
-            self.seed
-        );
+        let key = ExpKey::pair(preset, pair, self.scale.label(), self.seed);
         self.run_apps(key, cfg, &pair.apps())
     }
 
     /// Runs `pair` under a custom configuration (`label` must uniquely
     /// describe the tweaks relative to [`ExpContext::pair`]).
     pub fn pair_with(&mut self, label: &str, cfg: GpuConfig, pair: WorkloadPair) -> SimResult {
-        let key = format!(
-            "pairx|{label}|{}|{}|s{}",
-            pair,
-            self.scale.label(),
-            self.seed
-        );
+        let key = ExpKey::custom(label, pair, self.scale.label(), self.seed);
         self.run_apps(key, cfg, &pair.apps())
     }
 
@@ -95,13 +165,7 @@ impl ExpContext {
             .with_instructions_per_warp(budget)
             .for_tenants(1)
             .with_preset(PolicyPreset::Baseline);
-        let key = format!(
-            "solo|{}|{}sms|{}|s{}",
-            app,
-            sms,
-            self.scale.label(),
-            self.seed
-        );
+        let key = ExpKey::solo(app, sms, self.scale.label(), self.seed);
         self.run_apps(key, cfg, &[app])
     }
 
@@ -611,14 +675,7 @@ pub fn fig13(ctx: &mut ExpContext) -> Table {
                 .with_walkers(walkers)
                 .for_tenants(n)
                 .with_preset(preset);
-            let names: Vec<&str> = combo.iter().map(|a| a.name()).collect();
-            let key = format!(
-                "multi|{}|{}|{}|s{}",
-                preset.label(),
-                names.join("."),
-                ctx.scale.label(),
-                ctx.seed
-            );
+            let key = ExpKey::multi(preset, &combo, ctx.scale.label(), ctx.seed);
             let r = ctx.run_apps(key, cfg, &combo);
             vals.push(r.total_ipc());
         }
@@ -804,6 +861,17 @@ mod tests {
             assert!(combo.len() == 3 || combo.len() == 4);
         }
         assert_eq!(fig13_combos().len(), 14);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let mut serial = quick_ctx();
+        let expected = fig9(&mut serial);
+        let mut parallel = quick_ctx();
+        parallel.jobs = 4;
+        let got = parallel.run(fig9);
+        assert_eq!(expected.to_string(), got.to_string());
+        assert_eq!(serial.store.misses(), parallel.store.misses());
     }
 
     #[test]

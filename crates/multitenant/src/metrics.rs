@@ -10,10 +10,11 @@
 //! * **Fairness**: min(Sᵢ)/max(Sᵢ) over the tenants' slowdowns
 //!   Sᵢ = IPCᶜ\[i\]/IPCˢᴬ\[i\] (Eyerman & Eeckhout). 1 is perfectly fair.
 
+use walksteal_sim_core::Json;
 use walksteal_workloads::AppId;
 
 /// Per-tenant results of one simulation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantResult {
     /// The application this tenant ran.
     pub app: AppId,
@@ -43,7 +44,7 @@ pub struct TenantResult {
 
 /// One periodic snapshot of simulator state (see
 /// [`GpuConfig::sample_interval`](crate::GpuConfig)).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// When the snapshot was taken.
     pub cycle: u64,
@@ -56,7 +57,7 @@ pub struct Sample {
 }
 
 /// Results of one complete simulation run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Per-tenant metrics, indexed by tenant id.
     pub tenants: Vec<TenantResult>,
@@ -67,7 +68,6 @@ pub struct SimResult {
     /// Periodic snapshots, when sampling was enabled (else empty).
     /// Defaults to empty on deserialization so results cached before
     /// sampling existed still load.
-    #[serde(default)]
     pub timeline: Vec<Sample>,
 }
 
@@ -76,6 +76,121 @@ impl SimResult {
     #[must_use]
     pub fn total_ipc(&self) -> f64 {
         self.tenants.iter().map(|t| t.ipc).sum()
+    }
+
+    /// Serializes to a [`Json`] document (the experiment cache format).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "tenants".into(),
+                Json::Arr(self.tenants.iter().map(TenantResult::to_json).collect()),
+            ),
+            ("cycles".into(), Json::UInt(self.cycles)),
+            ("events".into(), Json::UInt(self.events)),
+            (
+                "timeline".into(),
+                Json::Arr(self.timeline.iter().map(Sample::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes from [`to_json`](Self::to_json) output. A missing
+    /// `timeline` reads as empty so results cached before sampling existed
+    /// still load.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<SimResult> {
+        Some(SimResult {
+            tenants: v
+                .get("tenants")?
+                .as_array()?
+                .iter()
+                .map(TenantResult::from_json)
+                .collect::<Option<_>>()?,
+            cycles: v.get("cycles")?.as_u64()?,
+            events: v.get("events")?.as_u64()?,
+            timeline: match v.get("timeline") {
+                Some(t) => t
+                    .as_array()?
+                    .iter()
+                    .map(Sample::from_json)
+                    .collect::<Option<_>>()?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+impl TenantResult {
+    /// Serializes to a [`Json`] object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("app".into(), Json::Str(self.app.name().to_string())),
+            ("ipc".into(), Json::Num(self.ipc)),
+            ("instructions".into(), Json::UInt(self.instructions)),
+            (
+                "completed_executions".into(),
+                Json::UInt(u64::from(self.completed_executions)),
+            ),
+            ("mpmi".into(), Json::Num(self.mpmi)),
+            ("l2_tlb_misses".into(), Json::UInt(self.l2_tlb_misses)),
+            ("mean_walk_latency".into(), Json::Num(self.mean_walk_latency)),
+            ("mean_interleave".into(), Json::Num(self.mean_interleave)),
+            ("stolen_fraction".into(), Json::Num(self.stolen_fraction)),
+            ("pw_share".into(), Json::Num(self.pw_share)),
+            ("tlb_share".into(), Json::Num(self.tlb_share)),
+        ])
+    }
+
+    /// Deserializes from [`to_json`](Self::to_json) output.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<TenantResult> {
+        Some(TenantResult {
+            app: AppId::from_name(v.get("app")?.as_str()?)?,
+            ipc: v.get("ipc")?.as_f64()?,
+            instructions: v.get("instructions")?.as_u64()?,
+            completed_executions: u32::try_from(v.get("completed_executions")?.as_u64()?).ok()?,
+            mpmi: v.get("mpmi")?.as_f64()?,
+            l2_tlb_misses: v.get("l2_tlb_misses")?.as_u64()?,
+            mean_walk_latency: v.get("mean_walk_latency")?.as_f64()?,
+            mean_interleave: v.get("mean_interleave")?.as_f64()?,
+            stolen_fraction: v.get("stolen_fraction")?.as_f64()?,
+            pw_share: v.get("pw_share")?.as_f64()?,
+            tlb_share: v.get("tlb_share")?.as_f64()?,
+        })
+    }
+}
+
+impl Sample {
+    /// Serializes to a [`Json`] object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycle".into(), Json::UInt(self.cycle)),
+            ("queued_walks".into(), Json::UInt(self.queued_walks as u64)),
+            ("busy_walkers".into(), Json::UInt(self.busy_walkers as u64)),
+            (
+                "instructions_delta".into(),
+                Json::Arr(self.instructions_delta.iter().map(|&d| Json::UInt(d)).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes from [`to_json`](Self::to_json) output.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Sample> {
+        Some(Sample {
+            cycle: v.get("cycle")?.as_u64()?,
+            queued_walks: usize::try_from(v.get("queued_walks")?.as_u64()?).ok()?,
+            busy_walkers: usize::try_from(v.get("busy_walkers")?.as_u64()?).ok()?,
+            instructions_delta: v
+                .get("instructions_delta")?
+                .as_array()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<_>>()?,
+        })
     }
 }
 
@@ -208,5 +323,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_standalone_panics() {
         let _ = fairness(&run(&[1.0]), &[0.0]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut r = run(&[0.123_456_789, 1.5]);
+        r.tenants[1].app = AppId::Tds;
+        r.tenants[0].mpmi = 87.3;
+        r.tenants[0].l2_tlb_misses = u64::MAX;
+        r.timeline.push(Sample {
+            cycle: 1000,
+            queued_walks: 12,
+            busy_walkers: 16,
+            instructions_delta: vec![5, 7],
+        });
+        let text = r.to_json().dump();
+        let back = SimResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_missing_timeline_defaults_empty() {
+        let r = run(&[1.0]);
+        let Json::Obj(mut entries) = r.to_json() else {
+            panic!("expected object")
+        };
+        entries.retain(|(k, _)| k != "timeline");
+        let back = SimResult::from_json(&Json::Obj(entries)).unwrap();
+        assert!(back.timeline.is_empty());
+        assert_eq!(back.tenants, r.tenants);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(SimResult::from_json(&Json::parse("{}").unwrap()).is_none());
+        assert!(SimResult::from_json(&Json::parse("[1,2]").unwrap()).is_none());
+        let bad_app = r#"{"tenants":[{"app":"NOPE"}],"cycles":1,"events":0}"#;
+        assert!(SimResult::from_json(&Json::parse(bad_app).unwrap()).is_none());
     }
 }

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use walksteal_gpu::{coalesce, MemRef, SmState};
+use walksteal_gpu::{MemRef, SmState};
 use walksteal_mem::{AccessKind, MemSystem};
 use walksteal_sim_core::{Cycle, EventQueue, LineAddr, Ppn, TenantId, Vpn, WalkerId};
 use walksteal_vm::{
@@ -87,6 +87,9 @@ pub struct Simulation {
     mask: Option<MaskState>,
     /// Outstanding walks keyed by (tenant, vpn).
     merge: HashMap<(TenantId, Vpn), Vec<Waiter>>,
+    /// Free list of waiter vectors for `merge`, so the walk-merge path
+    /// recycles buffers instead of allocating one per walk.
+    waiter_pool: Vec<Vec<Waiter>>,
     /// Translations blocked on a full resource (walk queue, merge table, or
     /// L1-TLB MSHRs), re-tried when a walker completion frees capacity.
     /// Parked per tenant and woken round-robin so a walk-intensive tenant's
@@ -180,6 +183,7 @@ impl Simulation {
             page_tables,
             frames: FrameAlloc::new(),
             merge: HashMap::new(),
+            waiter_pool: Vec::new(),
             parked: (0..n_tenants)
                 .map(|_| std::collections::VecDeque::new())
                 .collect(),
@@ -256,17 +260,22 @@ impl Simulation {
 
     fn on_warp_start(&mut self, sm: usize, warp: usize) {
         let tenant = self.sms[sm].tenant();
-        let Some(op) = self.warps[sm][warp].stream.next_op() else {
+        // Generate the next op directly into the warp's pending buffer —
+        // `next_op_into` emits references already coalesced (distinct, in
+        // first-appearance order), and reusing the buffer keeps this
+        // per-instruction path allocation-free in steady state.
+        let mut refs = std::mem::take(&mut self.warps[sm][warp].pending);
+        let Some(compute) = self.warps[sm][warp].stream.next_op_into(&mut refs) else {
+            self.warps[sm][warp].pending = refs;
             self.on_warp_finished(sm, warp, tenant);
             return;
         };
-        let instructions = op.instructions();
+        let instructions = compute + 1;
         let end = self.sms[sm].issue_burst(self.now, instructions);
         let t = &mut self.tenants[tenant.index()];
         t.instr_this_exec += instructions;
         t.instr_total += instructions;
 
-        let refs = coalesce(&op.refs);
         debug_assert!(!refs.is_empty(), "memory op with no references");
         let w = &mut self.warps[sm][warp];
         w.outstanding = refs.len();
@@ -278,9 +287,12 @@ impl Simulation {
 
     fn on_warp_mem(&mut self, sm: usize, warp: usize) {
         let refs = std::mem::take(&mut self.warps[sm][warp].pending);
-        for r in refs {
+        for &r in &refs {
             self.begin_ref(sm, warp, r, false);
         }
+        // Hand the buffer back for the warp's next op (contents are stale
+        // until `next_op_into` clears them).
+        self.warps[sm][warp].pending = refs;
     }
 
     /// Drives one coalesced reference through translation and then data.
@@ -340,7 +352,9 @@ impl Simulation {
             .try_enqueue(WalkRequest { tenant, vpn: r.vpn }, now + l2_lat, &mut ctx)
         {
             Ok(dispatched) => {
-                self.merge.insert(key, vec![(sm, warp, r)]);
+                let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+                waiters.push((sm, warp, r));
+                self.merge.insert(key, waiters);
                 if let Some(d) = dispatched {
                     self.events
                         .push(d.done_at, Event::WalkerDone { walker: d.walker });
@@ -378,14 +392,14 @@ impl Simulation {
         }
 
         // Wake every waiter merged onto this walk.
-        let waiters = self
-            .merge
-            .remove(&(done.tenant, done.vpn))
-            .unwrap_or_default();
-        for (sm, warp, r) in waiters {
-            self.sms[sm].fill_l1_tlb(r.vpn, done.ppn, now);
-            self.sms[sm].release_tlb_mshr();
-            self.data_access(sm, warp, r, done.ppn, now);
+        if let Some(mut waiters) = self.merge.remove(&(done.tenant, done.vpn)) {
+            for &(sm, warp, r) in &waiters {
+                self.sms[sm].fill_l1_tlb(r.vpn, done.ppn, now);
+                self.sms[sm].release_tlb_mshr();
+                self.data_access(sm, warp, r, done.ppn, now);
+            }
+            waiters.clear();
+            self.waiter_pool.push(waiters);
         }
 
         // The completion freed capacity (a queue slot, merge entry, and

@@ -1,48 +1,62 @@
 //! A deterministic discrete-event queue.
 //!
-//! [`EventQueue`] is a min-heap keyed by [`Cycle`] with FIFO tie-breaking:
-//! two events scheduled for the same cycle pop in the order they were pushed.
-//! Determinism matters here — the whole simulator must replay bit-identically
-//! from a seed so experiments are reproducible.
+//! Simulators schedule work "at cycle N" and repeatedly pop the earliest
+//! pending event. Correct replay requires a *total* order: when several
+//! events land on the same cycle they must come back in insertion order
+//! (FIFO), or two runs of the same seed could diverge.
+//!
+//! [`EventQueue`] is a bucketed **calendar queue**: a ring of per-cycle FIFO
+//! buckets covering a sliding window of upcoming cycles, with a binary-heap
+//! fallback for the rare event scheduled beyond the window. Simulation
+//! events are overwhelmingly near-future (compute bursts, cache and DRAM
+//! latencies — all far shorter than the window), so push and pop are
+//! amortized O(1) instead of the O(log n) a heap pays per memory op.
+//! [`BinaryHeapQueue`] is the previous heap-based implementation, kept as a
+//! differential-testing reference model and benchmark baseline.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 use crate::ids::Cycle;
 
-/// One scheduled entry in the heap. Ordered so that the *earliest* cycle and,
-/// within a cycle, the *smallest* sequence number pops first from a max-heap.
-struct Entry<T> {
+/// Cycles covered by the bucket ring (must be a power of two). Events up to
+/// this far in the future take the O(1) bucket path; anything beyond spills
+/// to the heap. 4096 comfortably covers every latency in the simulator
+/// (DRAM round trips, full page walks, timeline sampling intervals).
+const BUCKETS: usize = 4096;
+
+/// An event in the heap fallback, ordered by `(at, seq)` so the heap pops
+/// the lowest cycle first and FIFO within a cycle.
+#[derive(Debug, Clone)]
+struct FarEntry<T> {
     at: Cycle,
     seq: u64,
     payload: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T> PartialEq for FarEntry<T> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<T> Eq for Entry<T> {}
+impl<T> Eq for FarEntry<T> {}
 
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+impl<T> PartialOrd for FarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse both keys: BinaryHeap is a max-heap and we want a min-heap.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<T> Ord for FarEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // (cycle, seq) on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
-/// A discrete-event priority queue with deterministic FIFO tie-breaking.
+/// A calendar event queue with deterministic FIFO ordering within a cycle.
 ///
 /// # Examples
 ///
@@ -50,44 +64,184 @@ impl<T> Ord for Entry<T> {
 /// use walksteal_sim_core::{Cycle, EventQueue};
 ///
 /// let mut q = EventQueue::new();
-/// q.push(Cycle(3), 'b');
-/// q.push(Cycle(1), 'a');
-/// assert_eq!(q.next_cycle(), Some(Cycle(1)));
-/// assert_eq!(q.pop(), Some((Cycle(1), 'a')));
-/// assert_eq!(q.pop(), Some((Cycle(3), 'b')));
+/// q.push(Cycle(3), "third");
+/// q.push(Cycle(1), "first");
+/// q.push(Cycle(3), "also third");
+///
+/// assert_eq!(q.pop(), Some((Cycle(1), "first")));
+/// assert_eq!(q.pop(), Some((Cycle(3), "third")));
+/// assert_eq!(q.pop(), Some((Cycle(3), "also third")));
 /// assert!(q.is_empty());
 /// ```
-#[derive(Default)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
-    next_seq: u64,
+    /// Ring of FIFO buckets; bucket `c & (BUCKETS-1)` holds the events of
+    /// cycle `c` for `c` in the window `[cursor, cursor + BUCKETS)`.
+    buckets: Box<[VecDeque<T>]>,
+    /// Total events currently in the ring.
+    in_ring: usize,
+    /// Base of the window. Only moves forward, and never past a non-empty
+    /// bucket, so every ringed event's cycle is `>= cursor`. Because the
+    /// window is exactly one ring revolution, each bucket holds events of a
+    /// single cycle at a time and its FIFO order is the insertion order.
+    cursor: u64,
+    /// Fallback for events pushed outside the window — beyond it, or (after
+    /// the window has advanced past their cycle) behind it.
+    far: BinaryHeap<FarEntry<T>>,
+    /// Insertion counter for FIFO tie-breaking among heap events.
+    far_seq: u64,
 }
 
 impl<T> EventQueue<T> {
-    /// Creates an empty event queue.
+    /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
+            buckets: (0..BUCKETS).map(|_| VecDeque::new()).collect(),
+            in_ring: 0,
+            cursor: 0,
+            far: BinaryHeap::new(),
+            far_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at cycle `at`.
+    pub fn push(&mut self, at: Cycle, payload: T) {
+        let c = at.0;
+        if c >= self.cursor && c - self.cursor < BUCKETS as u64 {
+            self.buckets[(c as usize) & (BUCKETS - 1)].push_back(payload);
+            self.in_ring += 1;
+        } else {
+            self.far.push(FarEntry {
+                at,
+                seq: self.far_seq,
+                payload,
+            });
+            self.far_seq += 1;
+        }
+    }
+
+    /// Removes and returns the earliest event; same-cycle events come back
+    /// in insertion order.
+    ///
+    /// A heap event never ties *behind* a ring event: an event lands in the
+    /// heap only when its cycle is outside the window, i.e. either it was
+    /// pushed before any same-cycle ring event existed (window not there
+    /// yet) or same-cycle ring events can no longer exist (window already
+    /// past — the bucket drained before the cursor moved on). So on a tied
+    /// cycle the heap event is always the older one, and popping the heap
+    /// first preserves FIFO.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        if self.in_ring > 0 {
+            // Scan forward to the next non-empty bucket, yielding to the
+            // heap as soon as its minimum is due at or before the cursor.
+            loop {
+                if let Some(f) = self.far.peek() {
+                    if f.at.0 <= self.cursor {
+                        let e = self.far.pop().expect("peeked entry");
+                        return Some((e.at, e.payload));
+                    }
+                }
+                let bucket = &mut self.buckets[(self.cursor as usize) & (BUCKETS - 1)];
+                if let Some(payload) = bucket.pop_front() {
+                    self.in_ring -= 1;
+                    return Some((Cycle(self.cursor), payload));
+                }
+                self.cursor += 1;
+            }
+        }
+        // Ring empty: drain the heap, dragging the window forward so
+        // subsequent near-future pushes take the bucket path again.
+        let e = self.far.pop()?;
+        if e.at.0 > self.cursor {
+            self.cursor = e.at.0;
+        }
+        Some((e.at, e.payload))
+    }
+
+    /// The cycle of the earliest pending event, without removing it.
+    #[must_use]
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        let far_at = self.far.peek().map(|e| e.at);
+        if self.in_ring > 0 {
+            let mut c = self.cursor;
+            loop {
+                if far_at.is_some_and(|f| f.0 <= c) {
+                    return far_at;
+                }
+                if !self.buckets[(c as usize) & (BUCKETS - 1)].is_empty() {
+                    return Some(Cycle(c));
+                }
+                c += 1;
+            }
+        }
+        far_at
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.in_ring + self.far.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .field("next_cycle", &self.next_cycle())
+            .finish()
+    }
+}
+
+/// The previous `BinaryHeap`-based event queue.
+///
+/// Functionally identical to [`EventQueue`] (same total order: cycle, then
+/// insertion). Retained as the reference model for the calendar queue's
+/// differential tests and as the baseline for the `repro --selftest-perf`
+/// events/sec comparison.
+pub struct BinaryHeapQueue<T> {
+    heap: BinaryHeap<FarEntry<T>>,
+    next_seq: u64,
+}
+
+impl<T> BinaryHeapQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        BinaryHeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
     }
 
-    /// Schedules `payload` to fire at cycle `at`.
-    ///
-    /// Events pushed for the same cycle pop in push order.
+    /// Schedules `payload` at cycle `at`.
     pub fn push(&mut self, at: Cycle, payload: T) {
-        let seq = self.next_seq;
+        self.heap.push(FarEntry {
+            at,
+            seq: self.next_seq,
+            payload,
+        });
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
     }
 
-    /// Removes and returns the earliest event, or `None` if empty.
+    /// Removes and returns the earliest event (FIFO within a cycle).
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
         self.heap.pop().map(|e| (e.at, e.payload))
     }
 
-    /// The cycle of the earliest pending event, or `None` if empty.
+    /// The cycle of the earliest pending event.
     #[must_use]
     pub fn next_cycle(&self) -> Option<Cycle> {
         self.heap.peek().map(|e| e.at)
@@ -99,17 +253,23 @@ impl<T> EventQueue<T> {
         self.heap.len()
     }
 
-    /// Whether there are no pending events.
+    /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 }
 
-impl<T> std::fmt::Debug for EventQueue<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+impl<T> Default for BinaryHeapQueue<T> {
+    fn default() -> Self {
+        BinaryHeapQueue::new()
+    }
+}
+
+impl<T> fmt::Debug for BinaryHeapQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BinaryHeapQueue")
+            .field("pending", &self.len())
             .field("next_cycle", &self.next_cycle())
             .finish()
     }
@@ -118,16 +278,17 @@ impl<T> std::fmt::Debug for EventQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
 
     #[test]
     fn orders_by_cycle() {
         let mut q = EventQueue::new();
-        q.push(Cycle(30), 3);
-        q.push(Cycle(10), 1);
-        q.push(Cycle(20), 2);
-        assert_eq!(q.pop(), Some((Cycle(10), 1)));
-        assert_eq!(q.pop(), Some((Cycle(20), 2)));
-        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        q.push(Cycle(30), "c");
+        q.push(Cycle(10), "a");
+        q.push(Cycle(20), "b");
+        assert_eq!(q.pop(), Some((Cycle(10), "a")));
+        assert_eq!(q.pop(), Some((Cycle(20), "b")));
+        assert_eq!(q.pop(), Some((Cycle(30), "c")));
         assert_eq!(q.pop(), None);
     }
 
@@ -145,14 +306,15 @@ mod tests {
     #[test]
     fn interleaved_pushes_and_pops() {
         let mut q = EventQueue::new();
-        q.push(Cycle(5), "a");
-        q.push(Cycle(1), "b");
-        assert_eq!(q.pop(), Some((Cycle(1), "b")));
-        q.push(Cycle(2), "c");
-        q.push(Cycle(5), "d");
-        assert_eq!(q.pop(), Some((Cycle(2), "c")));
-        assert_eq!(q.pop(), Some((Cycle(5), "a")));
-        assert_eq!(q.pop(), Some((Cycle(5), "d")));
+        q.push(Cycle(1), 'a');
+        q.push(Cycle(3), 'c');
+        assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+        q.push(Cycle(2), 'b');
+        q.push(Cycle(3), 'd');
+        assert_eq!(q.pop(), Some((Cycle(2), 'b')));
+        assert_eq!(q.pop(), Some((Cycle(3), 'c')));
+        assert_eq!(q.pop(), Some((Cycle(3), 'd')));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -161,25 +323,156 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
         q.push(Cycle(1), ());
+        q.push(Cycle(2), ());
         assert!(!q.is_empty());
-        assert_eq!(q.len(), 1);
+        assert_eq!(q.len(), 2);
         q.pop();
-        assert!(q.is_empty());
+        assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn next_cycle_peeks_without_popping() {
         let mut q = EventQueue::new();
         assert_eq!(q.next_cycle(), None);
-        q.push(Cycle(9), ());
-        q.push(Cycle(4), ());
+        q.push(Cycle(9), 1);
+        q.push(Cycle(4), 2);
         assert_eq!(q.next_cycle(), Some(Cycle(4)));
         assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.next_cycle(), Some(Cycle(9)));
     }
 
     #[test]
     fn debug_is_nonempty() {
-        let q: EventQueue<u32> = EventQueue::new();
-        assert!(format!("{q:?}").contains("EventQueue"));
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 1);
+        let dbg = format!("{q:?}");
+        assert!(dbg.contains("pending"), "{dbg}");
+        assert!(dbg.contains('5'), "{dbg}");
+        let hq = BinaryHeapQueue::<u8>::new();
+        assert!(format!("{hq:?}").contains("pending"));
+    }
+
+    #[test]
+    fn far_future_events_spill_to_heap_and_return_in_order() {
+        let mut q = EventQueue::new();
+        let far = BUCKETS as u64 * 10;
+        q.push(Cycle(far), "far");
+        q.push(Cycle(far), "far2");
+        q.push(Cycle(3), "near");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_cycle(), Some(Cycle(3)));
+        assert_eq!(q.pop(), Some((Cycle(3), "near")));
+        assert_eq!(q.next_cycle(), Some(Cycle(far)));
+        assert_eq!(q.pop(), Some((Cycle(far), "far")));
+        assert_eq!(q.pop(), Some((Cycle(far), "far2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heap_event_pops_before_same_cycle_ring_event() {
+        // A far-future push lands in the heap; once the window reaches its
+        // cycle, a fresh push at the same cycle lands in a bucket. The heap
+        // event is older and must pop first.
+        let mut q = EventQueue::new();
+        let c = BUCKETS as u64 + 100;
+        q.push(Cycle(c), "old (heap)");
+        // Drain a nearer event to drag the cursor forward to c.
+        q.push(Cycle(c - 1), "nearer");
+        assert_eq!(q.pop(), Some((Cycle(c - 1), "nearer")));
+        q.push(Cycle(c), "new (ring)");
+        assert_eq!(q.pop(), Some((Cycle(c), "old (heap)")));
+        assert_eq!(q.pop(), Some((Cycle(c), "new (ring)")));
+    }
+
+    #[test]
+    fn bucket_wrap_reuses_slots_across_revolutions() {
+        // Same bucket index, different revolutions of the ring.
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), "rev0");
+        assert_eq!(q.pop(), Some((Cycle(5), "rev0")));
+        let next_rev = 5 + BUCKETS as u64;
+        q.push(Cycle(next_rev), "rev1");
+        q.push(Cycle(6), "same rev");
+        assert_eq!(q.pop(), Some((Cycle(6), "same rev")));
+        assert_eq!(q.pop(), Some((Cycle(next_rev), "rev1")));
+    }
+
+    #[test]
+    fn pop_accepts_pushes_at_the_current_cycle() {
+        // The simulator pushes zero-latency follow-ups at `now` while
+        // draining `now`; they must come back after already-queued events
+        // of the same cycle.
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 1);
+        q.push(Cycle(10), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        q.push(Cycle(10), 3);
+        assert_eq!(q.pop(), Some((Cycle(10), 2)));
+        assert_eq!(q.pop(), Some((Cycle(10), 3)));
+    }
+
+    /// Random pushes and pops against the reference model, comparing every
+    /// observable (popped items, `next_cycle`, `len`) at each step.
+    fn differential_run(seed: u64, ops: usize, horizon: u64) {
+        let mut rng = SimRng::new(seed);
+        let mut calendar = EventQueue::new();
+        let mut reference = BinaryHeapQueue::new();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        for _ in 0..ops {
+            if rng.chance(0.6) || calendar.is_empty() {
+                let at = Cycle(now + rng.next_below(horizon));
+                calendar.push(at, next_id);
+                reference.push(at, next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(calendar.next_cycle(), reference.next_cycle());
+                let got = calendar.pop();
+                let want = reference.pop();
+                assert_eq!(got, want);
+                if let Some((at, _)) = got {
+                    assert!(at.0 >= now, "time went backwards");
+                    now = at.0;
+                }
+            }
+            assert_eq!(calendar.len(), reference.len());
+        }
+        // Drain both to the end.
+        loop {
+            let got = calendar.pop();
+            assert_eq!(got, reference.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_model_near_future() {
+        for seed in 0..8 {
+            differential_run(seed, 4_000, 200);
+        }
+    }
+
+    #[test]
+    fn matches_reference_model_across_bucket_wrap() {
+        for seed in 100..104 {
+            differential_run(seed, 4_000, BUCKETS as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn matches_reference_model_with_far_future_spills() {
+        for seed in 200..204 {
+            differential_run(seed, 4_000, BUCKETS as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn matches_reference_model_heavy_same_cycle_ties() {
+        for seed in 300..304 {
+            differential_run(seed, 4_000, 4);
+        }
     }
 }

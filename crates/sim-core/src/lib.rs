@@ -12,6 +12,8 @@
 //!   so simulations replay bit-identically from a seed.
 //! * [`stats`] — counters, running means, histograms, and the geometric /
 //!   arithmetic mean helpers used throughout the paper's evaluation.
+//! * [`json`] — a dependency-free JSON reader/writer ([`Json`]) for the
+//!   experiment cache and CLI output, so the workspace builds offline.
 //!
 //! # Examples
 //!
@@ -32,10 +34,12 @@
 
 pub mod event;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod stats;
 
-pub use event::EventQueue;
+pub use event::{BinaryHeapQueue, EventQueue};
 pub use ids::{Cycle, LineAddr, PhysAddr, Ppn, SmId, TenantId, VirtAddr, Vpn, WalkerId, WarpId};
+pub use json::Json;
 pub use rng::SimRng;
 pub use stats::{amean, gmean, Counter, Histogram, RunningMean};

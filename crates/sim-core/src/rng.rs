@@ -3,9 +3,9 @@
 //! [`SimRng`] is a tiny splitmix64/xorshift-style generator. We deliberately
 //! avoid thread-local or OS entropy: every stochastic decision in the
 //! simulator derives from an explicit seed so whole experiments replay
-//! bit-identically. Workload generators that need a higher-quality stream use
-//! `rand_chacha` (see `walksteal-workloads`); this type covers the cheap,
-//! hot-path decisions inside the simulator itself.
+//! bit-identically. The workload generators (`walksteal-workloads`) draw from
+//! this same type, so the entire workspace is free of external RNG crates
+//! and builds with zero network access.
 
 /// A small deterministic pseudo-random generator (xorshift64* seeded through
 /// splitmix64).

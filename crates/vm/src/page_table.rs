@@ -18,7 +18,7 @@ use crate::page::PageSize;
 pub const PTE_BYTES: u64 = 8;
 
 /// The result of resolving a [`Vpn`] through the radix tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WalkPath {
     /// Physical address of the entry read at each level, root first.
     /// A walker that hits the page-walk cache skips a prefix of these.
@@ -123,21 +123,30 @@ impl PageTable {
     /// Returns the per-level entry addresses the walker must read, the node
     /// addresses (for page-walk-cache fills), and the final frame.
     pub fn walk_path(&mut self, vpn: Vpn, frames: &mut FrameAlloc) -> WalkPath {
+        let mut out = WalkPath::default();
+        self.walk_path_into(vpn, frames, &mut out);
+        out
+    }
+
+    /// As [`walk_path`](Self::walk_path), but writes into `out`, reusing its
+    /// buffers. The walker dispatch path calls this once per walk, so it
+    /// must not allocate in steady state.
+    pub fn walk_path_into(&mut self, vpn: Vpn, frames: &mut FrameAlloc, out: &mut WalkPath) {
         if !self.root_allocated {
             self.root = frames.alloc();
             self.root_allocated = true;
         }
         let levels = self.page_size.levels();
-        let mut entry_addrs = Vec::with_capacity(levels);
-        let mut node_addrs = Vec::with_capacity(levels);
+        out.entry_addrs.clear();
+        out.node_addrs.clear();
         let mut node = self.root;
         for level in 0..levels {
             let index = self.index_at(vpn, level);
             // One 4 KB frame holds a 512-entry node regardless of data page
             // size; entries are PTE_BYTES each.
             let node_base = PhysAddr(node.0 << 12);
-            node_addrs.push(node_base);
-            entry_addrs.push(PhysAddr(node_base.0 + index * PTE_BYTES));
+            out.node_addrs.push(node_base);
+            out.entry_addrs.push(PhysAddr(node_base.0 + index * PTE_BYTES));
             if level + 1 < levels {
                 let prefix = self.prefix_at(vpn, level);
                 node = *self
@@ -151,15 +160,10 @@ impl PageTable {
         // reserves all of its granules so its cache lines never alias
         // another allocation's.
         let granules = self.page_size.bytes() / 4096;
-        let ppn = *self.leaves.entry(vpn).or_insert_with(|| {
+        out.ppn = *self.leaves.entry(vpn).or_insert_with(|| {
             *touched += 1;
             frames.alloc_contiguous(granules)
         });
-        WalkPath {
-            entry_addrs,
-            node_addrs,
-            ppn,
-        }
     }
 
     /// The node physical address a walk would continue from after consuming

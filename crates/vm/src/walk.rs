@@ -42,7 +42,7 @@ use walksteal_sim_core::{Cycle, Ppn, TenantId, Vpn, WalkerId};
 
 use crate::frame::FrameAlloc;
 use crate::mask::MaskState;
-use crate::page_table::PageTable;
+use crate::page_table::{PageTable, WalkPath};
 use crate::pwc::PwCache;
 
 /// Error returned by [`WalkSubsystem::try_enqueue`] when no queue slot is
@@ -365,6 +365,8 @@ struct Part {
     steal: StealMode,
     /// Round-robin arrival cursor for the naive static organization.
     rr_cursor: usize,
+    /// Reusable buffer for [`Part::round_robin_owned`].
+    rr_scratch: Vec<usize>,
 }
 
 impl Part {
@@ -397,6 +399,7 @@ impl Part {
             diff_thres: initial_diff_thres,
             steal,
             rr_cursor: 0,
+            rr_scratch: Vec::new(),
         }
     }
 
@@ -411,20 +414,26 @@ impl Part {
 
     /// Round-robin choice among `tenant`'s walkers with a free queue slot.
     fn round_robin_owned(&mut self, tenant: TenantId) -> Option<usize> {
-        let owned: Vec<usize> = self.twm_owned[tenant.index()]
-            .iter()
-            .enumerate()
-            .filter(|&(_, &o)| o)
-            .map(|(w, _)| w)
-            .collect();
+        let mut owned = std::mem::take(&mut self.rr_scratch);
+        owned.clear();
+        owned.extend(
+            self.twm_owned[tenant.index()]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o)
+                .map(|(w, _)| w),
+        );
+        let mut chosen = None;
         for i in 0..owned.len() {
             let w = owned[(self.rr_cursor + i) % owned.len()];
             if self.fwa_free[w] > 0 {
                 self.rr_cursor = (self.rr_cursor + i + 1) % owned.len();
-                return Some(w);
+                chosen = Some(w);
+                break;
             }
         }
-        None
+        self.rr_scratch = owned;
+        chosen
     }
 
     /// The owned walker with the most free queue slots, if it has any.
@@ -540,6 +549,8 @@ pub struct WalkSubsystem {
     busy_integral: Vec<f64>,
     busy_count: Vec<usize>,
     last_busy_update: Cycle,
+    /// Reusable page-table walk buffer for [`Self::dispatch`].
+    path_scratch: WalkPath,
 }
 
 impl WalkSubsystem {
@@ -587,6 +598,7 @@ impl WalkSubsystem {
             busy_integral: vec![0.0; n],
             busy_count: vec![0; n],
             last_busy_update: Cycle::ZERO,
+            path_scratch: WalkPath::default(),
             cfg,
         }
     }
@@ -658,7 +670,8 @@ impl WalkSubsystem {
         self.busy_count[t.index()] += 1;
 
         let levels = ctx.page_tables[t.index()].page_size().levels();
-        let path = ctx.page_tables[t.index()].walk_path(req.vpn, ctx.frames);
+        let mut path = std::mem::take(&mut self.path_scratch);
+        ctx.page_tables[t.index()].walk_path_into(req.vpn, ctx.frames, &mut path);
         let hit = self.pwc.probe(t, req.vpn, levels);
         let first_level = hit.map_or(0, |h| h.level + 1);
 
@@ -683,6 +696,7 @@ impl WalkSubsystem {
             stolen,
             done_at: at,
         });
+        self.path_scratch = path;
         DispatchedWalk {
             walker: WalkerId(walker as u8),
             done_at: at,

@@ -35,9 +35,7 @@ pub enum HotPattern {
 }
 
 /// One modeled application (paper Table II).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AppId {
     /// Matrix multiplication (Parboil) — Light.
     Mm,
@@ -105,6 +103,15 @@ impl AppId {
             AppId::Sad => "SAD",
             AppId::Gups => "GUPS",
         }
+    }
+
+    /// Parses a paper-style short name ("GUPS", "3DS", …), case-insensitive.
+    /// Inverse of [`name`](Self::name); used by the CLI and the JSON cache.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<AppId> {
+        AppId::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
     }
 
     /// The MPMI class this app is calibrated to.
@@ -389,6 +396,15 @@ mod tests {
     #[test]
     fn thirteen_apps() {
         assert_eq!(AppId::ALL.len(), 13);
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for app in AppId::ALL {
+            assert_eq!(AppId::from_name(app.name()), Some(app));
+            assert_eq!(AppId::from_name(&app.name().to_lowercase()), Some(app));
+        }
+        assert_eq!(AppId::from_name("nope"), None);
     }
 
     #[test]

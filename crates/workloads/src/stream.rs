@@ -187,6 +187,16 @@ impl WarpStream {
     /// The next warp operation, or `None` once the execution's instruction
     /// budget is spent (relaunch to continue).
     pub fn next_op(&mut self) -> Option<WarpOp> {
+        let mut refs = Vec::with_capacity(self.profile.divergence);
+        let compute = self.next_op_into(&mut refs)?;
+        Some(WarpOp { compute, refs })
+    }
+
+    /// Allocation-free variant of [`next_op`](Self::next_op): clears `refs`
+    /// and fills it with the op's coalesced references (distinct, in first
+    /// appearance order), returning the compute burst. The simulator's inner
+    /// loop reuses one buffer per warp through this.
+    pub fn next_op_into(&mut self, refs: &mut Vec<MemRef>) -> Option<u64> {
         if self.remaining == 0 {
             return None;
         }
@@ -196,19 +206,15 @@ impl WarpStream {
             .rng
             .next_geometric(1.0 / p.mean_compute.max(1.0))
             .min(self.remaining.saturating_sub(1).max(1));
-        let mut refs = Vec::with_capacity(p.divergence);
+        refs.clear();
         for _ in 0..p.divergence {
             let r = self.next_ref();
             if !refs.contains(&r) {
                 refs.push(r);
             }
         }
-        let op = WarpOp {
-            compute: burst,
-            refs,
-        };
-        self.remaining = self.remaining.saturating_sub(op.instructions());
-        Some(op)
+        self.remaining = self.remaining.saturating_sub(burst + 1);
+        Some(burst)
     }
 
     /// The seed this stream derives from (for diagnostics).
@@ -229,6 +235,25 @@ mod tests {
         let mut b = WarpStream::new(AppId::Sad.profile(), 42, 3, 5_000);
         for _ in 0..200 {
             assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn next_op_into_matches_next_op() {
+        for app in [AppId::Gups, AppId::Mm, AppId::Sad] {
+            let mut a = WarpStream::new(app.profile(), 9, 2, 4_000);
+            let mut b = WarpStream::new(app.profile(), 9, 2, 4_000);
+            let mut refs = Vec::new();
+            loop {
+                let op = a.next_op();
+                let compute = b.next_op_into(&mut refs);
+                assert_eq!(op.as_ref().map(|o| o.compute), compute);
+                assert_eq!(op.as_ref().map(|o| o.refs.as_slice()), compute.map(|_| refs.as_slice()));
+                assert_eq!(a.remaining(), b.remaining());
+                if op.is_none() {
+                    break;
+                }
+            }
         }
     }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green.
+#
+# Everything here runs offline (no crates.io access) — the workspace has no
+# external dependencies by design. See ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== determinism: serial vs --jobs 4 =="
+cargo test -q --test determinism
+
+echo "== perf selftest =="
+./target/release/repro --selftest-perf --jobs "${TIER1_JOBS:-4}"
+
+echo "tier-1 OK"

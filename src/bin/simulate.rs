@@ -25,9 +25,7 @@ fn usage() -> &'static str {
 }
 
 fn parse_app(name: &str) -> Option<AppId> {
-    AppId::ALL
-        .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
+    AppId::from_name(name)
 }
 
 fn parse_policy(name: &str) -> Option<PolicyPreset> {
@@ -168,13 +166,7 @@ fn main() -> ExitCode {
     let result = Simulation::new(cfg, &apps, seed).run();
 
     if json {
-        match serde_json::to_string_pretty(&result) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("serialization failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        println!("{}", result.to_json().pretty());
         return ExitCode::SUCCESS;
     }
 

@@ -1,20 +1,34 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! invariants the walk-stealing design guarantees.
-
-use proptest::prelude::*;
+//! Property-style tests on the core data structures and the invariants the
+//! walk-stealing design guarantees.
+//!
+//! Each test replays one property over many randomized cases. Inputs come
+//! from the repo's own deterministic [`SimRng`] (no external
+//! property-testing crate), so failures reproduce exactly: the case index
+//! in the assertion message pins down the failing input.
 
 use walksteal::mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig};
-use walksteal::sim::{Cycle, EventQueue, TenantId, Vpn};
+use walksteal::sim::{Cycle, EventQueue, LineAddr, Ppn, SimRng, TenantId, Vpn};
 use walksteal::vm::walk::WalkContext;
 use walksteal::vm::{
-    FrameAlloc, PageSize, PageTable, Replacement, StealMode, Tlb, TlbConfig, WalkConfig,
-    WalkPolicyKind, WalkRequest, WalkSubsystem,
+    DispatchedWalk, FrameAlloc, PageSize, PageTable, Replacement, StealMode, Tlb, TlbConfig,
+    WalkConfig, WalkPolicyKind, WalkRequest, WalkSubsystem,
 };
 
-proptest! {
-    /// Events pop in nondecreasing cycle order, FIFO within a cycle.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+/// Cases per property. Each case draws a fresh input of random size.
+const CASES: u64 = 48;
+
+/// A random vector of `len in 1..max_len` values below `bound`.
+fn random_vec(rng: &mut SimRng, max_len: u64, bound: u64) -> Vec<u64> {
+    let len = 1 + rng.next_below(max_len - 1);
+    (0..len).map(|_| rng.next_below(bound)).collect()
+}
+
+/// Events pop in nondecreasing cycle order, FIFO within a cycle.
+#[test]
+fn event_queue_total_order() {
+    let mut rng = SimRng::new(0xE0);
+    for case in 0..CASES {
+        let times = random_vec(&mut rng, 200, 1000);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Cycle(t), i);
@@ -22,32 +36,40 @@ proptest! {
         let mut last: Option<(Cycle, usize)> = None;
         while let Some((at, id)) = q.pop() {
             if let Some((lat, lid)) = last {
-                prop_assert!(at >= lat);
+                assert!(at >= lat, "case {case}: order violated");
                 if at == lat {
-                    prop_assert!(id > lid, "FIFO violated within a cycle");
+                    assert!(id > lid, "case {case}: FIFO violated within a cycle");
                 }
             }
             last = Some((at, id));
         }
     }
+}
 
-    /// Walking any VPN yields a stable mapping, and re-walking agrees with
-    /// `translate`.
-    #[test]
-    fn page_table_round_trip(vpns in proptest::collection::vec(0u64..(1 << 30), 1..50)) {
+/// Walking any VPN yields a stable mapping, and re-walking agrees with
+/// `translate`.
+#[test]
+fn page_table_round_trip() {
+    let mut rng = SimRng::new(0xE1);
+    for case in 0..CASES {
+        let vpns = random_vec(&mut rng, 50, 1 << 30);
         let mut pt = PageTable::new(TenantId(0), PageSize::Small4K);
         let mut frames = FrameAlloc::new();
         for &v in &vpns {
             let first = pt.walk_path(Vpn(v), &mut frames);
-            prop_assert_eq!(pt.translate(Vpn(v)), Some(first.ppn));
+            assert_eq!(pt.translate(Vpn(v)), Some(first.ppn), "case {case}");
             let again = pt.walk_path(Vpn(v), &mut frames);
-            prop_assert_eq!(first, again);
+            assert_eq!(first, again, "case {case}: unstable mapping");
         }
     }
+}
 
-    /// Distinct pages of distinct tenants never share a frame.
-    #[test]
-    fn tenants_get_disjoint_frames(vpns in proptest::collection::vec(0u64..(1 << 20), 1..40)) {
+/// Distinct pages of distinct tenants never share a frame.
+#[test]
+fn tenants_get_disjoint_frames() {
+    let mut rng = SimRng::new(0xE2);
+    for case in 0..CASES {
+        let vpns = random_vec(&mut rng, 40, 1 << 20);
         let mut frames = FrameAlloc::new();
         let mut a = PageTable::new(TenantId(0), PageSize::Small4K);
         let mut b = PageTable::new(TenantId(1), PageSize::Small4K);
@@ -55,76 +77,143 @@ proptest! {
         for &v in &vpns {
             let pa = a.walk_path(Vpn(v), &mut frames).ppn;
             let pb = b.walk_path(Vpn(v), &mut frames).ppn;
-            prop_assert_ne!(pa, pb);
+            assert_ne!(pa, pb, "case {case}: tenants share a frame");
             seen.insert(pa);
             seen.insert(pb);
         }
         // Every distinct page got a distinct frame.
-        prop_assert_eq!(seen.len(), 2 * vpns.iter().collect::<std::collections::HashSet<_>>().len());
+        let distinct = vpns.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(seen.len(), 2 * distinct, "case {case}");
     }
+}
 
-    /// A TLB probe never returns another tenant's mapping, under any
-    /// interleaving of fills from two tenants.
-    #[test]
-    fn tlb_never_leaks_across_tenants(
-        ops in proptest::collection::vec((0u8..2, 0u64..64, 0u64..1000), 1..300),
-        lru in proptest::bool::ANY,
-    ) {
-        let replacement = if lru { Replacement::Lru } else { Replacement::Random };
-        let mut tlb = Tlb::new(TlbConfig { sets: 4, ways: 2, replacement }, 2);
+/// A TLB probe never returns another tenant's mapping, under any
+/// interleaving of fills from two tenants.
+#[test]
+fn tlb_never_leaks_across_tenants() {
+    let mut rng = SimRng::new(0xE3);
+    for case in 0..CASES {
+        let n_ops = 1 + rng.next_below(299);
+        let ops: Vec<(u8, u64)> = (0..n_ops)
+            .map(|_| (rng.next_below(2) as u8, rng.next_below(64)))
+            .collect();
+        let replacement = if rng.chance(0.5) {
+            Replacement::Lru
+        } else {
+            Replacement::Random
+        };
+        let mut tlb = Tlb::new(
+            TlbConfig {
+                sets: 4,
+                ways: 2,
+                replacement,
+            },
+            2,
+        );
         let mut truth = std::collections::HashMap::new();
-        for (i, &(t, v, _)) in ops.iter().enumerate() {
-            let tenant = TenantId(t);
-            let ppn = walksteal::sim::Ppn(i as u64 + 1000 * u64::from(t));
-            tlb.fill(tenant, Vpn(v), ppn, Cycle(i as u64));
+        for (i, &(t, v)) in ops.iter().enumerate() {
+            let ppn = Ppn(i as u64 + 1000 * u64::from(t));
+            tlb.fill(TenantId(t), Vpn(v), ppn, Cycle(i as u64));
             truth.insert((t, v), ppn);
         }
-        for &(t, v, _) in &ops {
+        for &(t, v) in &ops {
             if let Some(hit) = tlb.probe(TenantId(t), Vpn(v)) {
-                prop_assert_eq!(hit, truth[&(t, v)], "stale or foreign mapping");
+                assert_eq!(hit, truth[&(t, v)], "case {case}: stale or foreign mapping");
+            }
+        }
+    }
+}
+
+/// Cache occupancy never exceeds capacity, and a probe immediately after a
+/// fill hits.
+#[test]
+fn cache_capacity_respected() {
+    let mut rng = SimRng::new(0xE4);
+    for case in 0..CASES {
+        let lines = random_vec(&mut rng, 300, 4096);
+        let cfg = CacheConfig { sets: 8, ways: 2 };
+        let mut c = Cache::new(cfg);
+        for &l in &lines {
+            c.fill(LineAddr(l));
+            assert!(c.contains(LineAddr(l)), "case {case}");
+            assert!(c.occupancy() <= cfg.lines(), "case {case}: over capacity");
+        }
+    }
+}
+
+/// Memory-system latency is always at least the L2 hit latency.
+#[test]
+fn mem_latency_floor() {
+    let mut rng = SimRng::new(0xE5);
+    for case in 0..CASES {
+        let lines = random_vec(&mut rng, 100, 512);
+        let cfg = MemSystemConfig::default();
+        let mut mem = MemSystem::new(cfg);
+        for (i, &l) in lines.iter().enumerate() {
+            let a = mem.access(LineAddr(l), Cycle(i as u64 * 3), AccessKind::Data);
+            assert!(a.latency >= cfg.l2_hit_latency, "case {case}");
+        }
+    }
+}
+
+/// Conservation: every accepted walk completes exactly once, for every
+/// policy, under arbitrary arrival patterns — and walks are never stolen
+/// when stealing is off.
+#[test]
+fn walk_subsystem_conserves_walks() {
+    fn drain_until(
+        ws: &mut WalkSubsystem,
+        scheduled: &mut Vec<DispatchedWalk>,
+        pts: &mut Vec<PageTable>,
+        frames: &mut FrameAlloc,
+        mem: &mut MemSystem,
+        t: Cycle,
+        completed: &mut u64,
+        steal_off: bool,
+    ) {
+        loop {
+            scheduled.sort_by_key(|d| d.done_at);
+            let Some(first) = scheduled.first().copied() else {
+                break;
+            };
+            if first.done_at > t {
+                break;
+            }
+            scheduled.remove(0);
+            let mut ctx = WalkContext {
+                page_tables: pts,
+                frames,
+                mem,
+                mask: None,
+            };
+            let (done, next) = ws.on_walker_done(first.walker, first.done_at, &mut ctx);
+            assert!(!(steal_off && done.stolen), "stole with stealing off");
+            *completed += 1;
+            if let Some(n) = next {
+                scheduled.push(n);
             }
         }
     }
 
-    /// Cache occupancy never exceeds capacity, and a probe immediately
-    /// after a fill hits.
-    #[test]
-    fn cache_capacity_respected(lines in proptest::collection::vec(0u64..4096, 1..300)) {
-        let cfg = CacheConfig { sets: 8, ways: 2 };
-        let mut c = Cache::new(cfg);
-        for &l in &lines {
-            c.fill(walksteal::sim::LineAddr(l));
-            prop_assert!(c.contains(walksteal::sim::LineAddr(l)));
-            prop_assert!(c.occupancy() <= cfg.lines());
-        }
-    }
-
-    /// Memory-system latency is always at least the L2 hit latency, and
-    /// accesses at later times never return before earlier bank frees.
-    #[test]
-    fn mem_latency_floor(lines in proptest::collection::vec(0u64..512, 1..100)) {
-        let cfg = MemSystemConfig::default();
-        let mut mem = MemSystem::new(cfg);
-        for (i, &l) in lines.iter().enumerate() {
-            let a = mem.access(walksteal::sim::LineAddr(l), Cycle(i as u64 * 3), AccessKind::Data);
-            prop_assert!(a.latency >= cfg.l2_hit_latency);
-        }
-    }
-
-    /// Conservation: every accepted walk completes exactly once, for every
-    /// policy, under arbitrary arrival patterns — and DWS walks are only
-    /// ever stolen when marked so.
-    #[test]
-    fn walk_subsystem_conserves_walks(
-        arrivals in proptest::collection::vec((0u8..2, 0u64..64, 1u64..30), 1..120),
-        policy_sel in 0usize..4,
-    ) {
-        let policy = match policy_sel {
+    let mut rng = SimRng::new(0xE6);
+    for case in 0..CASES {
+        let n_arrivals = 1 + rng.next_below(119);
+        let arrivals: Vec<(u8, u64, u64)> = (0..n_arrivals)
+            .map(|_| {
+                (
+                    rng.next_below(2) as u8,
+                    rng.next_below(64),
+                    1 + rng.next_below(29),
+                )
+            })
+            .collect();
+        let policy = match rng.next_below(4) {
             0 => WalkPolicyKind::SharedQueue,
             1 => WalkPolicyKind::PrivatePools,
             2 => WalkPolicyKind::Partitioned(StealMode::None),
             _ => WalkPolicyKind::Partitioned(StealMode::Dws),
         };
+        let steal_off = policy == WalkPolicyKind::Partitioned(StealMode::None);
         let mut ws = WalkSubsystem::new(WalkConfig {
             n_walkers: 4,
             queue_entries: 16,
@@ -141,44 +230,23 @@ proptest! {
         ];
         let mut frames = FrameAlloc::new();
         let mut mem = MemSystem::new(MemSystemConfig::default());
-        let mut scheduled: Vec<walksteal::vm::DispatchedWalk> = Vec::new();
+        let mut scheduled: Vec<DispatchedWalk> = Vec::new();
         let mut accepted = 0u64;
         let mut completed = 0u64;
         let mut now = Cycle::ZERO;
 
-        let drain_until = |ws: &mut WalkSubsystem,
-                               scheduled: &mut Vec<walksteal::vm::DispatchedWalk>,
-                               pts: &mut Vec<PageTable>,
-                               frames: &mut FrameAlloc,
-                               mem: &mut MemSystem,
-                               t: Cycle,
-                               completed: &mut u64| {
-            loop {
-                scheduled.sort_by_key(|d| d.done_at);
-                let Some(first) = scheduled.first().copied() else { break };
-                if first.done_at > t {
-                    break;
-                }
-                scheduled.remove(0);
-                let mut ctx = WalkContext {
-                    page_tables: pts,
-                    frames,
-                    mem,
-                    mask: None,
-                };
-                let (done, next) = ws.on_walker_done(first.walker, first.done_at, &mut ctx);
-                prop_assert!(!(policy == WalkPolicyKind::Partitioned(StealMode::None) && done.stolen));
-                *completed += 1;
-                if let Some(n) = next {
-                    scheduled.push(n);
-                }
-            }
-            Ok(())
-        };
-
         for &(t, v, dt) in &arrivals {
             now += dt;
-            drain_until(&mut ws, &mut scheduled, &mut pts, &mut frames, &mut mem, now, &mut completed)?;
+            drain_until(
+                &mut ws,
+                &mut scheduled,
+                &mut pts,
+                &mut frames,
+                &mut mem,
+                now,
+                &mut completed,
+                steal_off,
+            );
             let mut ctx = WalkContext {
                 page_tables: &mut pts,
                 frames: &mut frames,
@@ -197,33 +265,53 @@ proptest! {
             }
         }
         drain_until(
-            &mut ws, &mut scheduled, &mut pts, &mut frames, &mut mem,
-            Cycle(u64::MAX / 2), &mut completed,
-        )?;
-        prop_assert_eq!(accepted, completed, "{:?} lost or duplicated walks", policy);
-        prop_assert_eq!(ws.queued_len(), 0);
-        prop_assert_eq!(ws.busy_walkers(), 0);
+            &mut ws,
+            &mut scheduled,
+            &mut pts,
+            &mut frames,
+            &mut mem,
+            Cycle(u64::MAX / 2),
+            &mut completed,
+            steal_off,
+        );
+        assert_eq!(
+            accepted, completed,
+            "case {case}: {policy:?} lost or duplicated walks"
+        );
+        assert_eq!(ws.queued_len(), 0, "case {case}");
+        assert_eq!(ws.busy_walkers(), 0, "case {case}");
         let stats = ws.stats();
-        prop_assert_eq!(stats.completed.iter().sum::<u64>(), completed);
+        assert_eq!(stats.completed.iter().sum::<u64>(), completed, "case {case}");
     }
+}
 
-    /// End-to-end: tiny random pairs complete under every policy, and
-    /// total instructions retired equal the sum over completed executions.
-    #[test]
-    fn tiny_simulations_complete(seed in 0u64..50, app_a in 0usize..13, app_b in 0usize..13) {
-        use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
-        use walksteal::workloads::AppId;
-        let apps = [AppId::ALL[app_a], AppId::ALL[app_b]];
+/// End-to-end: tiny random pairs complete under every policy, and every
+/// tenant retires instructions at a positive rate.
+#[test]
+fn tiny_simulations_complete() {
+    use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+    use walksteal::workloads::AppId;
+
+    let mut rng = SimRng::new(0xE7);
+    for case in 0..16 {
+        let seed = rng.next_below(50);
+        let apps = [
+            AppId::ALL[rng.next_below(13) as usize],
+            AppId::ALL[rng.next_below(13) as usize],
+        ];
         let cfg = GpuConfig::default()
             .with_n_sms(2)
             .with_warps_per_sm(2)
             .with_instructions_per_warp(150)
             .with_preset(PolicyPreset::Dws);
         let r = Simulation::new(cfg, &apps, seed).run();
-        prop_assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
+        assert!(
+            r.tenants.iter().all(|t| t.completed_executions >= 1),
+            "case {case}: {apps:?} did not complete"
+        );
         for t in &r.tenants {
-            prop_assert!(t.instructions > 0);
-            prop_assert!(t.ipc > 0.0);
+            assert!(t.instructions > 0, "case {case}");
+            assert!(t.ipc > 0.0, "case {case}");
         }
     }
 }
