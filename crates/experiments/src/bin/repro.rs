@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE]
-//!       [--selftest-perf] [EXPERIMENT ...]
+//!       [--max-events N] [--max-cycles N] [--max-wall-ms N]
+//!       [--inject-faults SPEC] [--selftest-perf] [EXPERIMENT ...]
 //!
 //! EXPERIMENT: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6
 //!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all (default: all)
@@ -12,16 +13,104 @@
 //! (default: the machine's available parallelism); the printed tables are
 //! bit-identical to `--jobs 1`. `--selftest-perf` skips the experiments and
 //! instead measures the engine itself, writing `BENCH_parallel.json`.
+//!
+//! # Fault tolerance
+//!
+//! The engine survives failing jobs and corrupt cache files instead of
+//! dying: a panicking or budget-blowing simulation is retried once and
+//! otherwise recorded, corrupt cache files are quarantined and their keys
+//! resimulated, and everything that went wrong is itemized in a final
+//! failure summary on stderr. `--max-events` / `--max-cycles` /
+//! `--max-wall-ms` bound every simulation attempt.
+//! `--inject-faults panic=1,corrupt=2,budget=1,seed=7` deterministically
+//! forces those failures to prove the suite survives them (tables stay
+//! byte-identical to a clean run because injected faults fire only on a
+//! job's first attempt).
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! | --- | --- |
+//! | 0 | clean run (quarantine-and-resimulate self-healing still counts as clean) |
+//! | 1 | usage error, or an output file could not be written |
+//! | 2 | >= 1 job panicked or failed (even if the retry recovered it) |
+//! | 3 | >= 1 job died with a blown watchdog budget |
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use walksteal_experiments::{parallel, perf, suite, ExpContext, Scale, Store, Table};
+use walksteal_experiments::{
+    parallel, perf, suite, ExpContext, FaultSpec, JobError, Scale, Store, Table,
+};
+use walksteal_multitenant::RunBudget;
 
 fn usage() -> &'static str {
     "usage: repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE] \
+     [--max-events N] [--max-cycles N] [--max-wall-ms N] [--inject-faults SPEC] \
      [--selftest-perf] [EXPERIMENT ...]\n\
      experiments: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6 \
-     fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all"
+     fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all\n\
+     fault spec: panic=N,budget=N,corrupt=N,seed=S (see EXPERIMENTS.md)"
+}
+
+/// Prints the end-of-run failure summary (stderr, so tables on stdout stay
+/// byte-identical to a clean run) and picks the process exit code.
+fn summarize_failures(ctx: &ExpContext) -> ExitCode {
+    let quarantined = ctx.store.quarantined();
+    let failures = ctx.failures();
+    if quarantined.is_empty() && failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("\n== failure summary ==");
+    if !quarantined.is_empty() {
+        eprintln!("quarantined cache files (resimulated):");
+        for q in quarantined {
+            eprintln!(
+                "  {}  [{}] -> {}",
+                q.key,
+                q.error.kind(),
+                q.moved_to
+                    .as_deref()
+                    .map_or_else(|| "deleted".to_string(), |p| p.display().to_string()),
+            );
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("failed jobs:");
+        for f in failures {
+            let outcome = if f.recovered { "recovered" } else { "DEAD" };
+            eprintln!(
+                "  {}  seed={} attempts={} [{}] {outcome}: {}",
+                f.key,
+                f.seed,
+                f.attempts,
+                f.error.kind(),
+                f.error
+            );
+            if !f.recovered {
+                if let JobError::Panicked {
+                    backtrace: Some(bt), ..
+                } = &f.error
+                {
+                    eprintln!("    backtrace:\n{bt}");
+                }
+            }
+        }
+        eprintln!(
+            "{} job failure(s): {} recovered by retry, {} dead",
+            failures.len(),
+            failures.iter().filter(|f| f.recovered).count(),
+            failures.iter().filter(|f| !f.recovered).count(),
+        );
+    }
+    if ctx.any_budget_death() {
+        ExitCode::from(3)
+    } else if failures.is_empty() {
+        // Quarantine alone fully self-heals: the keys were resimulated.
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 fn main() -> ExitCode {
@@ -31,6 +120,8 @@ fn main() -> ExitCode {
     let mut markdown: Option<String> = None;
     let mut jobs = parallel::default_jobs();
     let mut selftest = false;
+    let mut budget = RunBudget::unlimited();
+    let mut faults: Option<FaultSpec> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -57,6 +148,38 @@ fn main() -> ExitCode {
                 Some(f) => markdown = Some(f),
                 None => {
                     eprintln!("--markdown needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-events" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => budget = budget.with_max_events(n),
+                _ => {
+                    eprintln!("--max-events needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-cycles" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => budget = budget.with_max_cycles(n),
+                _ => {
+                    eprintln!("--max-cycles needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-wall-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => budget = budget.with_max_wall(Duration::from_millis(n)),
+                _ => {
+                    eprintln!("--max-wall-ms needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--inject-faults" => match args.next().map(|s| FaultSpec::parse(&s)) {
+                Some(Ok(spec)) => faults = Some(spec),
+                Some(Err(e)) => {
+                    eprintln!("--inject-faults: {e}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--inject-faults needs a spec\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -88,10 +211,26 @@ fn main() -> ExitCode {
         wanted.push("all".to_owned());
     }
 
-    let store = Store::on_disk(format!("{cache_dir}/{}", scale.label()));
+    let scale_dir = format!("{cache_dir}/{}", scale.label());
+    if let Some(spec) = &mut faults {
+        // Corruption faults are applied up front, against the cache the run
+        // is about to read — the store must quarantine and resimulate.
+        let touched = spec.corrupt_cache(std::path::Path::new(&scale_dir));
+        if spec.corrupt > 0 {
+            eprintln!(
+                "fault: only {} cache file(s) available to corrupt ({} requested)",
+                touched.len(),
+                touched.len() + spec.corrupt
+            );
+        }
+    }
+
+    let store = Store::on_disk(&scale_dir);
     let mut ctx = ExpContext::new(scale, store);
     ctx.verbose = verbose;
     ctx.jobs = jobs;
+    ctx.budget = budget;
+    ctx.faults = faults;
 
     let mut tables: Vec<Table> = Vec::new();
     for exp in &wanted {
@@ -146,5 +285,5 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote {path}");
     }
-    ExitCode::SUCCESS
+    summarize_failures(&ctx)
 }

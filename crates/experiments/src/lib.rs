@@ -34,6 +34,7 @@
 //! repro --quick fig5   # one experiment at smoke-test scale
 //! ```
 
+pub mod fault;
 pub mod key;
 pub mod parallel;
 pub mod perf;
@@ -42,9 +43,10 @@ pub mod scale;
 pub mod store;
 pub mod suite;
 
+pub use fault::{FaultSpec, InjectedFault};
 pub use key::ExpKey;
-pub use parallel::Job;
+pub use parallel::{Job, JobError, JobFailure, RunOptions, RunReport};
 pub use report::Table;
 pub use scale::Scale;
-pub use store::Store;
+pub use store::{QuarantineEvent, Store, StoreError};
 pub use suite::ExpContext;

@@ -1,4 +1,5 @@
-//! Deterministic parallel execution of independent simulation jobs.
+//! Deterministic parallel execution of independent simulation jobs, with
+//! per-job failure isolation.
 //!
 //! The experiment suite is embarrassingly parallel — every `(pair, preset,
 //! scale, seed)` cell of the evaluation matrix is an independent simulation —
@@ -17,13 +18,31 @@
 //! per worker (pop your own front, steal a victim's back) and an `mpsc`
 //! channel carrying results home. Each simulation seeds its own RNG from the
 //! job, so thread count and steal order cannot perturb any result.
+//!
+//! # Failure isolation
+//!
+//! A failing simulation must not take the suite down with it. Every attempt
+//! runs under `catch_unwind`, so a panicking job is *recorded* — key, seed,
+//! panic message, and backtrace — while its peers keep draining the queues
+//! (whose locks recover from poisoning rather than cascading the panic).
+//! After the pool finishes, each failed job gets **one bounded retry**,
+//! serial and on a fresh stack; only if that also fails is the job declared
+//! dead. [`RunBudget`] watchdogs bound each attempt, turning a runaway
+//! simulation into a [`JobError::Budget`] with a partial-result diagnostic
+//! instead of a hung suite. The deterministic fault-injection harness
+//! ([`InjectedFault`](crate::fault::InjectedFault)) drives exactly these
+//! paths in tests and CI.
 
+use std::backtrace::Backtrace;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::{mpsc, Mutex};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex, MutexGuard, Once, PoisonError};
 
-use walksteal_multitenant::{GpuConfig, SimResult, Simulation};
+use walksteal_multitenant::{GpuConfig, RunBudget, SimError, SimResult, Simulation};
 use walksteal_workloads::AppId;
 
+use crate::fault::InjectedFault;
 use crate::key::ExpKey;
 use crate::store::Store;
 
@@ -46,6 +65,100 @@ impl Job {
     pub fn simulate(&self) -> SimResult {
         Simulation::new(self.cfg.clone(), &self.apps, self.seed).run()
     }
+
+    /// Runs the simulation under a watchdog budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] with a partial-result diagnostic
+    /// if the run blows through `budget`.
+    pub fn simulate_budgeted(&self, budget: &RunBudget) -> Result<SimResult, SimError> {
+        Simulation::new(self.cfg.clone(), &self.apps, self.seed).run_budgeted(budget)
+    }
+}
+
+/// Why one attempt at a job failed.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// The simulation panicked.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+        /// Backtrace captured at the panic site (when available).
+        backtrace: Option<String>,
+    },
+    /// The simulation blew through its [`RunBudget`].
+    Budget(SimError),
+}
+
+impl JobError {
+    /// A short label for summary tables.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Panicked { .. } => "panic",
+            JobError::Budget(_) => "budget",
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { message, .. } => write!(f, "panicked: {message}"),
+            JobError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The record of a job that failed at least once.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Cache identity of the failing run.
+    pub key: ExpKey,
+    /// Base workload seed of the failing run.
+    pub seed: u64,
+    /// The last attempt's error.
+    pub error: JobError,
+    /// Attempts made (2 = initial + the bounded retry).
+    pub attempts: u32,
+    /// Whether the retry produced a result (the failure was transient).
+    pub recovered: bool,
+}
+
+/// What [`run_jobs`] reports back besides the merged store.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Every job that failed at least once, in canonical job order.
+    pub failures: Vec<JobFailure>,
+}
+
+impl RunReport {
+    /// Jobs that failed both attempts and produced no result.
+    #[must_use]
+    pub fn dead(&self) -> impl Iterator<Item = &JobFailure> {
+        self.failures.iter().filter(|f| !f.recovered)
+    }
+
+    /// Whether any job died with a blown budget (as opposed to a panic).
+    #[must_use]
+    pub fn any_budget_death(&self) -> bool {
+        self.dead()
+            .any(|f| matches!(f.error, JobError::Budget(_)))
+    }
+}
+
+/// Execution options for [`run_jobs`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Print a progress line per simulation.
+    pub verbose: bool,
+    /// Watchdog budget applied to every attempt.
+    pub budget: RunBudget,
+    /// Injected faults, aligned with the job list (empty = none). A fault
+    /// fires on the job's first attempt only, so the bounded retry recovers
+    /// and the final output matches a clean run.
+    pub faults: Vec<Option<InjectedFault>>,
 }
 
 /// The machine's available parallelism (the `--jobs` default).
@@ -54,79 +167,208 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Locks `m`, recovering the guard if a panicking holder poisoned it. The
+/// queues only ever hold plain job indices, so a poisoned lock's data is
+/// always valid — recovery cannot observe a broken invariant.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Set while this thread runs a job under `catch_unwind`, so the panic
+    /// hook records instead of printing.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    /// Backtrace captured by the hook at the most recent panic site.
+    static LAST_BACKTRACE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs (once, process-wide) a panic hook that captures a backtrace at
+/// the panic site for threads attempting a job, and defers to the previous
+/// hook everywhere else.
+fn install_capture_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(Cell::get) {
+                LAST_BACKTRACE.with(|b| {
+                    *b.borrow_mut() = Some(Backtrace::force_capture().to_string());
+                });
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One isolated attempt at `job`. `fault` (first attempts only) forces the
+/// failure the harness asked for; panics are caught and returned as
+/// [`JobError::Panicked`] with the site backtrace.
+fn attempt(job: &Job, fault: Option<InjectedFault>, budget: &RunBudget) -> Result<SimResult, JobError> {
+    install_capture_hook();
+    let budget = match fault {
+        // An injected budget blowout: far too few events to finish.
+        Some(InjectedFault::Budget) => RunBudget::unlimited().with_max_events(1_000),
+        _ => *budget,
+    };
+    CAPTURING.with(|c| c.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        if fault == Some(InjectedFault::Panic) {
+            panic!("injected fault: forced panic for {}", job.key);
+        }
+        job.simulate_budgeted(&budget)
+    }));
+    CAPTURING.with(|c| c.set(false));
+    match outcome {
+        Ok(Ok(r)) => Ok(r),
+        Ok(Err(e)) => Err(JobError::Budget(e)),
+        Err(payload) => Err(JobError::Panicked {
+            message: panic_message(payload.as_ref()),
+            backtrace: LAST_BACKTRACE.with(|b| b.borrow_mut().take()),
+        }),
+    }
+}
+
 /// Simulates `jobs` on up to `workers` threads and merges the results into
 /// `store` in job order.
 ///
 /// After this returns, the store is indistinguishable from one that ran each
 /// job serially in the given order: identical contents, and identical
-/// miss accounting (each job counts one miss).
-pub fn run_jobs(store: &mut Store, jobs: Vec<Job>, workers: usize, verbose: bool) {
+/// miss accounting (each successful job counts one miss). A job whose both
+/// attempts failed inserts nothing; it is reported in the returned
+/// [`RunReport`] instead of aborting the merge.
+pub fn run_jobs(store: &mut Store, jobs: Vec<Job>, workers: usize, opts: &RunOptions) -> RunReport {
+    let mut report = RunReport::default();
     if jobs.is_empty() {
-        return;
+        return report;
     }
+    debug_assert!(
+        opts.faults.is_empty() || opts.faults.len() == jobs.len(),
+        "fault plan must align with the job list"
+    );
+    let fault_of = |i: usize| opts.faults.get(i).copied().flatten();
     let workers = workers.clamp(1, jobs.len());
-    if workers == 1 {
-        for job in &jobs {
-            if verbose {
-                eprintln!("  sim: {}", job.key);
-            }
-            let r = job.simulate();
-            store.insert(&job.key, r);
-        }
-        return;
-    }
-
-    // Round-robin the job indices across per-worker deques. Workers pop
-    // their own front and steal a victim's back, so early finishers drain
-    // the stragglers' queues instead of idling.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for i in 0..jobs.len() {
-        queues[i % workers].lock().unwrap().push_back(i);
-    }
 
     let mut results: Vec<Option<SimResult>> = vec![None; jobs.len()];
-    let (tx, rx) = mpsc::channel::<(usize, SimResult)>();
-    let jobs_ref = &jobs;
-    let queues_ref = &queues;
-    std::thread::scope(|s| {
-        for me in 0..workers {
-            let tx = tx.clone();
-            s.spawn(move || {
-                while let Some(i) = claim(queues_ref, me) {
-                    let r = jobs_ref[i].simulate();
-                    if tx.send((i, r)).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        let total = jobs_ref.len();
-        let mut done = 0usize;
-        for (i, r) in rx {
-            done += 1;
-            if verbose {
-                eprintln!("  sim [{done}/{total}]: {}", jobs_ref[i].key);
-            }
-            results[i] = Some(r);
-        }
-    });
+    let mut first_errors: Vec<Option<JobError>> = vec![None; jobs.len()];
 
-    // Merge in canonical (job-list) order, not completion order.
-    for (job, r) in jobs.iter().zip(results) {
-        store.insert(&job.key, r.expect("every job was simulated"));
+    if workers == 1 {
+        for (i, job) in jobs.iter().enumerate() {
+            if opts.verbose {
+                eprintln!("  sim: {}", job.key);
+            }
+            match attempt(job, fault_of(i), &opts.budget) {
+                Ok(r) => results[i] = Some(r),
+                Err(e) => first_errors[i] = Some(e),
+            }
+        }
+    } else {
+        // Round-robin the job indices across per-worker deques. Workers pop
+        // their own front and steal a victim's back, so early finishers
+        // drain the stragglers' queues instead of idling.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..jobs.len() {
+            lock(&queues[i % workers]).push_back(i);
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, Result<SimResult, JobError>)>();
+        let jobs_ref = &jobs;
+        let queues_ref = &queues;
+        std::thread::scope(|s| {
+            for me in 0..workers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    while let Some(i) = claim(queues_ref, me) {
+                        let r = attempt(&jobs_ref[i], fault_of(i), &opts.budget);
+                        if tx.send((i, r)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let total = jobs_ref.len();
+            let mut done = 0usize;
+            for (i, r) in rx {
+                done += 1;
+                if opts.verbose {
+                    eprintln!("  sim [{done}/{total}]: {}", jobs_ref[i].key);
+                }
+                match r {
+                    Ok(r) => results[i] = Some(r),
+                    Err(e) => first_errors[i] = Some(e),
+                }
+            }
+        });
     }
+
+    // One bounded retry per failed job: serial, on this (fresh) stack, and
+    // never with an injected fault, so transient failures recover.
+    for (i, first_error) in first_errors.into_iter().enumerate() {
+        let Some(first_error) = first_error else {
+            continue;
+        };
+        let job = &jobs[i];
+        eprintln!(
+            "  job failed ({}), retrying once: {} [seed {}]",
+            first_error.kind(),
+            job.key,
+            job.seed
+        );
+        match attempt(job, None, &opts.budget) {
+            Ok(r) => {
+                results[i] = Some(r);
+                report.failures.push(JobFailure {
+                    key: job.key.clone(),
+                    seed: job.seed,
+                    error: first_error,
+                    attempts: 2,
+                    recovered: true,
+                });
+            }
+            Err(second_error) => {
+                eprintln!("  job dead after retry: {} ({second_error})", job.key);
+                report.failures.push(JobFailure {
+                    key: job.key.clone(),
+                    seed: job.seed,
+                    error: second_error,
+                    attempts: 2,
+                    recovered: false,
+                });
+            }
+        }
+    }
+
+    // Merge in canonical (job-list) order, not completion order. Dead jobs
+    // simply contribute nothing.
+    for (job, r) in jobs.iter().zip(results) {
+        if let Some(r) = r {
+            store.insert(&job.key, r);
+        }
+    }
+    report
 }
 
 /// Takes the next job index for worker `me`: own queue first, then steal.
 fn claim(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    if let Some(i) = queues[me].lock().unwrap().pop_front() {
+    if let Some(i) = lock(&queues[me]).pop_front() {
         return Some(i);
     }
     for step in 1..queues.len() {
         let victim = (me + step) % queues.len();
-        if let Some(i) = queues[victim].lock().unwrap().pop_back() {
+        if let Some(i) = lock(&queues[victim]).pop_back() {
             return Some(i);
         }
     }
@@ -164,13 +406,17 @@ mod tests {
             .collect()
     }
 
+    fn run_plain(store: &mut Store, jobs: Vec<Job>, workers: usize) -> RunReport {
+        run_jobs(store, jobs, workers, &RunOptions::default())
+    }
+
     #[test]
     fn parallel_matches_serial_store() {
         let jobs = tiny_jobs(6);
         let mut serial = Store::in_memory();
-        run_jobs(&mut serial, jobs.clone(), 1, false);
+        run_plain(&mut serial, jobs.clone(), 1);
         let mut parallel = Store::in_memory();
-        run_jobs(&mut parallel, jobs.clone(), 4, false);
+        run_plain(&mut parallel, jobs.clone(), 4);
         assert_eq!(serial.misses(), parallel.misses());
         for job in &jobs {
             let a = serial.lookup(&job.key).expect("serial ran the job");
@@ -183,16 +429,18 @@ mod tests {
     fn more_workers_than_jobs_is_fine() {
         let jobs = tiny_jobs(2);
         let mut store = Store::in_memory();
-        run_jobs(&mut store, jobs.clone(), 16, false);
+        let report = run_plain(&mut store, jobs.clone(), 16);
         assert_eq!(store.misses(), 2);
         assert!(store.lookup(&jobs[0].key).is_some());
+        assert!(report.failures.is_empty());
     }
 
     #[test]
     fn empty_job_list_is_a_no_op() {
         let mut store = Store::in_memory();
-        run_jobs(&mut store, Vec::new(), 8, false);
+        let report = run_plain(&mut store, Vec::new(), 8);
         assert_eq!(store.misses(), 0);
+        assert!(report.failures.is_empty());
     }
 
     #[test]
@@ -200,7 +448,7 @@ mod tests {
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..3).map(|_| Mutex::new(VecDeque::new())).collect();
         for i in 0..7 {
-            queues[i % 3].lock().unwrap().push_back(i);
+            lock(&queues[i % 3]).push_back(i);
         }
         let mut seen: Vec<usize> = Vec::new();
         while let Some(i) = claim(&queues, 1) {
@@ -208,5 +456,85 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lock_recovers_from_poisoning() {
+        let m = Mutex::new(VecDeque::from([1usize]));
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(lock(&m).pop_front(), Some(1));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_recovered() {
+        let jobs = tiny_jobs(6);
+        let mut faults = vec![None; 6];
+        faults[2] = Some(InjectedFault::Panic);
+        let opts = RunOptions {
+            faults,
+            ..RunOptions::default()
+        };
+        let mut store = Store::in_memory();
+        let report = run_jobs(&mut store, jobs.clone(), 4, &opts);
+        // Every job produced a result (the faulted one via retry)...
+        assert_eq!(store.misses(), 6);
+        // ...and the failure is on the record, with its context.
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert!(f.recovered);
+        assert_eq!(f.key, jobs[2].key);
+        assert_eq!(f.attempts, 2);
+        match &f.error {
+            JobError::Panicked { message, backtrace } => {
+                assert!(message.contains("injected fault"), "{message}");
+                assert!(backtrace.is_some(), "backtrace missing");
+            }
+            other => panic!("expected a panic record, got {other:?}"),
+        }
+        // The store matches a clean run exactly.
+        let mut clean = Store::in_memory();
+        run_plain(&mut clean, jobs.clone(), 1);
+        for job in &jobs {
+            assert_eq!(clean.lookup(&job.key), store.lookup(&job.key));
+        }
+    }
+
+    #[test]
+    fn injected_budget_blowout_recovers_on_retry() {
+        let jobs = tiny_jobs(3);
+        let mut faults = vec![None; 3];
+        faults[0] = Some(InjectedFault::Budget);
+        let opts = RunOptions {
+            faults,
+            ..RunOptions::default()
+        };
+        let mut store = Store::in_memory();
+        let report = run_jobs(&mut store, jobs, 2, &opts);
+        assert_eq!(store.misses(), 3);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].recovered);
+        assert!(matches!(report.failures[0].error, JobError::Budget(_)));
+        assert!(!report.any_budget_death());
+    }
+
+    #[test]
+    fn real_budget_kills_the_job_but_not_the_suite() {
+        let jobs = tiny_jobs(3);
+        let opts = RunOptions {
+            // Too few events for any of these sims: every job dies, both
+            // attempts, and the suite still returns.
+            budget: RunBudget::unlimited().with_max_events(100),
+            ..RunOptions::default()
+        };
+        let mut store = Store::in_memory();
+        let report = run_jobs(&mut store, jobs, 2, &opts);
+        assert_eq!(store.misses(), 0);
+        assert_eq!(report.failures.len(), 3);
+        assert_eq!(report.dead().count(), 3);
+        assert!(report.any_budget_death());
     }
 }

@@ -147,12 +147,12 @@ fn parallel_scaling(jobs: usize) -> Json {
 
     let mut serial_store = Store::in_memory();
     let start = Instant::now();
-    parallel::run_jobs(&mut serial_store, batch.clone(), 1, false);
+    parallel::run_jobs(&mut serial_store, batch.clone(), 1, &parallel::RunOptions::default());
     let serial = start.elapsed().as_secs_f64();
 
     let mut parallel_store = Store::in_memory();
     let start = Instant::now();
-    parallel::run_jobs(&mut parallel_store, batch.clone(), jobs, false);
+    parallel::run_jobs(&mut parallel_store, batch.clone(), jobs, &parallel::RunOptions::default());
     let par = start.elapsed().as_secs_f64();
 
     let identical = batch

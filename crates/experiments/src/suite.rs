@@ -3,14 +3,16 @@
 use std::collections::HashSet;
 
 use walksteal_multitenant::{
-    fairness, weighted_ipc, GpuConfig, PolicyPreset, SimResult, Simulation, TenantResult,
+    fairness, weighted_ipc, GpuConfig, PolicyPreset, RunBudget, SimResult, Simulation,
+    TenantResult,
 };
 use walksteal_sim_core::gmean;
 use walksteal_vm::PageSize;
 use walksteal_workloads::{named_pairs, paper_pairs, AppId, MpmiClass, WorkloadPair};
 
+use crate::fault::FaultSpec;
 use crate::key::ExpKey;
-use crate::parallel::{self, Job};
+use crate::parallel::{self, Job, JobFailure, RunOptions};
 use crate::report::Table;
 use crate::scale::Scale;
 use crate::store::Store;
@@ -34,6 +36,18 @@ pub struct ExpContext {
     pub verbose: bool,
     /// Worker threads for [`ExpContext::run`] (1 = fully serial).
     pub jobs: usize,
+    /// Watchdog budget applied to every simulation attempt run through the
+    /// engine (unlimited by default).
+    pub budget: RunBudget,
+    /// Deterministic fault injection (`repro --inject-faults`); counters
+    /// are consumed as faults fire.
+    pub faults: Option<FaultSpec>,
+    /// Every job failure recorded so far (recovered and dead).
+    failures: Vec<JobFailure>,
+    /// Keys whose job died (failed both attempts): answered with a
+    /// placeholder instead of being re-simulated, so one dead cell cannot
+    /// take down the suite or later experiments that share the key.
+    dead: HashSet<ExpKey>,
     /// `Some` while a plan pass is collecting jobs (see [`ExpContext::run`]).
     plan: Option<Plan>,
 }
@@ -83,13 +97,40 @@ impl ExpContext {
             seed: 42,
             verbose: false,
             jobs: 1,
+            budget: RunBudget::unlimited(),
+            faults: None,
+            failures: Vec::new(),
+            dead: HashSet::new(),
             plan: None,
         }
     }
 
+    /// Every job failure recorded so far (recovered and dead), in the order
+    /// the engine observed them.
+    #[must_use]
+    pub fn failures(&self) -> &[JobFailure] {
+        &self.failures
+    }
+
+    /// Whether any job died (failed both attempts) with a blown budget.
+    #[must_use]
+    pub fn any_budget_death(&self) -> bool {
+        self.failures
+            .iter()
+            .any(|f| !f.recovered && matches!(f.error, parallel::JobError::Budget(_)))
+    }
+
+    /// Whether the engine must take the planned (plan/execute/replay) path:
+    /// always with parallelism, and whenever failure isolation is in play —
+    /// the planned path is where `catch_unwind`, budgets, retries, and
+    /// injected faults live.
+    fn planned(&self) -> bool {
+        self.jobs > 1 || self.faults.is_some() || !self.budget.is_unlimited()
+    }
+
     /// Runs `f` with the configured parallelism.
     ///
-    /// With `jobs <= 1` this is just `f(self)`. Otherwise `f` is first
+    /// Plain serial contexts run `f(self)` directly. Otherwise `f` is first
     /// replayed in *plan* mode — every cache-missing simulation is recorded
     /// as a [`Job`] and answered with a placeholder — the collected jobs run
     /// on the work-stealing pool (see [`parallel::run_jobs`]), and `f` runs
@@ -98,17 +139,42 @@ impl ExpContext {
     /// run. `f` must request the same simulations on both passes; it can
     /// read the placeholder results, just not branch the *job set* on them
     /// (no experiment does — the evaluation matrix is fixed up front).
+    ///
+    /// Job failures survive the pass: a failing job is retried once, a job
+    /// dead after the retry is recorded in [`failures`](Self::failures) and
+    /// its key answered with a placeholder on the replay, so the suite
+    /// completes with the failures itemized instead of dying.
     pub fn run<T>(&mut self, f: impl Fn(&mut ExpContext) -> T) -> T {
-        if self.jobs > 1 {
+        if self.planned() {
             self.plan = Some(Plan::default());
             let _ = f(self);
             let plan = self.plan.take().expect("plan mode set above");
-            parallel::run_jobs(&mut self.store, plan.jobs, self.jobs, self.verbose);
+            let opts = RunOptions {
+                verbose: self.verbose,
+                budget: self.budget,
+                faults: self
+                    .faults
+                    .as_mut()
+                    .map(|s| s.take_plan(plan.jobs.len()))
+                    .unwrap_or_default(),
+            };
+            let report = parallel::run_jobs(&mut self.store, plan.jobs, self.jobs, &opts);
+            for failure in report.failures {
+                if !failure.recovered {
+                    self.dead.insert(failure.key.clone());
+                }
+                self.failures.push(failure);
+            }
         }
         f(self)
     }
 
     fn run_apps(&mut self, key: ExpKey, cfg: GpuConfig, apps: &[AppId]) -> SimResult {
+        if self.dead.contains(&key) {
+            // The job failed both attempts; a placeholder keeps the table
+            // well-formed (the failure summary marks the affected rows).
+            return placeholder(apps);
+        }
         if self.plan.is_some() {
             if let Some(r) = self.store.lookup(&key) {
                 return r;

@@ -47,4 +47,5 @@ pub use sim::Simulation;
 
 // Re-exported so downstream users can configure policies without importing
 // the substrate crates directly.
+pub use walksteal_sim_core::{BudgetKind, RunBudget, RunDiag, SimError};
 pub use walksteal_vm::{DwsPlusPlusParams, StealMode, WalkConfig, WalkPolicyKind};

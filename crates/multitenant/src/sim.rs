@@ -13,7 +13,10 @@ use std::collections::HashMap;
 
 use walksteal_gpu::{MemRef, SmState};
 use walksteal_mem::{AccessKind, MemSystem};
-use walksteal_sim_core::{Cycle, EventQueue, LineAddr, Ppn, TenantId, Vpn, WalkerId};
+use walksteal_sim_core::{
+    BudgetKind, Cycle, EventQueue, LineAddr, Ppn, RunBudget, RunDiag, SimError, TenantId, Vpn,
+    WalkerId,
+};
 use walksteal_vm::{
     walk::WalkContext, FrameAlloc, MaskState, PageTable, Tlb, WalkRequest, WalkSubsystem,
 };
@@ -209,15 +212,37 @@ impl Simulation {
 
     /// Runs to the stop condition (every tenant completed >= 1 execution)
     /// and returns the collected metrics.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_budgeted(&RunBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// Like [`run`](Self::run), but aborts with
+    /// [`SimError::BudgetExceeded`] — carrying a partial-result
+    /// [`RunDiag`] — if the run blows through `budget` before reaching its
+    /// stop condition. The event/cycle/wall-clock behavior of the run
+    /// itself is identical to `run`; an unlimited budget adds no checks to
+    /// the hot loop beyond one branch per event.
+    ///
+    /// Wall-clock time is sampled every 64 Ki events, so a wall-clock abort
+    /// can overshoot by the time those events take. Event and cycle budgets
+    /// are exact and deterministic.
+    pub fn run_budgeted(mut self, budget: &RunBudget) -> Result<SimResult, SimError> {
         if let Some(interval) = self.cfg.sample_interval {
             self.events.push(Cycle(interval), Event::TakeSample);
         }
+        let limited = !budget.is_unlimited();
+        let started = std::time::Instant::now();
         while let Some((at, ev)) = self.events.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             if self.stopped || at.0 > self.cfg.max_cycles {
                 break;
+            }
+            if limited {
+                if let Some(e) = self.check_budget(budget, &started) {
+                    return Err(e);
+                }
             }
             self.events_processed += 1;
             match ev {
@@ -228,7 +253,50 @@ impl Simulation {
                 Event::TakeSample => self.on_sample(),
             }
         }
-        self.collect()
+        Ok(self.collect())
+    }
+
+    fn diag(&self) -> RunDiag {
+        RunDiag {
+            events: self.events_processed,
+            cycles: self.now.0,
+            tenants_done: self.tenants_done,
+            tenants_total: self.tenants.len(),
+        }
+    }
+
+    /// Returns the budget violation about to occur at this point of the
+    /// run, if any.
+    fn check_budget(&self, budget: &RunBudget, started: &std::time::Instant) -> Option<SimError> {
+        if let Some(limit) = budget.max_events {
+            if self.events_processed >= limit {
+                return Some(SimError::BudgetExceeded {
+                    kind: BudgetKind::Events,
+                    limit,
+                    diag: self.diag(),
+                });
+            }
+        }
+        if let Some(limit) = budget.max_cycles {
+            if self.now.0 > limit {
+                return Some(SimError::BudgetExceeded {
+                    kind: BudgetKind::Cycles,
+                    limit,
+                    diag: self.diag(),
+                });
+            }
+        }
+        if let Some(limit) = budget.max_wall {
+            // Instant::now is too costly per event; sample every 64 Ki.
+            if self.events_processed & 0xFFFF == 0 && started.elapsed() > limit {
+                return Some(SimError::BudgetExceeded {
+                    kind: BudgetKind::WallClock,
+                    limit: limit.as_millis() as u64,
+                    diag: self.diag(),
+                });
+            }
+        }
+        None
     }
 
     fn on_sample(&mut self) {
@@ -669,6 +737,54 @@ mod tests {
     fn sampling_off_means_empty_timeline() {
         let r = Simulation::new(small_cfg(), &[AppId::Mm], 1).run();
         assert!(r.timeline.is_empty());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_run() {
+        let a = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
+        let b = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7)
+            .run_budgeted(&RunBudget::unlimited())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_budget_aborts_with_partial_diagnostic() {
+        let budget = RunBudget::unlimited().with_max_events(500);
+        let err = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
+            .run_budgeted(&budget)
+            .unwrap_err();
+        let SimError::BudgetExceeded { kind, limit, diag } = err;
+        assert_eq!(kind, BudgetKind::Events);
+        assert_eq!(limit, 500);
+        assert_eq!(diag.events, 500);
+        assert_eq!(diag.tenants_total, 2);
+        assert!(diag.tenants_done < 2, "run should have been cut short");
+    }
+
+    #[test]
+    fn cycle_budget_aborts_deterministically() {
+        let budget = RunBudget::unlimited().with_max_cycles(2_000);
+        let run = || {
+            Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
+                .run_budgeted(&budget)
+                .unwrap_err()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "budget aborts must replay bit-identically");
+        let SimError::BudgetExceeded { kind, diag, .. } = a;
+        assert_eq!(kind, BudgetKind::Cycles);
+        assert!(diag.cycles > 2_000, "aborted at cycle {}", diag.cycles);
+    }
+
+    #[test]
+    fn generous_budget_does_not_perturb_the_run() {
+        let plain = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 3).run();
+        let budgeted = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 3)
+            .run_budgeted(&RunBudget::unlimited().with_max_events(plain.events * 10))
+            .unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Structured errors and run budgets for the simulation kernel.
+//!
+//! The run path used to be panic-on-failure: a mis-configured simulation
+//! could spin forever, and the only stop was a hard-coded cycle ceiling.
+//! [`RunBudget`] bounds a run along three independent axes — events,
+//! cycles, and wall-clock time — and a blown budget surfaces as a
+//! [`SimError::BudgetExceeded`] carrying a [`RunDiag`] snapshot of how far
+//! the run got, so the caller can report a partial-result diagnostic
+//! instead of hanging or dying.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Which budget axis a run blew through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// Discrete events processed.
+    Events,
+    /// Simulated cycles elapsed.
+    Cycles,
+    /// Host wall-clock time elapsed.
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Events => "events",
+            BudgetKind::Cycles => "cycles",
+            BudgetKind::WallClock => "wall-clock",
+        })
+    }
+}
+
+/// Watchdog limits on one simulation run. `None` on an axis disables it.
+///
+/// # Examples
+///
+/// ```
+/// use walksteal_sim_core::RunBudget;
+///
+/// let b = RunBudget::unlimited().with_max_events(1_000_000);
+/// assert!(!b.is_unlimited());
+/// assert_eq!(b.max_events, Some(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    /// Abort after this many discrete events.
+    pub max_events: Option<u64>,
+    /// Abort once simulated time passes this cycle.
+    pub max_cycles: Option<u64>,
+    /// Abort once this much host time has elapsed.
+    pub max_wall: Option<Duration>,
+}
+
+impl RunBudget {
+    /// No limits on any axis (the default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Limits discrete events.
+    #[must_use]
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
+    /// Limits simulated cycles.
+    #[must_use]
+    pub fn with_max_cycles(mut self, n: u64) -> Self {
+        self.max_cycles = Some(n);
+        self
+    }
+
+    /// Limits host wall-clock time.
+    #[must_use]
+    pub fn with_max_wall(mut self, d: Duration) -> Self {
+        self.max_wall = Some(d);
+        self
+    }
+
+    /// Whether every axis is unlimited (budget checks can be skipped).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_cycles.is_none() && self.max_wall.is_none()
+    }
+}
+
+/// Snapshot of how far a run got when it was aborted — the partial-result
+/// diagnostic attached to [`SimError::BudgetExceeded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDiag {
+    /// Discrete events processed before the abort.
+    pub events: u64,
+    /// Simulated cycle reached.
+    pub cycles: u64,
+    /// Tenants that had completed at least one execution.
+    pub tenants_done: usize,
+    /// Total tenants in the run.
+    pub tenants_total: usize,
+}
+
+impl fmt::Display for RunDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, cycle {}, {}/{} tenants complete",
+            self.events, self.cycles, self.tenants_done, self.tenants_total
+        )
+    }
+}
+
+/// Structured failure of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The run blew through a [`RunBudget`] axis; `diag` records how far it
+    /// got so callers can report a partial result instead of nothing.
+    BudgetExceeded {
+        /// The axis that tripped.
+        kind: BudgetKind,
+        /// The configured limit on that axis (events, cycles, or
+        /// milliseconds for wall-clock).
+        limit: u64,
+        /// Where the run was when the watchdog fired.
+        diag: RunDiag,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExceeded { kind, limit, diag } => {
+                let unit = match kind {
+                    BudgetKind::Events => "events",
+                    BudgetKind::Cycles => "cycles",
+                    BudgetKind::WallClock => "ms",
+                };
+                write!(f, "{kind} budget exceeded (limit {limit} {unit}; at {diag})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default() {
+        assert!(RunBudget::default().is_unlimited());
+        assert!(RunBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn builders_set_axes() {
+        let b = RunBudget::unlimited()
+            .with_max_events(10)
+            .with_max_cycles(20)
+            .with_max_wall(Duration::from_millis(30));
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_events, Some(10));
+        assert_eq!(b.max_cycles, Some(20));
+        assert_eq!(b.max_wall, Some(Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn error_display_names_the_axis() {
+        let e = SimError::BudgetExceeded {
+            kind: BudgetKind::Events,
+            limit: 100,
+            diag: RunDiag {
+                events: 100,
+                cycles: 7,
+                tenants_done: 0,
+                tenants_total: 2,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("events budget exceeded"), "{s}");
+        assert!(s.contains("0/2 tenants"), "{s}");
+    }
+}

@@ -14,6 +14,9 @@
 //!   arithmetic mean helpers used throughout the paper's evaluation.
 //! * [`json`] — a dependency-free JSON reader/writer ([`Json`]) for the
 //!   experiment cache and CLI output, so the workspace builds offline.
+//! * [`error`] — structured run failures ([`SimError`]) and watchdog
+//!   budgets ([`RunBudget`]) so a runaway simulation aborts with a partial
+//!   diagnostic instead of hanging its caller.
 //!
 //! # Examples
 //!
@@ -32,12 +35,14 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+pub mod error;
 pub mod event;
 pub mod ids;
 pub mod json;
 pub mod rng;
 pub mod stats;
 
+pub use error::{BudgetKind, RunBudget, RunDiag, SimError};
 pub use event::{BinaryHeapQueue, EventQueue};
 pub use ids::{Cycle, LineAddr, PhysAddr, Ppn, SmId, TenantId, VirtAddr, Vpn, WalkerId, WarpId};
 pub use json::Json;

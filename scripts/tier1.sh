@@ -18,4 +18,21 @@ cargo test -q --test determinism
 echo "== perf selftest =="
 ./target/release/repro --selftest-perf --jobs "${TIER1_JOBS:-4}"
 
+echo "== fault-injection smoke =="
+# Inject a job panic plus a corrupt cache file into a quick-scale run: the
+# suite must survive (quarantine + retry), exit with code 2, and still print
+# byte-identical tables.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+./target/release/repro --quick --jobs 1 --cache "$SMOKE/cache" fig9 > "$SMOKE/clean.txt"
+rc=0
+./target/release/repro --quick --cache "$SMOKE/cache" \
+  --inject-faults panic=1,corrupt=1,seed=7 fig9 > "$SMOKE/faulted.txt" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "fault-injection smoke: expected exit code 2, got $rc" >&2
+  exit 1
+fi
+cmp "$SMOKE/clean.txt" "$SMOKE/faulted.txt"
+test -d "$SMOKE/cache/quick/quarantine"
+
 echo "tier-1 OK"
