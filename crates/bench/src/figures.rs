@@ -6,7 +6,7 @@
 //! paper scale; these benches track the simulator's performance on each
 //! experiment's workload shape and guard against regressions.
 
-use walksteal_multitenant::{GpuConfig, PolicyPreset, SimResult, Simulation};
+use walksteal_multitenant::{GpuConfig, PolicyPreset, SimResult, SimulationBuilder};
 use walksteal_vm::PageSize;
 use walksteal_workloads::AppId;
 
@@ -21,7 +21,12 @@ fn bench_config() -> GpuConfig {
 }
 
 fn sim(cfg: GpuConfig, apps: &[AppId]) -> SimResult {
-    Simulation::new(cfg, apps, 42).run()
+    SimulationBuilder::new()
+        .config(cfg)
+        .tenants(apps.iter().copied())
+        .seed(42)
+        .build()
+        .run()
 }
 
 fn pair_bench(

@@ -27,7 +27,7 @@ impl BenchResult {
 /// Times `f`, printing and returning the result.
 ///
 /// Runs one warm-up call, estimates the iteration cost from a short probe,
-/// then measures a batch sized to fill [`WINDOW`].
+/// then measures a batch sized to fill `WINDOW`.
 pub fn bench(name: &str, mut f: impl FnMut()) -> BenchResult {
     f();
     // Probe: run until 10 ms or 1k iterations to estimate per-iter cost.

@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use walksteal_mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig};
 use walksteal_sim_core::{
-    BinaryHeapQueue, Cycle, EventQueue, LineAddr, PhysAddr, Ppn, SimRng, TenantId, Vpn,
+    BinaryHeapQueue, Cycle, EventQueue, LineAddr, Observer, PhysAddr, Ppn, SimRng, TenantId, Vpn,
 };
 use walksteal_vm::walk::WalkContext;
 use walksteal_vm::{
@@ -130,6 +130,7 @@ pub fn run(filter: &str) -> Vec<BenchResult> {
                 let mut mem = MemSystem::new(MemSystemConfig::default());
                 let mut rng = SimRng::new(6);
                 let mut scheduled: Vec<DispatchedWalk> = Vec::new();
+                let mut obs = Observer::off();
                 let mut now = Cycle::ZERO;
                 for _ in 0..200 {
                     now += 13;
@@ -139,6 +140,7 @@ pub fn run(filter: &str) -> Vec<BenchResult> {
                         frames: &mut frames,
                         mem: &mut mem,
                         mask: None,
+                        obs: &mut obs,
                     };
                     if let Ok(Some(d)) = ws.try_enqueue(
                         WalkRequest {
@@ -161,6 +163,7 @@ pub fn run(filter: &str) -> Vec<BenchResult> {
                             frames: &mut frames,
                             mem: &mut mem,
                             mask: None,
+                            obs: &mut obs,
                         };
                         let (_, next) = ws.on_walker_done(first.walker, first.done_at, &mut ctx);
                         if let Some(n) = next {

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE]
 //!       [--max-events N] [--max-cycles N] [--max-wall-ms N]
-//!       [--inject-faults SPEC] [--selftest-perf] [EXPERIMENT ...]
+//!       [--inject-faults SPEC] [--policy NAME] [--selftest-perf]
+//!       [--trace FILE [--trace-filter KINDS] [--pair A,B]] [EXPERIMENT ...]
 //!
 //! EXPERIMENT: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6
 //!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all (default: all)
@@ -13,6 +14,23 @@
 //! (default: the machine's available parallelism); the printed tables are
 //! bit-identical to `--jobs 1`. `--selftest-perf` skips the experiments and
 //! instead measures the engine itself, writing `BENCH_parallel.json`.
+//!
+//! # Observability
+//!
+//! `--policy NAME` restricts every policy sweep to that preset plus the
+//! sweep's normalization base (names as printed in table headers, or CLI
+//! aliases like `dws`, `dws++`, `stlb+ptw`; see `PolicyPreset::from_str`).
+//!
+//! `--trace FILE` switches to trace mode: instead of the experiment suite,
+//! one two-tenant simulation runs with a JSONL tracer attached, the trace
+//! is written to FILE, and a timeline reconstructed *from the trace alone*
+//! is rendered (per-tenant walker-occupancy curves — the shape of Fig. 9 —
+//! plus a Table-III-style interleave/steal breakdown). The replayed
+//! `pw_share` and `stolen_fraction` are self-checked bit-for-bit against
+//! the simulator's own counters. `--pair A,B` picks the workloads (default
+//! `GUPS,MM`), `--policy` the preset (default `dws`), and
+//! `--trace-filter walk,steal,epoch` limits which event kinds are recorded
+//! (kinds: `walk steal pwc pte epoch queue meta`; default: all).
 //!
 //! # Fault tolerance
 //!
@@ -42,15 +60,103 @@ use std::time::Duration;
 use walksteal_experiments::{
     parallel, perf, suite, ExpContext, FaultSpec, JobError, Scale, Store, Table,
 };
-use walksteal_multitenant::RunBudget;
+use walksteal_multitenant::{
+    JsonlTracer, PolicyPreset, RunBudget, SimulationBuilder, TraceFilter, TraceKind,
+};
+use walksteal_workloads::AppId;
 
 fn usage() -> &'static str {
     "usage: repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE] \
      [--max-events N] [--max-cycles N] [--max-wall-ms N] [--inject-faults SPEC] \
-     [--selftest-perf] [EXPERIMENT ...]\n\
+     [--policy NAME] [--selftest-perf] [--trace FILE [--trace-filter KINDS] [--pair A,B]] \
+     [EXPERIMENT ...]\n\
      experiments: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6 \
      fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all\n\
-     fault spec: panic=N,budget=N,corrupt=N,seed=S (see EXPERIMENTS.md)"
+     fault spec: panic=N,budget=N,corrupt=N,seed=S (see EXPERIMENTS.md)\n\
+     trace kinds: walk steal pwc pte epoch queue meta (comma-separated; default all)"
+}
+
+/// Trace mode (`--trace FILE`): run one traced pair, write the JSONL trace,
+/// render the timeline reconstructed from the trace alone, and self-check
+/// the replayed stats bit-for-bit against the simulator's own counters.
+fn run_trace(
+    scale: Scale,
+    path: &str,
+    filter: TraceFilter,
+    pair: [AppId; 2],
+    policy: PolicyPreset,
+    seed: u64,
+) -> ExitCode {
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("failed to create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "tracing {}.{} under {} (seed {seed}, scale {}) -> {path}",
+        pair[0].name(),
+        pair[1].name(),
+        policy.label(),
+        scale.label(),
+    );
+    let result = SimulationBuilder::new()
+        .config(scale.base_config())
+        .preset(policy)
+        .tenants(pair)
+        .seed(seed)
+        .tracer(JsonlTracer::new(std::io::BufWriter::new(file)).with_filter(filter))
+        .build()
+        .run();
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read back {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replayed = match walksteal_experiments::parse_trace(&text)
+        .and_then(|evs| walksteal_experiments::replay(&evs))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<String> = pair.iter().map(|a| a.name().to_owned()).collect();
+    println!("{}", walksteal_experiments::render(&replayed, &names));
+    eprintln!("wrote {path} ({} lines)", text.lines().count());
+
+    // The walk lifecycle is what the replay reconstructs; without it the
+    // timeline is empty and there is nothing to cross-check.
+    if !filter.contains(TraceKind::Walk) {
+        eprintln!("trace filter omits `walk`; skipping the replay self-check");
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    for (t, rep) in replayed.tenants.iter().enumerate() {
+        let sim = &result.tenants[t];
+        for (what, got, want) in [
+            ("pw_share", rep.pw_share, sim.pw_share),
+            ("stolen_fraction", rep.stolen_fraction, sim.stolen_fraction),
+            ("mean_interleave", rep.mean_interleave, sim.mean_interleave),
+            ("mean_walk_latency", rep.mean_latency, sim.mean_walk_latency),
+        ] {
+            if got.to_bits() != want.to_bits() {
+                eprintln!("self-check FAILED: tenant {t} {what}: replayed {got} != simulated {want}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        eprintln!("self-check ok: replayed pw_share/stolen_fraction/interleave/latency match bit-for-bit");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Prints the end-of-run failure summary (stderr, so tables on stdout stay
@@ -122,6 +228,10 @@ fn main() -> ExitCode {
     let mut selftest = false;
     let mut budget = RunBudget::unlimited();
     let mut faults: Option<FaultSpec> = None;
+    let mut policy: Option<PolicyPreset> = None;
+    let mut trace: Option<String> = None;
+    let mut trace_filter = TraceFilter::ALL;
+    let mut pair = [AppId::Gups, AppId::Mm];
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -172,6 +282,49 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--policy" => match args.next().map(|s| s.parse::<PolicyPreset>()) {
+                Some(Ok(p)) => policy = Some(p),
+                Some(Err(e)) => {
+                    eprintln!("--policy: {e}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--policy needs a preset name\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match args.next() {
+                Some(f) => trace = Some(f),
+                None => {
+                    eprintln!("--trace needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-filter" => match args.next().map(|s| s.parse::<TraceFilter>()) {
+                Some(Ok(f)) => trace_filter = f,
+                Some(Err(e)) => {
+                    eprintln!("--trace-filter: {e}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--trace-filter needs a kind list\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--pair" => {
+                let apps = args.next().map(|s| {
+                    s.split(',')
+                        .map(|n| AppId::from_name(n.trim()))
+                        .collect::<Option<Vec<_>>>()
+                });
+                match apps {
+                    Some(Some(v)) if v.len() == 2 => pair = [v[0], v[1]],
+                    _ => {
+                        eprintln!("--pair needs two app names, e.g. GUPS,MM\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--inject-faults" => match args.next().map(|s| FaultSpec::parse(&s)) {
                 Some(Ok(spec)) => faults = Some(spec),
                 Some(Err(e)) => {
@@ -207,6 +360,17 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(path) = trace {
+        return run_trace(
+            scale,
+            &path,
+            trace_filter,
+            pair,
+            policy.unwrap_or(PolicyPreset::Dws),
+            42,
+        );
+    }
+
     if wanted.is_empty() {
         wanted.push("all".to_owned());
     }
@@ -231,6 +395,7 @@ fn main() -> ExitCode {
     ctx.jobs = jobs;
     ctx.budget = budget;
     ctx.faults = faults;
+    ctx.policy = policy;
 
     let mut tables: Vec<Table> = Vec::new();
     for exp in &wanted {

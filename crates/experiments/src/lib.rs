@@ -42,6 +42,7 @@ pub mod report;
 pub mod scale;
 pub mod store;
 pub mod suite;
+pub mod timeline;
 
 pub use fault::{FaultSpec, InjectedFault};
 pub use key::ExpKey;
@@ -50,3 +51,4 @@ pub use report::Table;
 pub use scale::Scale;
 pub use store::{QuarantineEvent, Store, StoreError};
 pub use suite::ExpContext;
+pub use timeline::{parse_trace, render, replay, TenantReplay, TraceReplay};

@@ -30,7 +30,7 @@
 //! dead. [`RunBudget`] watchdogs bound each attempt, turning a runaway
 //! simulation into a [`JobError::Budget`] with a partial-result diagnostic
 //! instead of a hung suite. The deterministic fault-injection harness
-//! ([`InjectedFault`](crate::fault::InjectedFault)) drives exactly these
+//! ([`InjectedFault`]) drives exactly these
 //! paths in tests and CI.
 
 use std::backtrace::Backtrace;
@@ -39,7 +39,7 @@ use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex, MutexGuard, Once, PoisonError};
 
-use walksteal_multitenant::{GpuConfig, RunBudget, SimError, SimResult, Simulation};
+use walksteal_multitenant::{GpuConfig, RunBudget, SimError, SimResult, SimulationBuilder};
 use walksteal_workloads::AppId;
 
 use crate::fault::InjectedFault;
@@ -63,7 +63,7 @@ impl Job {
     /// Runs the simulation this job describes.
     #[must_use]
     pub fn simulate(&self) -> SimResult {
-        Simulation::new(self.cfg.clone(), &self.apps, self.seed).run()
+        self.builder().build().run()
     }
 
     /// Runs the simulation under a watchdog budget.
@@ -73,7 +73,17 @@ impl Job {
     /// Returns [`SimError::BudgetExceeded`] with a partial-result diagnostic
     /// if the run blows through `budget`.
     pub fn simulate_budgeted(&self, budget: &RunBudget) -> Result<SimResult, SimError> {
-        Simulation::new(self.cfg.clone(), &self.apps, self.seed).run_budgeted(budget)
+        self.builder().budget(budget.clone()).run()
+    }
+
+    /// The builder describing this job's simulation, before observability
+    /// or budgets are attached.
+    #[must_use]
+    pub fn builder(&self) -> SimulationBuilder {
+        SimulationBuilder::new()
+            .config(self.cfg.clone())
+            .tenants(self.apps.iter().copied())
+            .seed(self.seed)
     }
 }
 

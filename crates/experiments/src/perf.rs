@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use walksteal_multitenant::{PolicyPreset, Simulation};
+use walksteal_multitenant::{PolicyPreset, SimulationBuilder};
 use walksteal_sim_core::{BinaryHeapQueue, Cycle, EventQueue, Json, SimRng};
 use walksteal_workloads::{paper_pairs, AppId};
 
@@ -108,7 +108,12 @@ fn sim_throughput() -> Json {
     let mut best = 0.0f64;
     for _ in 0..3 {
         let start = Instant::now();
-        let r = Simulation::new(cfg.clone(), &apps, 42).run();
+        let r = SimulationBuilder::new()
+            .config(cfg.clone())
+            .tenants(apps)
+            .seed(42)
+            .build()
+            .run();
         let rate = r.events as f64 / start.elapsed().as_secs_f64();
         events = r.events;
         best = best.max(rate);

@@ -19,7 +19,7 @@
 //!   directory and renamed into place, so a crash mid-write can never leave
 //!   a half-written file under a live key.
 //! * **Integrity checksums** — new files carry an FNV-1a 64 checksum of the
-//!   result payload in their JSON envelope ([`Store::persist`] format:
+//!   result payload in their JSON envelope (`Store::persist` format:
 //!   `{"fnv64":"<hex>","result":{...}}`). Files written before the envelope
 //!   existed load checksum-free, unchanged on disk.
 //! * **Quarantine, don't panic** — an unreadable, unparseable, or

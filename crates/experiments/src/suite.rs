@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use walksteal_multitenant::{
-    fairness, weighted_ipc, GpuConfig, PolicyPreset, RunBudget, SimResult, Simulation,
+    fairness, weighted_ipc, GpuConfig, PolicyPreset, RunBudget, SimResult, SimulationBuilder,
     TenantResult,
 };
 use walksteal_sim_core::gmean;
@@ -42,6 +42,10 @@ pub struct ExpContext {
     /// Deterministic fault injection (`repro --inject-faults`); counters
     /// are consumed as faults fire.
     pub faults: Option<FaultSpec>,
+    /// When set (`repro --policy`), policy sweeps are restricted to this
+    /// preset plus each sweep's first preset (kept as the normalization
+    /// base). Fixed-policy tables (e.g. Table III) are unaffected.
+    pub policy: Option<PolicyPreset>,
     /// Every job failure recorded so far (recovered and dead).
     failures: Vec<JobFailure>,
     /// Keys whose job died (failed both attempts): answered with a
@@ -99,6 +103,7 @@ impl ExpContext {
             jobs: 1,
             budget: RunBudget::unlimited(),
             faults: None,
+            policy: None,
             failures: Vec::new(),
             dead: HashSet::new(),
             plan: None,
@@ -196,7 +201,12 @@ impl ExpContext {
             if verbose {
                 eprintln!("  sim: {key}");
             }
-            Simulation::new(cfg, apps, seed).run()
+            SimulationBuilder::new()
+                .config(cfg)
+                .tenants(apps.iter().copied())
+                .seed(seed)
+                .build()
+                .run()
         })
     }
 
@@ -233,6 +243,24 @@ impl ExpContext {
             .with_preset(PolicyPreset::Baseline);
         let key = ExpKey::solo(app, sms, self.scale.label(), self.seed);
         self.run_apps(key, cfg, &[app])
+    }
+
+    /// The presets a policy sweep should run: `defaults` as-is, or — when
+    /// a [`policy`](Self::policy) filter is set — the sweep's first preset
+    /// (the normalization base) plus the filtered policy, in sweep order.
+    /// A filter naming a preset the sweep does not compare leaves just the
+    /// base, so the table stays well-formed.
+    #[must_use]
+    pub fn presets(&self, defaults: &[PolicyPreset]) -> Vec<PolicyPreset> {
+        let Some(filter) = self.policy else {
+            return defaults.to_vec();
+        };
+        defaults
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| i == 0 || p == filter)
+            .map(|(_, &p)| p)
+            .collect()
     }
 
     /// Stand-alone IPCs for both constituents of `pair`.
@@ -288,6 +316,7 @@ fn sweep(
     normalize_to_first: bool,
     metric: impl Fn(&SimResult, &[f64; 2]) -> f64,
 ) -> Table {
+    let presets = &ctx.presets(presets)[..];
     let pairs = paper_pairs();
     let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
     let mut table = Table::new(title, &columns);
@@ -560,13 +589,13 @@ pub fn fig9(ctx: &mut ExpContext) -> Table {
 /// Fig. 10: the DWS++ aggressiveness knob — per-class gmean fairness (a)
 /// and throughput (b) for conservative / default / aggressive parameters.
 pub fn fig10(ctx: &mut ExpContext) -> Vec<Table> {
-    let presets = [
+    let presets = ctx.presets(&[
         PolicyPreset::Baseline,
         PolicyPreset::Dws,
         PolicyPreset::DwsPlusPlusConservative,
         PolicyPreset::DwsPlusPlus,
         PolicyPreset::DwsPlusPlusAggressive,
-    ];
+    ]);
     let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
     let mut fair_t = Table::new("Fig. 10a: Fairness by class", &columns);
     let mut thr_t = Table::new(
@@ -605,13 +634,13 @@ pub fn fig10(ctx: &mut ExpContext) -> Vec<Table> {
 /// Fig. 11: per-class throughput of Baseline, Static partitioning, MASK,
 /// DWS, and MASK+DWS.
 pub fn fig11(ctx: &mut ExpContext) -> Table {
-    let presets = [
+    let presets = ctx.presets(&[
         PolicyPreset::Baseline,
         PolicyPreset::StaticPartition,
         PolicyPreset::Mask,
         PolicyPreset::Dws,
         PolicyPreset::MaskDws,
-    ];
+    ]);
     let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
     let mut table = Table::new(
         "Fig. 11: Comparison with alternatives (total IPC, normalized)",
@@ -719,9 +748,15 @@ pub fn fig13_combos() -> Vec<Vec<AppId>> {
 /// Fig. 13: throughput with three and four tenants, normalized to baseline.
 /// Walkers are adjusted to divide evenly (18 for three tenants, paper §VII.F).
 pub fn fig13(ctx: &mut ExpContext) -> Table {
+    let presets = ctx.presets(&[
+        PolicyPreset::Baseline,
+        PolicyPreset::Dws,
+        PolicyPreset::DwsPlusPlus,
+    ]);
+    let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
     let mut table = Table::new(
         "Fig. 13: Three and four tenants (total IPC, normalized)",
-        &["Baseline", "DWS", "DWS++"],
+        &columns,
     );
     let mut all: Vec<Vec<f64>> = Vec::new();
     for combo in fig13_combos() {
@@ -729,11 +764,7 @@ pub fn fig13(ctx: &mut ExpContext) -> Table {
         let walkers = if n == 3 { 18 } else { 16 };
         let sms = ctx.scale.sms_per_tenant(n) * n;
         let mut vals = Vec::new();
-        for preset in [
-            PolicyPreset::Baseline,
-            PolicyPreset::Dws,
-            PolicyPreset::DwsPlusPlus,
-        ] {
+        for &preset in &presets {
             let cfg = ctx
                 .scale
                 .base_config()
@@ -751,7 +782,7 @@ pub fn fig13(ctx: &mut ExpContext) -> Table {
         table.row(&names.join("."), &row);
         all.push(row);
     }
-    let g: Vec<f64> = (0..3)
+    let g: Vec<f64> = (0..presets.len())
         .map(|c| gmean(&all.iter().map(|r| r[c]).collect::<Vec<_>>()))
         .collect();
     table.row("gmean", &g);
@@ -760,10 +791,13 @@ pub fn fig13(ctx: &mut ExpContext) -> Table {
 
 /// Fig. 14: 64 KB large pages — DWS still helps.
 pub fn fig14(ctx: &mut ExpContext) -> Table {
-    let mut table = Table::new(
-        "Fig. 14: Throughput with 64KB pages (normalized)",
-        &["Baseline", "DWS", "DWS++"],
-    );
+    let presets = ctx.presets(&[
+        PolicyPreset::Baseline,
+        PolicyPreset::Dws,
+        PolicyPreset::DwsPlusPlus,
+    ]);
+    let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
+    let mut table = Table::new("Fig. 14: Throughput with 64KB pages (normalized)", &columns);
     let pairs: Vec<WorkloadPair> = named_pairs()
         .into_iter()
         .filter(|(c, _)| VM_SENSITIVE.contains(c))
@@ -772,11 +806,7 @@ pub fn fig14(ctx: &mut ExpContext) -> Table {
     let mut all: Vec<Vec<f64>> = Vec::new();
     for pair in pairs {
         let mut vals = Vec::new();
-        for preset in [
-            PolicyPreset::Baseline,
-            PolicyPreset::Dws,
-            PolicyPreset::DwsPlusPlus,
-        ] {
+        for &preset in &presets {
             let cfg = ctx
                 .scale
                 .base_config()

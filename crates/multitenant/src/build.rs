@@ -1,0 +1,300 @@
+//! Fluent construction of a [`Simulation`]: tenants, policy preset, config
+//! knobs, run budgets, and observability sinks in one place.
+//!
+//! [`SimulationBuilder`] is the single public construction path for
+//! simulations (the old `Simulation::new` constructor survives as a
+//! deprecated shim). It applies configuration in the canonical order the
+//! experiment suite uses — `for_tenants(n)` first, then the policy preset —
+//! so a builder-built simulation replays bit-identically to one built the
+//! old way.
+//!
+//! # Examples
+//!
+//! ```
+//! use walksteal_multitenant::{PolicyPreset, SimulationBuilder};
+//! use walksteal_workloads::AppId;
+//!
+//! let result = SimulationBuilder::new()
+//!     .tenants([AppId::Gups, AppId::Mm])
+//!     .preset(PolicyPreset::DwsPlusPlus)
+//!     .n_sms(4)
+//!     .warps_per_sm(4)
+//!     .instructions_per_warp(400)
+//!     .seed(1)
+//!     .build()
+//!     .run();
+//! assert_eq!(result.tenants.len(), 2);
+//! ```
+
+use walksteal_sim_core::metrics::SharedMetrics;
+use walksteal_sim_core::trace::{Observer, Tracer};
+use walksteal_sim_core::{RunBudget, SimError};
+use walksteal_vm::PageSize;
+use walksteal_workloads::AppId;
+
+use crate::config::{GpuConfig, PolicyPreset};
+use crate::metrics::SimResult;
+use crate::sim::Simulation;
+
+/// One tenant in a [`SimulationBuilder`]: which application it runs.
+///
+/// Exists as its own type so future per-tenant knobs (SM share, priority)
+/// have a home; today it wraps an [`AppId`] and converts from one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    app: AppId,
+}
+
+impl TenantSpec {
+    /// A tenant running `app`.
+    #[must_use]
+    pub fn new(app: AppId) -> Self {
+        TenantSpec { app }
+    }
+
+    /// The application this tenant runs.
+    #[must_use]
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+}
+
+impl From<AppId> for TenantSpec {
+    fn from(app: AppId) -> Self {
+        TenantSpec::new(app)
+    }
+}
+
+/// Fluent builder for a [`Simulation`]. See the [module docs](self).
+pub struct SimulationBuilder {
+    cfg: GpuConfig,
+    tenants: Vec<TenantSpec>,
+    preset: Option<PolicyPreset>,
+    seed: u64,
+    budget: RunBudget,
+    obs: Observer,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationBuilder {
+    /// A builder with the paper's Table I baseline configuration, no
+    /// tenants, seed 42, an unlimited budget, and observability off.
+    #[must_use]
+    pub fn new() -> Self {
+        SimulationBuilder {
+            cfg: GpuConfig::default(),
+            tenants: Vec::new(),
+            preset: None,
+            seed: 42,
+            budget: RunBudget::unlimited(),
+            obs: Observer::off(),
+        }
+    }
+
+    /// Replaces the base configuration (tenant count and preset are still
+    /// applied on top at [`build`](Self::build) time).
+    #[must_use]
+    pub fn config(mut self, cfg: GpuConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Adds one tenant.
+    #[must_use]
+    pub fn tenant(mut self, spec: impl Into<TenantSpec>) -> Self {
+        self.tenants.push(spec.into());
+        self
+    }
+
+    /// Adds several tenants, in order.
+    #[must_use]
+    pub fn tenants<I>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<TenantSpec>,
+    {
+        self.tenants.extend(specs.into_iter().map(Into::into));
+        self
+    }
+
+    /// Applies a policy preset (after tenant-count specialization, matching
+    /// the experiment suite's canonical order).
+    #[must_use]
+    pub fn preset(mut self, preset: PolicyPreset) -> Self {
+        self.preset = Some(preset);
+        self
+    }
+
+    /// Seeds all workload randomness (default: 42).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bounds the run; [`run`](Self::run) fails with
+    /// [`SimError::BudgetExceeded`] when blown (default: unlimited).
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a trace sink receiving walk-lifecycle events.
+    #[must_use]
+    pub fn tracer(mut self, tracer: impl Tracer + 'static) -> Self {
+        self.obs.tracer = Some(Box::new(tracer));
+        self
+    }
+
+    /// Attaches a metrics registry handle; keep a clone to read the
+    /// collected counters and histograms after the run.
+    #[must_use]
+    pub fn metrics(mut self, metrics: SharedMetrics) -> Self {
+        self.obs.metrics = Some(metrics);
+        self
+    }
+
+    /// Sets the number of SMs.
+    #[must_use]
+    pub fn n_sms(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_n_sms(n);
+        self
+    }
+
+    /// Sets resident warps per SM.
+    #[must_use]
+    pub fn warps_per_sm(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_warps_per_sm(n);
+        self
+    }
+
+    /// Sets the base per-warp instruction budget per execution.
+    #[must_use]
+    pub fn instructions_per_warp(mut self, n: u64) -> Self {
+        self.cfg = self.cfg.with_instructions_per_warp(n);
+        self
+    }
+
+    /// Sets the L2 TLB size in entries (16-way).
+    #[must_use]
+    pub fn l2_tlb_entries(mut self, entries: usize) -> Self {
+        self.cfg = self.cfg.with_l2_tlb_entries(entries);
+        self
+    }
+
+    /// Sets the number of page-table walkers.
+    #[must_use]
+    pub fn walkers(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_walkers(n);
+        self
+    }
+
+    /// Sets the page size.
+    #[must_use]
+    pub fn page_size(mut self, page_size: PageSize) -> Self {
+        self.cfg = self.cfg.with_page_size(page_size);
+        self
+    }
+
+    /// Enables periodic timeline sampling every `cycles` cycles.
+    #[must_use]
+    pub fn sample_interval(mut self, cycles: u64) -> Self {
+        self.cfg = self.cfg.with_sample_interval(cycles);
+        self
+    }
+
+    /// Builds the simulation: specializes the config for the tenant count,
+    /// applies the preset, and attaches the observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tenants were added, or the configuration cannot host
+    /// them (SMs/walkers not evenly divisible).
+    #[must_use]
+    pub fn build(self) -> Simulation {
+        assert!(
+            !self.tenants.is_empty(),
+            "SimulationBuilder needs at least one tenant"
+        );
+        let apps: Vec<AppId> = self.tenants.iter().map(TenantSpec::app).collect();
+        let mut cfg = self.cfg.for_tenants(apps.len());
+        if let Some(preset) = self.preset {
+            cfg = cfg.with_preset(preset);
+        }
+        Simulation::with_observer(cfg, &apps, self.seed, self.obs)
+    }
+
+    /// Builds and runs under the configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] when the budget is blown.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        let budget = self.budget.clone();
+        self.build().run_budgeted(&budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimulationBuilder {
+        SimulationBuilder::new()
+            .n_sms(4)
+            .warps_per_sm(4)
+            .instructions_per_warp(400)
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructor() {
+        let cfg = GpuConfig::default()
+            .with_n_sms(4)
+            .with_warps_per_sm(4)
+            .with_instructions_per_warp(400)
+            .for_tenants(2)
+            .with_preset(PolicyPreset::DwsPlusPlus);
+        #[allow(deprecated)]
+        let legacy = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 7).run();
+        let built = small()
+            .tenants([AppId::Gups, AppId::Mm])
+            .preset(PolicyPreset::DwsPlusPlus)
+            .seed(7)
+            .build()
+            .run();
+        assert_eq!(legacy, built);
+    }
+
+    #[test]
+    fn tenant_specs_convert_from_app_ids() {
+        let spec: TenantSpec = AppId::Mm.into();
+        assert_eq!(spec.app(), AppId::Mm);
+        let r = small().tenant(spec).tenant(AppId::Gups).seed(1).build().run();
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].app, AppId::Mm);
+        assert_eq!(r.tenants[1].app, AppId::Gups);
+    }
+
+    #[test]
+    fn budgeted_run_surfaces_errors() {
+        let err = small()
+            .tenants([AppId::Gups, AppId::Mm])
+            .seed(1)
+            .budget(RunBudget::unlimited().with_max_events(100))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn building_without_tenants_panics() {
+        let _ = SimulationBuilder::new().build();
+    }
+}

@@ -77,6 +77,52 @@ impl std::fmt::Display for PolicyPreset {
     }
 }
 
+impl std::str::FromStr for PolicyPreset {
+    type Err = String;
+
+    /// Parses a preset from its [`label`](PolicyPreset::label)
+    /// (case-insensitive) or a CLI-friendly alias (`stlb`, `stlbptw`,
+    /// `dwspp`, `maskdws`, ...). Round-trips with `Display`:
+    /// `p.to_string().parse() == Ok(p)` for every preset.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        if let Some(p) = PolicyPreset::ALL
+            .into_iter()
+            .find(|p| p.label().eq_ignore_ascii_case(&norm))
+        {
+            return Ok(p);
+        }
+        // Squeeze out separators so "s-(tlb+ptw)", "S-TLB-PTW", and
+        // "stlb+ptw" all land on the same key ('+' is kept: it is
+        // significant in "dws++").
+        let compact: String = norm
+            .chars()
+            .filter(|c| !matches!(c, ' ' | '-' | '_' | '(' | ')'))
+            .collect();
+        match compact.as_str() {
+            "baseline" => Ok(PolicyPreset::Baseline),
+            "baseline2x" | "doubledbaseline" | "doubled" => Ok(PolicyPreset::DoubledBaseline),
+            "stlb" => Ok(PolicyPreset::STlb),
+            "stlb+ptw" | "stlbptw" => Ok(PolicyPreset::STlbPtw),
+            "static" | "staticpartition" => Ok(PolicyPreset::StaticPartition),
+            "dws" => Ok(PolicyPreset::Dws),
+            "dws++" | "dwspp" => Ok(PolicyPreset::DwsPlusPlus),
+            "dws++cons" | "dws++conservative" | "dwsppcons" => {
+                Ok(PolicyPreset::DwsPlusPlusConservative)
+            }
+            "dws++aggr" | "dws++aggressive" | "dwsppaggr" => {
+                Ok(PolicyPreset::DwsPlusPlusAggressive)
+            }
+            "mask" => Ok(PolicyPreset::Mask),
+            "mask+dws" | "maskdws" => Ok(PolicyPreset::MaskDws),
+            _ => Err(format!(
+                "unknown policy preset {s:?} (expected one of: {})",
+                PolicyPreset::ALL.map(PolicyPreset::label).join(", ")
+            )),
+        }
+    }
+}
+
 /// Full configuration of one simulated GPU (defaults = paper Table I).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
@@ -377,5 +423,38 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             PolicyPreset::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), PolicyPreset::ALL.len());
+    }
+
+    #[test]
+    fn preset_display_from_str_round_trips() {
+        for p in PolicyPreset::ALL {
+            assert_eq!(p.to_string().parse::<PolicyPreset>(), Ok(p), "{p}");
+            assert_eq!(
+                p.to_string().to_lowercase().parse::<PolicyPreset>(),
+                Ok(p),
+                "case-insensitive {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn preset_cli_aliases_parse() {
+        for (alias, expect) in [
+            ("baseline", PolicyPreset::Baseline),
+            ("baseline2x", PolicyPreset::DoubledBaseline),
+            ("stlb", PolicyPreset::STlb),
+            ("stlbptw", PolicyPreset::STlbPtw),
+            ("s-tlb-ptw", PolicyPreset::STlbPtw),
+            ("static", PolicyPreset::StaticPartition),
+            ("dws", PolicyPreset::Dws),
+            ("dwspp", PolicyPreset::DwsPlusPlus),
+            ("dws++conservative", PolicyPreset::DwsPlusPlusConservative),
+            ("dws++aggressive", PolicyPreset::DwsPlusPlusAggressive),
+            ("mask", PolicyPreset::Mask),
+            ("maskdws", PolicyPreset::MaskDws),
+        ] {
+            assert_eq!(alias.parse::<PolicyPreset>(), Ok(expect), "{alias}");
+        }
+        assert!("bogus".parse::<PolicyPreset>().is_err());
     }
 }

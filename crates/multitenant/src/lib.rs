@@ -21,31 +21,42 @@
 //! compares (baseline, S-TLB, S-(TLB+PTW), static partitioning, DWS, the
 //! three DWS++ variants, MASK, and MASK+DWS).
 //!
+//! Simulations are constructed through the fluent [`SimulationBuilder`],
+//! which also attaches observability sinks (a [`Tracer`] for walk-lifecycle
+//! events, a [`SharedMetrics`] registry for counters and histograms).
+//!
 //! # Examples
 //!
 //! ```
-//! use walksteal_multitenant::{GpuConfig, PolicyPreset, Simulation};
+//! use walksteal_multitenant::{PolicyPreset, SimulationBuilder};
 //! use walksteal_workloads::AppId;
 //!
-//! let cfg = GpuConfig::default()
-//!     .with_preset(PolicyPreset::Dws)
-//!     .with_instructions_per_warp(300)
-//!     .with_warps_per_sm(4)
-//!     .with_n_sms(4);
-//! let result = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 42).run();
+//! let result = SimulationBuilder::new()
+//!     .tenants([AppId::Gups, AppId::Mm])
+//!     .preset(PolicyPreset::Dws)
+//!     .n_sms(4)
+//!     .warps_per_sm(4)
+//!     .instructions_per_warp(300)
+//!     .build()
+//!     .run();
 //! assert_eq!(result.tenants.len(), 2);
 //! assert!(result.tenants.iter().all(|t| t.completed_executions >= 1));
 //! ```
 
+pub mod build;
 pub mod config;
 pub mod metrics;
 pub mod sim;
 
+pub use build::{SimulationBuilder, TenantSpec};
 pub use config::{GpuConfig, PolicyPreset};
 pub use metrics::{fairness, total_ipc, weighted_ipc, Sample, SimResult, TenantResult};
 pub use sim::Simulation;
 
-// Re-exported so downstream users can configure policies without importing
-// the substrate crates directly.
-pub use walksteal_sim_core::{BudgetKind, RunBudget, RunDiag, SimError};
+// Re-exported so downstream users can configure policies and observability
+// without importing the substrate crates directly.
+pub use walksteal_sim_core::{
+    BudgetKind, JsonlTracer, MetricsRegistry, NullTracer, RingTracer, RunBudget, RunDiag,
+    SharedMetrics, SimError, TraceEvent, TraceFilter, TraceKind, Tracer,
+};
 pub use walksteal_vm::{DwsPlusPlusParams, StealMode, WalkConfig, WalkPolicyKind};

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use walksteal_gpu::{MemRef, SmState};
 use walksteal_mem::{AccessKind, MemSystem};
+use walksteal_sim_core::trace::{Observer, TraceEvent, TraceKind};
 use walksteal_sim_core::{
     BudgetKind, Cycle, EventQueue, LineAddr, Ppn, RunBudget, RunDiag, SimError, TenantId, Vpn,
     WalkerId,
@@ -106,6 +107,10 @@ pub struct Simulation {
     timeline: Vec<Sample>,
     /// Per-tenant instruction counts at the previous sample.
     last_sample_instr: Vec<u64>,
+    /// Trace/metrics sinks; [`Observer::off`] when observability is off.
+    obs: Observer,
+    /// The workload seed, re-emitted in the trace header for replay.
+    seed: u64,
 }
 
 impl Simulation {
@@ -116,8 +121,18 @@ impl Simulation {
     ///
     /// Panics if `apps` is empty or `cfg` cannot host that many tenants
     /// (SMs/walkers not evenly divisible).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through walksteal_multitenant::SimulationBuilder instead"
+    )]
     #[must_use]
     pub fn new(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Self {
+        Self::with_observer(cfg, apps, seed, Observer::off())
+    }
+
+    /// [`new`](Self::new) with an explicit [`Observer`] attached; the
+    /// construction path used by `SimulationBuilder`.
+    pub(crate) fn with_observer(cfg: GpuConfig, apps: &[AppId], seed: u64, obs: Observer) -> Self {
         assert!(!apps.is_empty(), "need at least one tenant");
         let cfg = cfg.for_tenants(apps.len());
         let n_tenants = apps.len();
@@ -198,6 +213,8 @@ impl Simulation {
             stopped: false,
             timeline: Vec::new(),
             last_sample_instr: vec![0; n_tenants],
+            obs,
+            seed,
             cfg,
         }
     }
@@ -228,6 +245,17 @@ impl Simulation {
     /// can overshoot by the time those events take. Event and cycle budgets
     /// are exact and deterministic.
     pub fn run_budgeted(mut self, budget: &RunBudget) -> Result<SimResult, SimError> {
+        let (n_tenants, n_walkers, seed) = (
+            self.tenants.len() as u32,
+            self.cfg.walk.n_walkers as u32,
+            self.seed,
+        );
+        self.obs.trace(TraceKind::Meta, || TraceEvent::RunStart {
+            cycle: 0,
+            n_tenants,
+            n_walkers,
+            seed,
+        });
         if let Some(interval) = self.cfg.sample_interval {
             self.events.push(Cycle(interval), Event::TakeSample);
         }
@@ -313,10 +341,24 @@ impl Simulation {
             .map(|(&a, &b)| a - b)
             .collect();
         self.last_sample_instr = instr;
+        let (queued, busy) = (self.walk.queued_len(), self.walk.busy_walkers());
+        if !self.obs.is_off() {
+            let (cycle, busy_per_tenant) = (self.now.0, self.walk.busy_per_tenant());
+            self.obs.trace(TraceKind::Queue, || TraceEvent::QueueSample {
+                cycle,
+                queued: queued as u64,
+                busy: busy as u64,
+                busy_per_tenant: busy_per_tenant.iter().map(|&b| b as u32).collect(),
+            });
+            if let Some(m) = self.obs.metrics() {
+                m.sample("queue_depth", cycle, queued as f64);
+                m.sample("busy_walkers", cycle, busy as f64);
+            }
+        }
         self.timeline.push(Sample {
             cycle: self.now.0,
-            queued_walks: self.walk.queued_len(),
-            busy_walkers: self.walk.busy_walkers(),
+            queued_walks: queued,
+            busy_walkers: busy,
             instructions_delta: delta,
         });
         let interval = self
@@ -369,8 +411,14 @@ impl Simulation {
 
         // L1 TLB.
         if let Some(ppn) = self.sms[sm].probe_l1_tlb(r.vpn) {
+            if let Some(m) = self.obs.metrics() {
+                m.inc("l1_tlb_hits", Some(tenant.0));
+            }
             self.data_access(sm, warp, r, ppn, self.now);
             return;
+        }
+        if let Some(m) = self.obs.metrics() {
+            m.inc("l1_tlb_misses", Some(tenant.0));
         }
         if !self.sms[sm].try_take_tlb_mshr() {
             self.parked[tenant.index()].push_back((sm, warp, r));
@@ -390,6 +438,14 @@ impl Simulation {
             if hit.is_none() {
                 t.l2_demand_misses += 1;
             }
+        }
+        if let Some(m) = self.obs.metrics() {
+            let name = if hit.is_some() {
+                "l2_tlb_hits"
+            } else {
+                "l2_tlb_misses"
+            };
+            m.inc(name, Some(tenant.0));
         }
         if let Some(ppn) = hit {
             self.sms[sm].fill_l1_tlb(r.vpn, ppn, now + l2_lat);
@@ -414,6 +470,7 @@ impl Simulation {
             frames: &mut self.frames,
             mem: &mut self.mem,
             mask: self.mask.as_ref(),
+            obs: &mut self.obs,
         };
         match self
             .walk
@@ -441,6 +498,7 @@ impl Simulation {
             frames: &mut self.frames,
             mem: &mut self.mem,
             mask: self.mask.as_ref(),
+            obs: &mut self.obs,
         };
         let (done, next) = self.walk.on_walker_done(walker, self.now, &mut ctx);
         if let Some(d) = next {
@@ -553,8 +611,14 @@ impl Simulation {
     }
 
     /// Gathers final metrics.
-    fn collect(self) -> SimResult {
+    fn collect(mut self) -> SimResult {
         let end = self.now;
+        let events_processed = self.events_processed;
+        self.obs.trace(TraceKind::Meta, || TraceEvent::RunEnd {
+            cycle: end.0,
+            events: events_processed,
+        });
+        self.obs.flush();
         let tenants = self
             .tenants
             .iter()
@@ -612,6 +676,12 @@ mod tests {
     use super::*;
     use crate::config::PolicyPreset;
 
+    /// Builds a simulation the way the deprecated constructor used to,
+    /// through the supported observer-aware path.
+    fn sim(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Simulation {
+        Simulation::with_observer(cfg, apps, seed, Observer::off())
+    }
+
     fn small_cfg() -> GpuConfig {
         GpuConfig::default()
             .with_n_sms(4)
@@ -621,7 +691,7 @@ mod tests {
 
     #[test]
     fn single_tenant_completes() {
-        let r = Simulation::new(small_cfg(), &[AppId::Mm], 1).run();
+        let r = sim(small_cfg(), &[AppId::Mm], 1).run();
         assert_eq!(r.tenants.len(), 1);
         assert_eq!(r.tenants[0].completed_executions, 1);
         assert!(r.tenants[0].ipc > 0.0);
@@ -630,28 +700,28 @@ mod tests {
 
     #[test]
     fn two_tenants_both_complete() {
-        let r = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 1).run();
+        let r = sim(small_cfg(), &[AppId::Gups, AppId::Mm], 1).run();
         assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
     }
 
     #[test]
     fn deterministic_replay() {
-        let a = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
-        let b = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
+        let a = sim(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
+        let b = sim(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 1).run();
-        let b = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 2).run();
+        let a = sim(small_cfg(), &[AppId::Sad, AppId::Hs], 1).run();
+        let b = sim(small_cfg(), &[AppId::Sad, AppId::Hs], 2).run();
         assert_ne!(a.cycles, b.cycles);
     }
 
     #[test]
     fn light_app_outruns_heavy_app_standalone() {
-        let light = Simulation::new(small_cfg(), &[AppId::Mm], 3).run();
-        let heavy = Simulation::new(small_cfg(), &[AppId::Gups], 3).run();
+        let light = sim(small_cfg(), &[AppId::Mm], 3).run();
+        let heavy = sim(small_cfg(), &[AppId::Gups], 3).run();
         assert!(
             light.tenants[0].ipc > heavy.tenants[0].ipc,
             "MM {} vs GUPS {}",
@@ -662,15 +732,15 @@ mod tests {
 
     #[test]
     fn heavy_app_misses_more() {
-        let light = Simulation::new(small_cfg(), &[AppId::Mm], 3).run();
-        let heavy = Simulation::new(small_cfg(), &[AppId::Gups], 3).run();
+        let light = sim(small_cfg(), &[AppId::Mm], 3).run();
+        let heavy = sim(small_cfg(), &[AppId::Gups], 3).run();
         assert!(heavy.tenants[0].mpmi > light.tenants[0].mpmi * 10.0);
     }
 
     #[test]
     fn dws_steals_in_asymmetric_pair() {
         let cfg = small_cfg().with_preset(PolicyPreset::Dws);
-        let r = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 1).run();
+        let r = sim(cfg, &[AppId::Gups, AppId::Mm], 1).run();
         // The heavy tenant's walks get stolen by the light tenant's walkers.
         assert!(
             r.tenants[0].stolen_fraction > 0.0,
@@ -684,7 +754,7 @@ mod tests {
         // MM finishes long before GUPS; it must relaunch (>1 execution).
         // A longer budget makes GUPS's memory-bound tail dominate.
         let cfg = small_cfg().with_instructions_per_warp(2_000);
-        let r = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 1).run();
+        let r = sim(cfg, &[AppId::Gups, AppId::Mm], 1).run();
         assert!(
             r.tenants[1].completed_executions > 1,
             "light tenant should relaunch: {:?}",
@@ -694,7 +764,7 @@ mod tests {
 
     #[test]
     fn shares_sum_to_at_most_one() {
-        let r = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Blk], 5).run();
+        let r = sim(small_cfg(), &[AppId::Gups, AppId::Blk], 5).run();
         let pw: f64 = r.tenants.iter().map(|t| t.pw_share).sum();
         let tlb: f64 = r.tenants.iter().map(|t| t.tlb_share).sum();
         assert!(pw <= 1.0 + 1e-9, "pw share sum {pw}");
@@ -705,7 +775,7 @@ mod tests {
 
     #[test]
     fn baseline_interleaving_asymmetric_pair() {
-        let r = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Hs], 1).run();
+        let r = sim(small_cfg(), &[AppId::Gups, AppId::Hs], 1).run();
         // The light tenant's walks wait behind many heavy walks.
         assert!(
             r.tenants[1].mean_interleave > r.tenants[0].mean_interleave,
@@ -718,7 +788,7 @@ mod tests {
     #[test]
     fn timeline_sampling_records_snapshots() {
         let cfg = small_cfg().with_sample_interval(1_000);
-        let r = Simulation::new(cfg, &[AppId::Sad, AppId::Mm], 1).run();
+        let r = sim(cfg, &[AppId::Sad, AppId::Mm], 1).run();
         assert!(!r.timeline.is_empty());
         // Samples are evenly spaced and cover the run.
         for (i, s) in r.timeline.iter().enumerate() {
@@ -735,14 +805,14 @@ mod tests {
 
     #[test]
     fn sampling_off_means_empty_timeline() {
-        let r = Simulation::new(small_cfg(), &[AppId::Mm], 1).run();
+        let r = sim(small_cfg(), &[AppId::Mm], 1).run();
         assert!(r.timeline.is_empty());
     }
 
     #[test]
     fn unlimited_budget_matches_plain_run() {
-        let a = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
-        let b = Simulation::new(small_cfg(), &[AppId::Sad, AppId::Hs], 7)
+        let a = sim(small_cfg(), &[AppId::Sad, AppId::Hs], 7).run();
+        let b = sim(small_cfg(), &[AppId::Sad, AppId::Hs], 7)
             .run_budgeted(&RunBudget::unlimited())
             .unwrap();
         assert_eq!(a, b);
@@ -751,7 +821,7 @@ mod tests {
     #[test]
     fn event_budget_aborts_with_partial_diagnostic() {
         let budget = RunBudget::unlimited().with_max_events(500);
-        let err = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
+        let err = sim(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
             .run_budgeted(&budget)
             .unwrap_err();
         let SimError::BudgetExceeded { kind, limit, diag } = err;
@@ -766,7 +836,7 @@ mod tests {
     fn cycle_budget_aborts_deterministically() {
         let budget = RunBudget::unlimited().with_max_cycles(2_000);
         let run = || {
-            Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
+            sim(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
                 .run_budgeted(&budget)
                 .unwrap_err()
         };
@@ -780,8 +850,8 @@ mod tests {
 
     #[test]
     fn generous_budget_does_not_perturb_the_run() {
-        let plain = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 3).run();
-        let budgeted = Simulation::new(small_cfg(), &[AppId::Gups, AppId::Mm], 3)
+        let plain = sim(small_cfg(), &[AppId::Gups, AppId::Mm], 3).run();
+        let budgeted = sim(small_cfg(), &[AppId::Gups, AppId::Mm], 3)
             .run_budgeted(&RunBudget::unlimited().with_max_events(plain.events * 10))
             .unwrap();
         assert_eq!(plain, budgeted);
@@ -794,7 +864,7 @@ mod tests {
             .with_warps_per_sm(2)
             .with_instructions_per_warp(300)
             .with_preset(PolicyPreset::Dws);
-        let r = Simulation::new(cfg, &[AppId::Gups, AppId::Mm, AppId::Tds, AppId::Hs], 1).run();
+        let r = sim(cfg, &[AppId::Gups, AppId::Mm, AppId::Tds, AppId::Hs], 1).run();
         assert_eq!(r.tenants.len(), 4);
         assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
     }

@@ -17,6 +17,10 @@
 //! * [`error`] — structured run failures ([`SimError`]) and watchdog
 //!   budgets ([`RunBudget`]) so a runaway simulation aborts with a partial
 //!   diagnostic instead of hanging its caller.
+//! * [`trace`] — zero-cost-when-off walk-lifecycle tracing ([`Tracer`],
+//!   [`TraceEvent`], [`Observer`]) with JSONL and ring-buffer sinks.
+//! * [`metrics`] — a registry of named counters, histograms, and time
+//!   series ([`MetricsRegistry`]) collected alongside traces.
 //!
 //! # Examples
 //!
@@ -39,12 +43,18 @@ pub mod error;
 pub mod event;
 pub mod ids;
 pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use error::{BudgetKind, RunBudget, RunDiag, SimError};
 pub use event::{BinaryHeapQueue, EventQueue};
 pub use ids::{Cycle, LineAddr, PhysAddr, Ppn, SmId, TenantId, VirtAddr, Vpn, WalkerId, WarpId};
 pub use json::Json;
+pub use metrics::{MetricsRegistry, SharedMetrics};
 pub use rng::SimRng;
 pub use stats::{amean, gmean, Counter, Histogram, RunningMean};
+pub use trace::{
+    JsonlTracer, NullTracer, Observer, RingTracer, TraceEvent, TraceFilter, TraceKind, Tracer,
+};

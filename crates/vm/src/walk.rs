@@ -38,6 +38,7 @@
 use std::collections::VecDeque;
 
 use walksteal_mem::{AccessKind, MemSystem};
+use walksteal_sim_core::trace::{Observer, TraceEvent, TraceKind};
 use walksteal_sim_core::{Cycle, Ppn, TenantId, Vpn, WalkerId};
 
 use crate::frame::FrameAlloc;
@@ -244,8 +245,8 @@ pub struct WalkRequest {
 
 /// Mutable context the subsystem needs while dispatching walks: the page
 /// tables to walk, the frame allocator backing first-touch allocation, the
-/// memory system timing page-table accesses, and (optionally) MASK state
-/// controlling PTE cache bypass.
+/// memory system timing page-table accesses, (optionally) MASK state
+/// controlling PTE cache bypass, and the observability sinks.
 pub struct WalkContext<'a> {
     /// Per-tenant page tables, indexed by tenant id.
     pub page_tables: &'a mut [PageTable],
@@ -255,6 +256,8 @@ pub struct WalkContext<'a> {
     pub mem: &'a mut MemSystem,
     /// MASK token state, when the MASK comparison policy is active.
     pub mask: Option<&'a MaskState>,
+    /// Trace/metrics sinks; [`Observer::off`] when observability is off.
+    pub obs: &'a mut Observer,
 }
 
 /// Per-tenant statistics exported by the subsystem.
@@ -664,24 +667,62 @@ impl WalkSubsystem {
 
         let t = req.tenant;
         let interleave = self.foreign_service[t.index()] - req.foreign_at_arrival;
+        let queue_wait = now.saturating_since(req.arrival);
         self.stats.total_interleave[t.index()] += interleave;
-        self.stats.total_queue_wait[t.index()] += now.saturating_since(req.arrival);
+        self.stats.total_queue_wait[t.index()] += queue_wait;
         self.note_foreign_service(walker, t);
         self.busy_count[t.index()] += 1;
+
+        ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkAssign {
+            cycle: now.0,
+            tenant: t.0,
+            vpn: req.vpn.0,
+            walker: walker as u8,
+            stolen,
+            queue_wait,
+            interleaved: interleave,
+        });
+        if stolen {
+            let owner = self.owner_of(walker);
+            ctx.obs.trace(TraceKind::Steal, || TraceEvent::Steal {
+                cycle: now.0,
+                walker: walker as u8,
+                owner: owner.0,
+                tenant: t.0,
+                vpn: req.vpn.0,
+            });
+            if let Some(m) = ctx.obs.metrics() {
+                m.inc("steal_success", None);
+            }
+        }
 
         let levels = ctx.page_tables[t.index()].page_size().levels();
         let mut path = std::mem::take(&mut self.path_scratch);
         ctx.page_tables[t.index()].walk_path_into(req.vpn, ctx.frames, &mut path);
         let hit = self.pwc.probe(t, req.vpn, levels);
         let first_level = hit.map_or(0, |h| h.level + 1);
+        ctx.obs.trace(TraceKind::Pwc, || TraceEvent::PwcProbe {
+            cycle: now.0,
+            tenant: t.0,
+            vpn: req.vpn.0,
+            hit_levels: first_level as u8,
+            levels: levels as u8,
+        });
 
         let kind = match ctx.mask {
             Some(mask) => mask.pt_access_kind(t),
             None => AccessKind::PageTable,
         };
         let mut at = now + self.cfg.dispatch_overhead + self.cfg.pwc_latency;
-        for entry in &path.entry_addrs[first_level..] {
+        for (i, entry) in path.entry_addrs[first_level..].iter().enumerate() {
             let access = ctx.mem.access(entry.line(128), at, kind);
+            ctx.obs.trace(TraceKind::Pte, || TraceEvent::PteFetch {
+                cycle: at.0,
+                tenant: t.0,
+                walker: walker as u8,
+                level: (first_level + i) as u8,
+                latency: access.latency,
+            });
             at += access.latency;
         }
         self.pwc.fill_walk(t, req.vpn, &path.node_addrs);
@@ -731,10 +772,20 @@ impl WalkSubsystem {
             Scheduler::Shared { queue, capacity } => {
                 if queue.len() >= *capacity {
                     self.stats.rejected[t] += 1;
+                    ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkReject {
+                        cycle: now.0,
+                        tenant: req.tenant.0,
+                        vpn: req.vpn.0,
+                    });
                     return Err(WalkQueueFull);
                 }
                 queue.push_back(pending);
                 self.stats.enqueued[t] += 1;
+                ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkEnqueue {
+                    cycle: now.0,
+                    tenant: req.tenant.0,
+                    vpn: req.vpn.0,
+                });
                 // Any idle walker takes the head of the shared queue.
                 if let Some(w) = self.walkers.iter().position(Option::is_none) {
                     let Scheduler::Shared { queue, .. } = &mut self.sched else {
@@ -751,10 +802,20 @@ impl WalkSubsystem {
             } => {
                 if queues[t].len() >= *per_tenant_capacity {
                     self.stats.rejected[t] += 1;
+                    ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkReject {
+                        cycle: now.0,
+                        tenant: req.tenant.0,
+                        vpn: req.vpn.0,
+                    });
                     return Err(WalkQueueFull);
                 }
                 queues[t].push_back(pending);
                 self.stats.enqueued[t] += 1;
+                ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkEnqueue {
+                    cycle: now.0,
+                    tenant: req.tenant.0,
+                    vpn: req.vpn.0,
+                });
                 let per = self.cfg.n_walkers / self.cfg.n_tenants;
                 let range = t * per..(t + 1) * per;
                 if let Some(w) = range.clone().find(|&w| self.walkers[w].is_none()) {
@@ -777,12 +838,22 @@ impl WalkSubsystem {
                 };
                 let Some(w) = chosen else {
                     self.stats.rejected[t] += 1;
+                    ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkReject {
+                        cycle: now.0,
+                        tenant: req.tenant.0,
+                        vpn: req.vpn.0,
+                    });
                     return Err(WalkQueueFull);
                 };
                 p.queues[w].push_back(pending);
                 p.fwa_free[w] -= 1;
                 p.twm_pend[t] += 1;
                 self.stats.enqueued[t] += 1;
+                ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkEnqueue {
+                    cycle: now.0,
+                    tenant: req.tenant.0,
+                    vpn: req.vpn.0,
+                });
 
                 // DWS++ epoch accounting.
                 if let StealMode::DwsPlusPlus(params) = &p.steal {
@@ -792,6 +863,14 @@ impl WalkSubsystem {
                         let max = p.twm_enq_epoch.iter().copied().max().unwrap_or(0) as f64;
                         let min = p.twm_enq_epoch.iter().copied().min().unwrap_or(0).max(1) as f64;
                         p.diff_thres = params.diff_thres_for(max / min);
+                        ctx.obs.trace(TraceKind::Epoch, || TraceEvent::EpochUpdate {
+                            cycle: now.0,
+                            enq_epoch: p.twm_enq_epoch.clone(),
+                            diff_thres: p.diff_thres,
+                        });
+                        if let Some(m) = ctx.obs.metrics() {
+                            m.inc("epoch_rollovers", None);
+                        }
                         p.epoch_counter = 0;
                         p.twm_enq_epoch.iter_mut().for_each(|c| *c = 0);
                     }
@@ -823,6 +902,9 @@ impl WalkSubsystem {
                     let foreign_idle = (0..self.cfg.n_walkers)
                         .find(|&w| self.walkers[w].is_none() && p.wtm[w] != req.tenant);
                     if let Some(wf) = foreign_idle {
+                        if let Some(m) = ctx.obs.metrics() {
+                            m.inc("steal_attempts", None);
+                        }
                         if let Some(victim_walker) = self.steal_choice(wf, now) {
                             let Scheduler::Partitioned(p) = &mut self.sched else {
                                 unreachable!("scheduler variant fixed at construction")
@@ -932,6 +1014,21 @@ impl WalkSubsystem {
             stolen: inflight.stolen,
             latency: now.saturating_since(inflight.req.arrival),
         };
+        ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkComplete {
+            cycle: now.0,
+            tenant: t.0,
+            vpn: completed.vpn.0,
+            walker: w as u8,
+            stolen: completed.stolen,
+            latency: completed.latency,
+        });
+        if let Some(m) = ctx.obs.metrics() {
+            m.observe("walk_latency", Some(t.0), completed.latency);
+            m.inc("walks_completed", Some(t.0));
+            if completed.stolen {
+                m.inc("walks_stolen", Some(t.0));
+            }
+        }
 
         // Per-policy: pick the next request for this walker.
         let pool_owner = self.owner_of(w);
@@ -948,6 +1045,9 @@ impl WalkSubsystem {
                 if !p.queues[w].is_empty() {
                     // Step 1: serve own queue... unless DWS++ decides the
                     // imbalance warrants a steal instead.
+                    if let Some(m) = ctx.obs.metrics() {
+                        m.inc("steal_attempts", None);
+                    }
                     if let Some(victim_walker) = self.steal_choice(w, now) {
                         let Scheduler::Partitioned(p) = &mut self.sched else {
                             unreachable!("scheduler variant fixed at construction")
@@ -965,7 +1065,12 @@ impl WalkSubsystem {
                 } else if let Some(sib) = p.most_loaded_owned(owner) {
                     // Steps 2/3a: owner has walks queued on a sibling walker.
                     Some((p.pop_from_walker(sib), false))
-                } else if let Some(victim_walker) = self.steal_choice(w, now) {
+                } else if let Some(victim_walker) = {
+                    if let Some(m) = ctx.obs.metrics() {
+                        m.inc("steal_attempts", None);
+                    }
+                    self.steal_choice(w, now)
+                } {
                     // Step 3b: steal.
                     let Scheduler::Partitioned(p) = &mut self.sched else {
                         unreachable!("scheduler variant fixed at construction")
@@ -1003,6 +1108,12 @@ impl WalkSubsystem {
     #[must_use]
     pub fn busy_walkers(&self) -> usize {
         self.walkers.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Walkers currently busy on behalf of each tenant, indexed by tenant.
+    #[must_use]
+    pub fn busy_per_tenant(&self) -> &[usize] {
+        &self.busy_count
     }
 
     /// Time-averaged fraction of all walkers busy servicing `tenant` over
@@ -1081,6 +1192,7 @@ mod tests {
         pts: Vec<PageTable>,
         frames: FrameAlloc,
         mem: MemSystem,
+        obs: Observer,
     }
 
     impl Rig {
@@ -1092,6 +1204,7 @@ mod tests {
                 ],
                 frames: FrameAlloc::new(),
                 mem: MemSystem::new(MemSystemConfig::default()),
+                obs: Observer::off(),
             }
         }
 
@@ -1101,6 +1214,7 @@ mod tests {
                 frames: &mut self.frames,
                 mem: &mut self.mem,
                 mask: None,
+                obs: &mut self.obs,
             }
         }
     }

@@ -10,7 +10,7 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
-use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+use walksteal::multitenant::{GpuConfig, PolicyPreset, SimulationBuilder};
 use walksteal::workloads::AppId;
 
 fn base() -> GpuConfig {
@@ -36,11 +36,15 @@ fn main() {
         ("4096e TLB, 32 PTW", 4096, 32),
     ] {
         let mk = |preset| {
-            let cfg = base()
-                .with_l2_tlb_entries(entries)
-                .with_walkers(walkers)
-                .with_preset(preset);
-            Simulation::new(cfg, &apps, 3).run().total_ipc()
+            let cfg = base().with_l2_tlb_entries(entries).with_walkers(walkers);
+            SimulationBuilder::new()
+                .config(cfg)
+                .preset(preset)
+                .tenants(apps)
+                .seed(3)
+                .build()
+                .run()
+                .total_ipc()
         };
         let b = mk(PolicyPreset::Baseline);
         let d = mk(PolicyPreset::Dws);

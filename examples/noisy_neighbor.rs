@@ -11,7 +11,7 @@
 //! cargo run --release --example noisy_neighbor
 //! ```
 
-use walksteal::multitenant::{fairness, weighted_ipc, GpuConfig, PolicyPreset, Simulation};
+use walksteal::multitenant::{fairness, weighted_ipc, GpuConfig, PolicyPreset, SimulationBuilder};
 use walksteal::workloads::AppId;
 
 fn base() -> GpuConfig {
@@ -37,7 +37,13 @@ fn main() {
         .iter()
         .map(|&app| {
             let cfg = base().with_n_sms(5).with_instructions_per_warp(7_500);
-            Simulation::new(cfg, &[app], 7).run().tenants[0].ipc
+            let r = SimulationBuilder::new()
+                .config(cfg)
+                .tenant(app)
+                .seed(7)
+                .build()
+                .run();
+            r.tenants[0].ipc
         })
         .collect();
 
@@ -53,7 +59,13 @@ fn main() {
         PolicyPreset::DwsPlusPlus,
         PolicyPreset::DwsPlusPlusAggressive,
     ] {
-        let r = Simulation::new(base().with_preset(preset), &[noisy, victim], 7).run();
+        let r = SimulationBuilder::new()
+            .config(base())
+            .preset(preset)
+            .tenants([noisy, victim])
+            .seed(7)
+            .build()
+            .run();
         println!(
             "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>9.2}x {:>9.2}x",
             preset.label(),

@@ -6,18 +6,21 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use walksteal::multitenant::{GpuConfig, PolicyPreset, SimResult, Simulation};
+use walksteal::multitenant::{PolicyPreset, SimResult, SimulationBuilder};
 use walksteal::workloads::AppId;
 
 fn run(preset: PolicyPreset) -> SimResult {
     // A reduced machine so the example finishes in seconds; drop the
     // overrides for the paper's full 30-SM configuration.
-    let cfg = GpuConfig::default()
-        .with_n_sms(10)
-        .with_warps_per_sm(12)
-        .with_instructions_per_warp(2_500)
-        .with_preset(preset);
-    Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 42).run()
+    SimulationBuilder::new()
+        .n_sms(10)
+        .warps_per_sm(12)
+        .instructions_per_warp(2_500)
+        .preset(preset)
+        .tenants([AppId::Gups, AppId::Mm])
+        .seed(42)
+        .build()
+        .run()
 }
 
 fn main() {

@@ -9,7 +9,7 @@
 //! cargo run --release --example scale_out_tenants
 //! ```
 
-use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+use walksteal::multitenant::{PolicyPreset, SimulationBuilder};
 use walksteal::workloads::AppId;
 
 fn main() {
@@ -24,12 +24,15 @@ fn main() {
         PolicyPreset::DwsPlusPlus,
     ] {
         // 12 SMs -> 3 per tenant; 16 walkers -> 4 per tenant.
-        let cfg = GpuConfig::default()
-            .with_n_sms(12)
-            .with_warps_per_sm(10)
-            .with_instructions_per_warp(1_500)
-            .with_preset(preset);
-        let r = Simulation::new(cfg, &apps, 11).run();
+        let r = SimulationBuilder::new()
+            .n_sms(12)
+            .warps_per_sm(10)
+            .instructions_per_warp(1_500)
+            .preset(preset)
+            .tenants(apps)
+            .seed(11)
+            .build()
+            .run();
         if preset == PolicyPreset::Baseline {
             baseline = r.total_ipc();
         }

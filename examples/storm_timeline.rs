@@ -11,7 +11,7 @@
 //! cargo run --release --example storm_timeline
 //! ```
 
-use walksteal::multitenant::{GpuConfig, PolicyPreset, Sample, Simulation};
+use walksteal::multitenant::{PolicyPreset, Sample, SimulationBuilder};
 use walksteal::workloads::AppId;
 
 const BARS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇'];
@@ -59,13 +59,16 @@ fn main() {
         PolicyPreset::StaticPartition,
         PolicyPreset::Dws,
     ] {
-        let cfg = GpuConfig::default()
-            .with_n_sms(10)
-            .with_warps_per_sm(12)
-            .with_instructions_per_warp(2_000)
-            .with_sample_interval(2_000)
-            .with_preset(preset);
-        let r = Simulation::new(cfg, &apps, 5).run();
+        let r = SimulationBuilder::new()
+            .n_sms(10)
+            .warps_per_sm(12)
+            .instructions_per_warp(2_000)
+            .sample_interval(2_000)
+            .preset(preset)
+            .tenants(apps)
+            .seed(5)
+            .build()
+            .run();
         render(
             &format!(
                 "{:<9} total IPC {:.3} ({} samples over {} cycles)",

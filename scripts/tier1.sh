@@ -35,4 +35,16 @@ fi
 cmp "$SMOKE/clean.txt" "$SMOKE/faulted.txt"
 test -d "$SMOKE/cache/quick/quarantine"
 
+echo "== trace smoke =="
+# Trace one pair at quick scale: the run must exit 0, emit valid JSONL
+# (repro replays the trace and self-checks pw_share bit-for-bit before
+# exiting 0), and every line must be a JSON object tagged with "ev".
+./target/release/repro --quick --trace "$SMOKE/trace.jsonl" \
+  --trace-filter walk,steal,epoch --pair GUPS,MM --policy dws > "$SMOKE/timeline.txt"
+test -s "$SMOKE/trace.jsonl"
+if grep -qv '^{"ev":' "$SMOKE/trace.jsonl"; then
+  echo "trace smoke: malformed JSONL line in trace" >&2
+  exit 1
+fi
+
 echo "tier-1 OK"

@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+use walksteal::multitenant::{GpuConfig, PolicyPreset, SimulationBuilder};
 use walksteal::vm::PageSize;
 use walksteal::workloads::AppId;
 
@@ -26,23 +26,6 @@ fn usage() -> &'static str {
 
 fn parse_app(name: &str) -> Option<AppId> {
     AppId::from_name(name)
-}
-
-fn parse_policy(name: &str) -> Option<PolicyPreset> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "baseline" => PolicyPreset::Baseline,
-        "baseline2x" => PolicyPreset::DoubledBaseline,
-        "stlb" => PolicyPreset::STlb,
-        "stlbptw" => PolicyPreset::STlbPtw,
-        "static" => PolicyPreset::StaticPartition,
-        "dws" => PolicyPreset::Dws,
-        "dws++" => PolicyPreset::DwsPlusPlus,
-        "dws++cons" => PolicyPreset::DwsPlusPlusConservative,
-        "dws++aggr" => PolicyPreset::DwsPlusPlusAggressive,
-        "mask" => PolicyPreset::Mask,
-        "mask+dws" => PolicyPreset::MaskDws,
-        _ => return None,
-    })
 }
 
 fn main() -> ExitCode {
@@ -92,10 +75,10 @@ fn main() -> ExitCode {
             }
             "--policy" => {
                 let p = next_value!("--policy");
-                match parse_policy(&p) {
-                    Some(v) => policy = v,
-                    None => {
-                        eprintln!("unknown policy {p}\n{}", usage());
+                match p.parse::<PolicyPreset>() {
+                    Ok(v) => policy = v,
+                    Err(e) => {
+                        eprintln!("{e}\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -160,10 +143,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Apply the tenant count before the preset: S-(TLB+PTW) multiplies
-    // walker/queue resources by the tenant count at preset time.
-    let cfg = cfg.for_tenants(apps.len()).with_preset(policy);
-    let result = Simulation::new(cfg, &apps, seed).run();
+    // The builder applies the tenant count before the preset: S-(TLB+PTW)
+    // multiplies walker/queue resources by the tenant count at preset time.
+    let result = SimulationBuilder::new()
+        .config(cfg)
+        .preset(policy)
+        .tenants(apps)
+        .seed(seed)
+        .build()
+        .run();
 
     if json {
         println!("{}", result.to_json().pretty());

@@ -31,17 +31,44 @@
 //! # Quickstart
 //!
 //! ```
-//! use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
-//! use walksteal::workloads::AppId;
+//! use walksteal::prelude::*;
 //!
 //! // Two tenants: page-walk-heavy GUPS next to a light matrix multiply,
 //! // at toy scale so the doctest runs in milliseconds.
-//! let cfg = GpuConfig::default()
-//!     .with_preset(PolicyPreset::Dws)
-//!     .with_n_sms(4)
-//!     .with_warps_per_sm(4)
-//!     .with_instructions_per_warp(300);
-//! let result = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 1).run();
+//! let result = SimulationBuilder::new()
+//!     .tenants([AppId::Gups, AppId::Mm])
+//!     .preset(PolicyPreset::Dws)
+//!     .n_sms(4)
+//!     .warps_per_sm(4)
+//!     .instructions_per_warp(300)
+//!     .seed(1)
+//!     .build()
+//!     .run();
+//! assert!(result.total_ipc() > 0.0);
+//! ```
+//!
+//! To watch what the walk schedulers are doing, attach observability sinks
+//! through the same builder:
+//!
+//! ```
+//! use walksteal::prelude::*;
+//!
+//! let trace = RingTracer::unbounded();
+//! let metrics = SharedMetrics::new();
+//! let result = SimulationBuilder::new()
+//!     .tenants([AppId::Gups, AppId::Mm])
+//!     .preset(PolicyPreset::Dws)
+//!     .n_sms(4)
+//!     .warps_per_sm(4)
+//!     .instructions_per_warp(300)
+//!     .tracer(trace.clone())
+//!     .metrics(metrics.clone())
+//!     .build()
+//!     .run();
+//! // Every completed walk left a trace event and a latency observation.
+//! let walks: u64 = metrics.counter("walks_completed", Some(0))
+//!     + metrics.counter("walks_completed", Some(1));
+//! assert!(walks > 0 && !trace.events().is_empty());
 //! assert!(result.total_ipc() > 0.0);
 //! ```
 
@@ -52,3 +79,30 @@ pub use walksteal_multitenant as multitenant;
 pub use walksteal_sim_core as sim;
 pub use walksteal_vm as vm;
 pub use walksteal_workloads as workloads;
+
+/// The one-stop import for driving the simulator: builder, policy presets,
+/// workloads, results, budgets, and the observability types.
+///
+/// ```
+/// use walksteal::prelude::*;
+///
+/// let r = SimulationBuilder::new()
+///     .tenant(AppId::Mm)
+///     .n_sms(2)
+///     .warps_per_sm(2)
+///     .instructions_per_warp(200)
+///     .build()
+///     .run();
+/// assert_eq!(r.tenants.len(), 1);
+/// ```
+pub mod prelude {
+    pub use walksteal_multitenant::{
+        fairness, total_ipc, weighted_ipc, GpuConfig, PolicyPreset, SimResult, Simulation,
+        SimulationBuilder, TenantResult, TenantSpec,
+    };
+    pub use walksteal_sim_core::{
+        Json, JsonlTracer, MetricsRegistry, NullTracer, RingTracer, RunBudget, SharedMetrics,
+        SimError, TraceEvent, TraceFilter, TraceKind, Tracer,
+    };
+    pub use walksteal_workloads::{named_pairs, paper_pairs, AppId, WorkloadPair};
+}

@@ -5,11 +5,16 @@
 //! at paper scale (run with `cargo test --release -- --ignored`, ~a minute
 //! of simulation).
 
-use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+use walksteal::multitenant::{GpuConfig, PolicyPreset, SimulationBuilder};
 use walksteal::workloads::{AppId, MpmiClass};
 
 fn standalone_mpmi(app: AppId, cfg: GpuConfig) -> f64 {
-    Simulation::new(cfg.with_preset(PolicyPreset::Baseline), &[app], 42)
+    SimulationBuilder::new()
+        .config(cfg)
+        .preset(PolicyPreset::Baseline)
+        .tenant(app)
+        .seed(42)
+        .build()
         .run()
         .tenants[0]
         .mpmi
@@ -39,9 +44,18 @@ fn class_representatives_are_ordered() {
 fn heavy_apps_are_walk_bound() {
     // Heavy apps' IPC should be far below the compute bound; light apps
     // close to it.
-    let cfg = mid_scale();
-    let light = Simulation::new(cfg.clone(), &[AppId::Mm], 1).run().tenants[0].ipc;
-    let heavy = Simulation::new(cfg, &[AppId::Gups], 1).run().tenants[0].ipc;
+    let solo = |app| {
+        SimulationBuilder::new()
+            .config(mid_scale())
+            .tenant(app)
+            .seed(1)
+            .build()
+            .run()
+            .tenants[0]
+            .ipc
+    };
+    let light = solo(AppId::Mm);
+    let heavy = solo(AppId::Gups);
     assert!(light > 3.0 * heavy, "MM {light} vs GUPS {heavy}");
 }
 

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: whole simulations, checked against the
 //! invariants the paper's mechanisms rely on.
 
-use walksteal::multitenant::{fairness, GpuConfig, PolicyPreset, SimResult, Simulation};
+use walksteal::multitenant::{fairness, GpuConfig, PolicyPreset, SimResult, SimulationBuilder};
 use walksteal::workloads::{AppId, WorkloadPair};
 
 /// A small machine that still has every mechanism enabled.
@@ -13,7 +13,13 @@ fn small() -> GpuConfig {
 }
 
 fn run(preset: PolicyPreset, apps: &[AppId], seed: u64) -> SimResult {
-    Simulation::new(small().with_preset(preset), apps, seed).run()
+    SimulationBuilder::new()
+        .config(small())
+        .preset(preset)
+        .tenants(apps.iter().copied())
+        .seed(seed)
+        .build()
+        .run()
 }
 
 #[test]
@@ -161,10 +167,13 @@ fn mask_policy_runs_and_throttles_fills() {
 #[test]
 fn large_pages_shorten_walks() {
     let small_pages = run(PolicyPreset::Baseline, &[AppId::Gups, AppId::Mm], 11);
-    let cfg = small()
-        .with_page_size(walksteal::vm::PageSize::Large64K)
-        .with_preset(PolicyPreset::Baseline);
-    let large = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 11).run();
+    let large = SimulationBuilder::new()
+        .config(small().with_page_size(walksteal::vm::PageSize::Large64K))
+        .preset(PolicyPreset::Baseline)
+        .tenants([AppId::Gups, AppId::Mm])
+        .seed(11)
+        .build()
+        .run();
     // A 3-level walk has one fewer memory access: standalone-ish latency of
     // the heavy tenant should not be worse.
     assert!(
@@ -177,13 +186,16 @@ fn large_pages_shorten_walks() {
 
 #[test]
 fn three_tenant_simulation_is_well_formed() {
-    let cfg = GpuConfig::default()
-        .with_n_sms(6)
-        .with_warps_per_sm(6)
-        .with_instructions_per_warp(600)
-        .with_walkers(18) // divisible by 3
-        .with_preset(PolicyPreset::Dws);
-    let r = Simulation::new(cfg, &[AppId::Gups, AppId::Tds, AppId::Mm], 12).run();
+    let r = SimulationBuilder::new()
+        .n_sms(6)
+        .warps_per_sm(6)
+        .instructions_per_warp(600)
+        .walkers(18) // divisible by 3
+        .preset(PolicyPreset::Dws)
+        .tenants([AppId::Gups, AppId::Tds, AppId::Mm])
+        .seed(12)
+        .build()
+        .run();
     assert_eq!(r.tenants.len(), 3);
     assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
     let pw: f64 = r.tenants.iter().map(|t| t.pw_share).sum();

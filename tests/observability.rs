@@ -1,0 +1,161 @@
+//! End-to-end guarantees of the observability layer:
+//!
+//! * attaching tracers/metrics never perturbs simulation results — the
+//!   `SimResult` JSON is byte-identical with observability on and off;
+//! * a JSONL trace is a faithful record — replaying it reconstructs the
+//!   simulator's own per-tenant statistics bit-for-bit;
+//! * the [`SimulationBuilder`] is a drop-in for the deprecated
+//!   constructor; and
+//! * the CLI surface (`PolicyPreset`, `TraceFilter`) round-trips.
+
+use walksteal::experiments::{parse_trace, replay};
+use walksteal::prelude::*;
+
+/// A small-but-nontrivial two-tenant run: page-walk-heavy GUPS against a
+/// light MM, enough cycles for steals and epoch rollovers to happen.
+fn builder() -> SimulationBuilder {
+    SimulationBuilder::new()
+        .tenants([AppId::Gups, AppId::Mm])
+        .preset(PolicyPreset::Dws)
+        .n_sms(4)
+        .warps_per_sm(4)
+        .instructions_per_warp(400)
+        .seed(7)
+}
+
+/// Observability must be invisible to the simulation: the frozen
+/// `SimResult` JSON with a tracer and a metrics registry attached is
+/// byte-identical to a bare run.
+#[test]
+fn tracing_does_not_perturb_results() {
+    let bare = builder().build().run().to_json().dump();
+    let trace = RingTracer::unbounded();
+    let metrics = SharedMetrics::new();
+    let observed = builder()
+        .tracer(trace.clone())
+        .metrics(metrics.clone())
+        .build()
+        .run()
+        .to_json()
+        .dump();
+    assert_eq!(bare, observed, "observability perturbed the simulation");
+    assert!(!trace.events().is_empty(), "tracer saw nothing");
+    assert!(
+        metrics.counter("walks_completed", Some(0)) > 0,
+        "metrics saw nothing"
+    );
+}
+
+/// A JSONL trace written to disk replays to the simulator's own stats
+/// bit-for-bit, and the metrics registry agrees with both.
+#[test]
+fn jsonl_trace_replays_to_simulator_stats() {
+    let path = std::env::temp_dir().join(format!(
+        "walksteal-observability-{}.jsonl",
+        std::process::id()
+    ));
+    let metrics = SharedMetrics::new();
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let result = builder()
+        .tracer(JsonlTracer::new(std::io::BufWriter::new(file)))
+        .metrics(metrics.clone())
+        .build()
+        .run();
+
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    std::fs::remove_file(&path).ok();
+    let events = parse_trace(&text).expect("trace parses");
+    let rep = replay(&events).expect("trace replays");
+
+    assert_eq!(rep.n_tenants, 2);
+    for (t, tenant) in rep.tenants.iter().enumerate() {
+        let sim = &result.tenants[t];
+        assert_eq!(
+            tenant.pw_share.to_bits(),
+            sim.pw_share.to_bits(),
+            "tenant {t}: replayed pw_share diverges"
+        );
+        assert_eq!(
+            tenant.stolen_fraction.to_bits(),
+            sim.stolen_fraction.to_bits(),
+            "tenant {t}: replayed stolen_fraction diverges"
+        );
+        assert_eq!(
+            tenant.stolen,
+            metrics.counter("walks_stolen", Some(t as u8)),
+            "tenant {t}: trace and metrics disagree on steals"
+        );
+        assert_eq!(
+            tenant.completed,
+            metrics.counter("walks_completed", Some(t as u8)),
+            "tenant {t}: trace and metrics disagree on completions"
+        );
+    }
+    let stolen_total: u64 = rep.tenants.iter().map(|t| t.stolen).sum();
+    assert!(stolen_total > 0, "expected steals under DWS for this pair");
+    assert_eq!(
+        metrics.counter("steal_success", None),
+        stolen_total,
+        "steal_success counter diverges from the trace"
+    );
+}
+
+/// The builder is a faithful replacement for the deprecated
+/// `Simulation::new(cfg, apps, seed)` path, for every policy preset.
+#[test]
+fn builder_matches_deprecated_constructor() {
+    for preset in [
+        PolicyPreset::Baseline,
+        PolicyPreset::StaticPartition,
+        PolicyPreset::Dws,
+        PolicyPreset::DwsPlusPlus,
+    ] {
+        let cfg = GpuConfig::default()
+            .with_n_sms(2)
+            .with_warps_per_sm(2)
+            .with_instructions_per_warp(200)
+            .for_tenants(2)
+            .with_preset(preset);
+        #[allow(deprecated)]
+        let legacy = Simulation::new(cfg, &[AppId::Gups, AppId::Sad], 3)
+            .run()
+            .to_json()
+            .dump();
+        let built = SimulationBuilder::new()
+            .n_sms(2)
+            .warps_per_sm(2)
+            .instructions_per_warp(200)
+            .preset(preset)
+            .tenants([AppId::Gups, AppId::Sad])
+            .seed(3)
+            .build()
+            .run()
+            .to_json()
+            .dump();
+        assert_eq!(legacy, built, "{preset:?}: builder diverges from legacy");
+    }
+}
+
+/// Every preset's table label parses back to itself (`repro --policy` uses
+/// exactly this round-trip).
+#[test]
+fn policy_preset_labels_round_trip() {
+    for preset in PolicyPreset::ALL {
+        let shown = preset.to_string();
+        assert_eq!(shown.parse::<PolicyPreset>(), Ok(preset), "{shown}");
+    }
+    assert_eq!("dws++".parse::<PolicyPreset>(), Ok(PolicyPreset::DwsPlusPlus));
+    assert!("no-such-policy".parse::<PolicyPreset>().is_err());
+}
+
+/// `--trace-filter` syntax: listed kinds are kept, others dropped, and the
+/// run bracket (meta) always survives so a filtered trace still replays.
+#[test]
+fn trace_filter_round_trips() {
+    let f: TraceFilter = "walk, steal".parse().expect("filter parses");
+    assert!(f.contains(TraceKind::Walk));
+    assert!(f.contains(TraceKind::Steal));
+    assert!(f.contains(TraceKind::Meta), "meta must always survive");
+    assert!(!f.contains(TraceKind::Pwc));
+    assert!("walk,bogus".parse::<TraceFilter>().is_err());
+}

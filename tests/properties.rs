@@ -7,7 +7,7 @@
 //! in the assertion message pins down the failing input.
 
 use walksteal::mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig};
-use walksteal::sim::{Cycle, EventQueue, LineAddr, Ppn, SimRng, TenantId, Vpn};
+use walksteal::sim::{Cycle, EventQueue, LineAddr, Observer, Ppn, SimRng, TenantId, Vpn};
 use walksteal::vm::walk::WalkContext;
 use walksteal::vm::{
     DispatchedWalk, FrameAlloc, PageSize, PageTable, Replacement, StealMode, Tlb, TlbConfig,
@@ -171,6 +171,7 @@ fn walk_subsystem_conserves_walks() {
         completed: &mut u64,
         steal_off: bool,
     ) {
+        let mut obs = Observer::off();
         loop {
             scheduled.sort_by_key(|d| d.done_at);
             let Some(first) = scheduled.first().copied() else {
@@ -185,6 +186,7 @@ fn walk_subsystem_conserves_walks() {
                 frames,
                 mem,
                 mask: None,
+                obs: &mut obs,
             };
             let (done, next) = ws.on_walker_done(first.walker, first.done_at, &mut ctx);
             assert!(!(steal_off && done.stolen), "stole with stealing off");
@@ -231,6 +233,7 @@ fn walk_subsystem_conserves_walks() {
         let mut frames = FrameAlloc::new();
         let mut mem = MemSystem::new(MemSystemConfig::default());
         let mut scheduled: Vec<DispatchedWalk> = Vec::new();
+        let mut obs = Observer::off();
         let mut accepted = 0u64;
         let mut completed = 0u64;
         let mut now = Cycle::ZERO;
@@ -252,6 +255,7 @@ fn walk_subsystem_conserves_walks() {
                 frames: &mut frames,
                 mem: &mut mem,
                 mask: None,
+                obs: &mut obs,
             };
             let req = WalkRequest {
                 tenant: TenantId(t),
@@ -289,7 +293,7 @@ fn walk_subsystem_conserves_walks() {
 /// tenant retires instructions at a positive rate.
 #[test]
 fn tiny_simulations_complete() {
-    use walksteal::multitenant::{GpuConfig, PolicyPreset, Simulation};
+    use walksteal::multitenant::{PolicyPreset, SimulationBuilder};
     use walksteal::workloads::AppId;
 
     let mut rng = SimRng::new(0xE7);
@@ -299,12 +303,15 @@ fn tiny_simulations_complete() {
             AppId::ALL[rng.next_below(13) as usize],
             AppId::ALL[rng.next_below(13) as usize],
         ];
-        let cfg = GpuConfig::default()
-            .with_n_sms(2)
-            .with_warps_per_sm(2)
-            .with_instructions_per_warp(150)
-            .with_preset(PolicyPreset::Dws);
-        let r = Simulation::new(cfg, &apps, seed).run();
+        let r = SimulationBuilder::new()
+            .n_sms(2)
+            .warps_per_sm(2)
+            .instructions_per_warp(150)
+            .preset(PolicyPreset::Dws)
+            .tenants(apps)
+            .seed(seed)
+            .build()
+            .run();
         assert!(
             r.tenants.iter().all(|t| t.completed_executions >= 1),
             "case {case}: {apps:?} did not complete"
