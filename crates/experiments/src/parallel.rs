@@ -171,10 +171,37 @@ pub struct RunOptions {
     pub faults: Vec<Option<InjectedFault>>,
 }
 
-/// The machine's available parallelism (the `--jobs` default).
+/// Below this many jobs the pool is skipped entirely and the batch runs
+/// serially on the caller's thread: spawning workers, cloning channel
+/// handles, and bouncing job indices through mutexes costs more than a
+/// handful of simulations saves, and on single-core hosts it is a pure
+/// loss at any batch size.
+pub const SERIAL_CUTOFF: usize = 4;
+
+/// The machine's available parallelism (the `--jobs` default and the
+/// `host_parallelism` field of `BENCH_parallel.json`).
+///
+/// `std::thread::available_parallelism` honours cgroup quotas and CPU
+/// affinity masks; when it errors (unsupported platform, restricted
+/// sandbox) we fall back to counting processors in `/proc/cpuinfo` before
+/// giving up and reporting 1, so multi-core hosts are not silently
+/// recorded as single-core.
 #[must_use]
 pub fn default_jobs() -> usize {
-    std::thread::available_parallelism().map_or(1, usize::from)
+    match std::thread::available_parallelism() {
+        Ok(n) => n.into(),
+        Err(_) => cpuinfo_processors().unwrap_or(1),
+    }
+}
+
+/// Counts `processor` entries in `/proc/cpuinfo` (Linux fallback).
+fn cpuinfo_processors() -> Option<usize> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let n = info
+        .lines()
+        .filter(|l| l.starts_with("processor"))
+        .count();
+    (n > 0).then_some(n)
 }
 
 /// Locks `m`, recovering the guard if a panicking holder poisoned it. The
@@ -258,7 +285,12 @@ fn attempt(job: &Job, fault: Option<InjectedFault>, budget: &RunBudget) -> Resul
 /// miss accounting (each successful job counts one miss). A job whose both
 /// attempts failed inserts nothing; it is reported in the returned
 /// [`RunReport`] instead of aborting the merge.
-pub fn run_jobs(store: &mut Store, jobs: Vec<Job>, workers: usize, opts: &RunOptions) -> RunReport {
+///
+/// Jobs are borrowed, not consumed: callers comparing serial and parallel
+/// runs (or replaying a batch) pass the same slice twice without cloning
+/// every [`GpuConfig`] and [`ExpKey`] in it. Batches smaller than
+/// [`SERIAL_CUTOFF`] run serially regardless of `workers`.
+pub fn run_jobs(store: &mut Store, jobs: &[Job], workers: usize, opts: &RunOptions) -> RunReport {
     let mut report = RunReport::default();
     if jobs.is_empty() {
         return report;
@@ -268,7 +300,11 @@ pub fn run_jobs(store: &mut Store, jobs: Vec<Job>, workers: usize, opts: &RunOpt
         "fault plan must align with the job list"
     );
     let fault_of = |i: usize| opts.faults.get(i).copied().flatten();
-    let workers = workers.clamp(1, jobs.len());
+    let workers = if jobs.len() < SERIAL_CUTOFF {
+        1
+    } else {
+        workers.clamp(1, jobs.len())
+    };
 
     let mut results: Vec<Option<SimResult>> = vec![None; jobs.len()];
     let mut first_errors: Vec<Option<JobError>> = vec![None; jobs.len()];
@@ -416,7 +452,7 @@ mod tests {
             .collect()
     }
 
-    fn run_plain(store: &mut Store, jobs: Vec<Job>, workers: usize) -> RunReport {
+    fn run_plain(store: &mut Store, jobs: &[Job], workers: usize) -> RunReport {
         run_jobs(store, jobs, workers, &RunOptions::default())
     }
 
@@ -424,9 +460,9 @@ mod tests {
     fn parallel_matches_serial_store() {
         let jobs = tiny_jobs(6);
         let mut serial = Store::in_memory();
-        run_plain(&mut serial, jobs.clone(), 1);
+        run_plain(&mut serial, &jobs, 1);
         let mut parallel = Store::in_memory();
-        run_plain(&mut parallel, jobs.clone(), 4);
+        run_plain(&mut parallel, &jobs, 4);
         assert_eq!(serial.misses(), parallel.misses());
         for job in &jobs {
             let a = serial.lookup(&job.key).expect("serial ran the job");
@@ -439,7 +475,7 @@ mod tests {
     fn more_workers_than_jobs_is_fine() {
         let jobs = tiny_jobs(2);
         let mut store = Store::in_memory();
-        let report = run_plain(&mut store, jobs.clone(), 16);
+        let report = run_plain(&mut store, &jobs, 16);
         assert_eq!(store.misses(), 2);
         assert!(store.lookup(&jobs[0].key).is_some());
         assert!(report.failures.is_empty());
@@ -448,7 +484,7 @@ mod tests {
     #[test]
     fn empty_job_list_is_a_no_op() {
         let mut store = Store::in_memory();
-        let report = run_plain(&mut store, Vec::new(), 8);
+        let report = run_plain(&mut store, &[], 8);
         assert_eq!(store.misses(), 0);
         assert!(report.failures.is_empty());
     }
@@ -489,7 +525,7 @@ mod tests {
             ..RunOptions::default()
         };
         let mut store = Store::in_memory();
-        let report = run_jobs(&mut store, jobs.clone(), 4, &opts);
+        let report = run_jobs(&mut store, &jobs, 4, &opts);
         // Every job produced a result (the faulted one via retry)...
         assert_eq!(store.misses(), 6);
         // ...and the failure is on the record, with its context.
@@ -507,7 +543,7 @@ mod tests {
         }
         // The store matches a clean run exactly.
         let mut clean = Store::in_memory();
-        run_plain(&mut clean, jobs.clone(), 1);
+        run_plain(&mut clean, &jobs, 1);
         for job in &jobs {
             assert_eq!(clean.lookup(&job.key), store.lookup(&job.key));
         }
@@ -523,7 +559,7 @@ mod tests {
             ..RunOptions::default()
         };
         let mut store = Store::in_memory();
-        let report = run_jobs(&mut store, jobs, 2, &opts);
+        let report = run_jobs(&mut store, &jobs, 2, &opts);
         assert_eq!(store.misses(), 3);
         assert_eq!(report.failures.len(), 1);
         assert!(report.failures[0].recovered);
@@ -541,7 +577,7 @@ mod tests {
             ..RunOptions::default()
         };
         let mut store = Store::in_memory();
-        let report = run_jobs(&mut store, jobs, 2, &opts);
+        let report = run_jobs(&mut store, &jobs, 2, &opts);
         assert_eq!(store.misses(), 0);
         assert_eq!(report.failures.len(), 3);
         assert_eq!(report.dead().count(), 3);

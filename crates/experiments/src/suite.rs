@@ -154,21 +154,25 @@ impl ExpContext {
             self.plan = Some(Plan::default());
             let _ = f(self);
             let plan = self.plan.take().expect("plan mode set above");
-            let opts = RunOptions {
-                verbose: self.verbose,
-                budget: self.budget,
-                faults: self
-                    .faults
-                    .as_mut()
-                    .map(|s| s.take_plan(plan.jobs.len()))
-                    .unwrap_or_default(),
-            };
-            let report = parallel::run_jobs(&mut self.store, plan.jobs, self.jobs, &opts);
-            for failure in report.failures {
-                if !failure.recovered {
-                    self.dead.insert(failure.key.clone());
+            // A fully cached plan has nothing to execute: answer it from
+            // the store without touching the pool or the fault plan.
+            if !plan.jobs.is_empty() {
+                let opts = RunOptions {
+                    verbose: self.verbose,
+                    budget: self.budget,
+                    faults: self
+                        .faults
+                        .as_mut()
+                        .map(|s| s.take_plan(plan.jobs.len()))
+                        .unwrap_or_default(),
+                };
+                let report = parallel::run_jobs(&mut self.store, &plan.jobs, self.jobs, &opts);
+                for failure in report.failures {
+                    if !failure.recovered {
+                        self.dead.insert(failure.key.clone());
+                    }
+                    self.failures.push(failure);
                 }
-                self.failures.push(failure);
             }
         }
         f(self)

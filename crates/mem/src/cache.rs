@@ -34,21 +34,6 @@ impl CacheConfig {
     }
 }
 
-/// One way within a set: the resident line tag plus an LRU timestamp.
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: LineAddr,
-    last_use: u64,
-    valid: bool,
-}
-
-impl Way {
-    const EMPTY: Way = Way {
-        tag: LineAddr(0),
-        last_use: 0,
-        valid: false,
-    };
-}
 
 /// A set-associative cache with true-LRU replacement, indexed by
 /// [`LineAddr`].
@@ -71,7 +56,11 @@ impl Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    ways: Vec<Way>,
+    /// Resident line tags, struct-of-arrays: a set probe compares `ways`
+    /// contiguous words. Validity is implicit — `last_use[i] > 0` — since
+    /// the tick counter starts at 1 and every fill/touch stamps it.
+    tags: Vec<u64>,
+    last_use: Vec<u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -89,7 +78,8 @@ impl Cache {
         assert!(cfg.ways > 0, "ways must be positive");
         Cache {
             cfg,
-            ways: vec![Way::EMPTY; cfg.sets * cfg.ways],
+            tags: vec![0; cfg.sets * cfg.ways],
+            last_use: vec![0; cfg.sets * cfg.ways],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -102,18 +92,26 @@ impl Cache {
         start..start + self.cfg.ways
     }
 
+    /// Index of `line` within its set, if resident.
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let range = self.set_range(line);
+        let start = range.start;
+        self.tags[range.clone()]
+            .iter()
+            .zip(&self.last_use[range])
+            .position(|(&t, &u)| t == line.0 && u > 0)
+            .map(|i| start + i)
+    }
+
     /// Looks up `line`, updating LRU state and hit/miss statistics.
     /// Returns `true` on a hit.
     pub fn probe(&mut self, line: LineAddr) -> bool {
         self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.tag == line {
-                way.last_use = tick;
-                self.hits += 1;
-                return true;
-            }
+        if let Some(i) = self.find(line) {
+            self.last_use[i] = self.tick;
+            self.hits += 1;
+            return true;
         }
         self.misses += 1;
         false
@@ -122,10 +120,7 @@ impl Cache {
     /// Checks residency without disturbing LRU state or statistics.
     #[must_use]
     pub fn contains(&self, line: LineAddr) -> bool {
-        let range = self.set_range(line);
-        self.ways[range.clone()]
-            .iter()
-            .any(|w| w.valid && w.tag == line)
+        self.find(line).is_some()
     }
 
     /// Inserts `line`, evicting the LRU way of its set if necessary.
@@ -134,42 +129,41 @@ impl Cache {
     pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
         self.tick += 1;
         let tick = self.tick;
-        let range = self.set_range(line);
 
         // Already resident (e.g. two outstanding misses merged upstream):
         // refresh recency, nothing evicted.
-        for way in &mut self.ways[range.clone()] {
-            if way.valid && way.tag == line {
-                way.last_use = tick;
-                return None;
-            }
+        if let Some(i) = self.find(line) {
+            self.last_use[i] = tick;
+            return None;
         }
 
-        let set = &mut self.ways[range];
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
-            .expect("ways > 0");
-        let evicted = victim.valid.then_some(victim.tag);
-        *victim = Way {
-            tag: line,
-            last_use: tick,
-            valid: true,
-        };
+        // First minimum of last_use; invalid ways carry 0, so they win
+        // exactly as the old `min_by_key` with an explicit valid check did.
+        let range = self.set_range(line);
+        let mut victim = range.start;
+        let mut best = self.last_use[victim];
+        for i in range.start + 1..range.end {
+            if self.last_use[i] < best {
+                victim = i;
+                best = self.last_use[i];
+            }
+        }
+        let evicted = (self.last_use[victim] > 0).then(|| LineAddr(self.tags[victim]));
+        self.tags[victim] = line.0;
+        self.last_use[victim] = tick;
         evicted
     }
 
     /// Invalidates every line. Statistics are preserved.
     pub fn flush(&mut self) {
-        for w in &mut self.ways {
-            *w = Way::EMPTY;
-        }
+        self.tags.fill(0);
+        self.last_use.fill(0);
     }
 
     /// Number of currently valid lines.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.last_use.iter().filter(|&&u| u > 0).count()
     }
 
     /// The cache geometry.

@@ -9,14 +9,12 @@
 //! L2 banks, DRAM channels, MSHRs, merge entries) back-pressure the pipeline
 //! exactly where the hardware would.
 
-use std::collections::HashMap;
-
 use walksteal_gpu::{MemRef, SmState};
 use walksteal_mem::{AccessKind, MemSystem};
 use walksteal_sim_core::trace::{Observer, TraceEvent, TraceKind};
 use walksteal_sim_core::{
-    BudgetKind, Cycle, EventQueue, LineAddr, Ppn, RunBudget, RunDiag, SimError, TenantId, Vpn,
-    WalkerId,
+    BudgetKind, Cycle, EventQueue, FnvMap, LineAddr, Ppn, RunBudget, RunDiag, SimError, TenantId,
+    Vpn, WalkerId,
 };
 use walksteal_vm::{
     walk::WalkContext, FrameAlloc, MaskState, PageTable, Tlb, WalkRequest, WalkSubsystem,
@@ -30,19 +28,28 @@ use crate::metrics::{Sample, SimResult, TenantResult};
 type Waiter = (usize, usize, MemRef);
 
 /// Discrete events driving the simulation.
+///
+/// The payload is deliberately narrow (`u16` indices, `u8` walker id) so an
+/// event plus its timestamp stays within one cache line slot in the
+/// calendar queue; the hot loop moves millions of these per second.
 #[derive(Debug, Clone)]
 enum Event {
     /// The warp begins its next operation (compute burst + memory op).
-    WarpStart { sm: usize, warp: usize },
+    WarpStart { sm: u16, warp: u16 },
     /// The warp's compute burst finished; its memory references issue.
-    WarpMem { sm: usize, warp: usize },
+    WarpMem { sm: u16, warp: u16 },
     /// A page-table walker finished its walk.
     WalkerDone { walker: WalkerId },
     /// One memory reference's data returned to the warp.
-    RefDone { sm: usize, warp: usize },
+    RefDone { sm: u16, warp: u16 },
     /// Periodic timeline snapshot.
     TakeSample,
 }
+
+const _: () = assert!(
+    std::mem::size_of::<Event>() <= 8,
+    "Event payload grew past 8 bytes; keep the hot-loop event small"
+);
 
 /// Per-warp runtime state.
 struct Warp {
@@ -89,8 +96,10 @@ pub struct Simulation {
     page_tables: Vec<PageTable>,
     frames: FrameAlloc,
     mask: Option<MaskState>,
-    /// Outstanding walks keyed by (tenant, vpn).
-    merge: HashMap<(TenantId, Vpn), Vec<Waiter>>,
+    /// Outstanding walks keyed by (tenant, vpn). FNV-hashed: the keys are
+    /// small integers, iteration order is never observed, and the map sits
+    /// on the L2-miss path.
+    merge: FnvMap<(TenantId, Vpn), Vec<Waiter>>,
     /// Free list of waiter vectors for `merge`, so the walk-merge path
     /// recycles buffers instead of allocating one per walk.
     waiter_pool: Vec<Vec<Waiter>>,
@@ -135,6 +144,10 @@ impl Simulation {
     pub(crate) fn with_observer(cfg: GpuConfig, apps: &[AppId], seed: u64, obs: Observer) -> Self {
         assert!(!apps.is_empty(), "need at least one tenant");
         let cfg = cfg.for_tenants(apps.len());
+        assert!(
+            cfg.n_sms <= usize::from(u16::MAX) && cfg.warps_per_sm <= usize::from(u16::MAX),
+            "SM/warp counts must fit the packed u16 event payload"
+        );
         let n_tenants = apps.len();
         let sms_per_tenant = cfg.n_sms / n_tenants;
 
@@ -161,7 +174,13 @@ impl Simulation {
                     outstanding: 0,
                     finished: false,
                 });
-                events.push(Cycle::ZERO, Event::WarpStart { sm, warp: w });
+                events.push(
+                    Cycle::ZERO,
+                    Event::WarpStart {
+                        sm: sm as u16,
+                        warp: w as u16,
+                    },
+                );
             }
             warps.push(sm_warps);
         }
@@ -200,7 +219,7 @@ impl Simulation {
             l2_tlbs,
             page_tables,
             frames: FrameAlloc::new(),
-            merge: HashMap::new(),
+            merge: FnvMap::default(),
             waiter_pool: Vec::new(),
             parked: (0..n_tenants)
                 .map(|_| std::collections::VecDeque::new())
@@ -274,10 +293,10 @@ impl Simulation {
             }
             self.events_processed += 1;
             match ev {
-                Event::WarpStart { sm, warp } => self.on_warp_start(sm, warp),
-                Event::WarpMem { sm, warp } => self.on_warp_mem(sm, warp),
+                Event::WarpStart { sm, warp } => self.on_warp_start(sm.into(), warp.into()),
+                Event::WarpMem { sm, warp } => self.on_warp_mem(sm.into(), warp.into()),
                 Event::WalkerDone { walker } => self.on_walker_done(walker),
-                Event::RefDone { sm, warp } => self.on_ref_done(sm, warp),
+                Event::RefDone { sm, warp } => self.on_ref_done(sm.into(), warp.into()),
                 Event::TakeSample => self.on_sample(),
             }
         }
@@ -392,7 +411,13 @@ impl Simulation {
         // Stash the refs by scheduling the memory issue; the refs travel in
         // the warp state to keep events small.
         w.pending = refs;
-        self.events.push(end, Event::WarpMem { sm, warp });
+        self.events.push(
+            end,
+            Event::WarpMem {
+                sm: sm as u16,
+                warp: warp as u16,
+            },
+        );
     }
 
     fn on_warp_mem(&mut self, sm: usize, warp: usize) {
@@ -558,7 +583,13 @@ impl Simulation {
             let access = self.mem.access(line, at + l1_lat, AccessKind::Data);
             at + l1_lat + access.latency
         };
-        self.events.push(done_at, Event::RefDone { sm, warp });
+        self.events.push(
+            done_at,
+            Event::RefDone {
+                sm: sm as u16,
+                warp: warp as u16,
+            },
+        );
     }
 
     fn on_ref_done(&mut self, sm: usize, warp: usize) {
@@ -566,7 +597,13 @@ impl Simulation {
         debug_assert!(w.outstanding > 0, "ref completion without outstanding refs");
         w.outstanding -= 1;
         if w.outstanding == 0 {
-            self.events.push(self.now, Event::WarpStart { sm, warp });
+            self.events.push(
+                self.now,
+                Event::WarpStart {
+                    sm: sm as u16,
+                    warp: warp as u16,
+                },
+            );
         }
     }
 
@@ -604,8 +641,13 @@ impl Simulation {
                 let w = &mut self.warps[s][wi];
                 w.finished = false;
                 w.stream.relaunch();
-                self.events
-                    .push(self.now, Event::WarpStart { sm: s, warp: wi });
+                self.events.push(
+                    self.now,
+                    Event::WarpStart {
+                        sm: s as u16,
+                        warp: wi as u16,
+                    },
+                );
             }
         }
     }

@@ -1,0 +1,89 @@
+//! Deterministic FNV-1a hashing for hot-path hash maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed per-process and
+//! costs tens of cycles per small key. Simulator-internal maps keyed by
+//! small integers — like the walk-merge table keyed by `(tenant, vpn)` —
+//! neither face adversarial keys nor expose iteration order, so the far
+//! cheaper FNV-1a is safe and keeps lookups deterministic across runs.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`Hasher`] implementing 64-bit FNV-1a.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // One multiply per word instead of eight: fold the whole word in.
+        let mut h = self.0;
+        h ^= n;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        self.0 = h;
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`]; plug into `HashMap::with_hasher` or the
+/// [`FnvMap`] alias.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` using deterministic FNV-1a hashing.
+pub type FnvMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        fn fnv(bytes: &[u8]) -> u64 {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        // Reference values for FNV-1a 64.
+        assert_eq!(fnv(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FnvMap<(u8, u64), u32> = FnvMap::default();
+        m.insert((1, 42), 7);
+        m.insert((2, 42), 8);
+        assert_eq!(m.get(&(1, 42)), Some(&7));
+        assert_eq!(m.remove(&(2, 42)), Some(8));
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod error;
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub mod trace;
 
 pub use error::{BudgetKind, RunBudget, RunDiag, SimError};
 pub use event::{BinaryHeapQueue, EventQueue};
+pub use hash::{FnvBuildHasher, FnvHasher, FnvMap};
 pub use ids::{Cycle, LineAddr, PhysAddr, Ppn, SmId, TenantId, VirtAddr, Vpn, WalkerId, WarpId};
 pub use json::Json;
 pub use metrics::{MetricsRegistry, SharedMetrics};

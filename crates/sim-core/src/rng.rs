@@ -95,8 +95,16 @@ impl SimRng {
         if p >= 1.0 {
             return 1;
         }
+        self.next_geometric_ln((1.0 - p).ln())
+    }
+
+    /// [`next_geometric`](Self::next_geometric) with `(1 - p).ln()`
+    /// precomputed by the caller. Callers drawing many variates with a fixed
+    /// `p` (e.g. one per warp op) hoist the constant out of the loop; the
+    /// result is bit-identical since the same `f64` feeds the division.
+    pub fn next_geometric_ln(&mut self, ln_one_minus_p: f64) -> u64 {
         let u = self.next_f64().max(f64::MIN_POSITIVE);
-        let n = (u.ln() / (1.0 - p).ln()).ceil();
+        let n = (u.ln() / ln_one_minus_p).ceil();
         (n as u64).max(1)
     }
 }

@@ -51,6 +51,6 @@ pub use page_table::{PageTable, WalkPath};
 pub use pwc::{PwCache, PwcHit};
 pub use tlb::{Replacement, Tlb, TlbConfig};
 pub use walk::{
-    CompletedWalk, DispatchedWalk, DwsPlusPlusParams, StealMode, WalkConfig, WalkPolicyKind,
-    WalkQueueFull, WalkRequest, WalkStats, WalkSubsystem,
+    CompletedWalk, DispatchedWalk, DwsPlusPlusParams, SchedulerImpl, StealMode, WalkConfig,
+    WalkPolicyKind, WalkQueueFull, WalkRequest, WalkStats, WalkSubsystem,
 };

@@ -7,9 +7,7 @@
 //! [`FrameAlloc`] the first time a page is touched — mirroring first-touch
 //! demand allocation.
 
-use std::collections::HashMap;
-
-use walksteal_sim_core::{PhysAddr, Ppn, TenantId, Vpn};
+use walksteal_sim_core::{FnvMap, PhysAddr, Ppn, TenantId, Vpn};
 
 use crate::frame::FrameAlloc;
 use crate::page::PageSize;
@@ -52,9 +50,10 @@ pub struct PageTable {
     root_allocated: bool,
     /// Interior nodes, keyed by (level, index-prefix). Level 0 is the root's
     /// children, i.e. the node *reached from* the root at a given prefix.
-    nodes: HashMap<(usize, u64), Ppn>,
-    /// Leaf mappings.
-    leaves: HashMap<Vpn, Ppn>,
+    /// FNV-hashed: probed per walk level on the hot path, never iterated.
+    nodes: FnvMap<(usize, u64), Ppn>,
+    /// Leaf mappings (FNV-hashed likewise).
+    leaves: FnvMap<Vpn, Ppn>,
     touched_pages: u64,
 }
 
@@ -67,8 +66,8 @@ impl PageTable {
             page_size,
             root: Ppn(0),
             root_allocated: false,
-            nodes: HashMap::new(),
-            leaves: HashMap::new(),
+            nodes: FnvMap::default(),
+            leaves: FnvMap::default(),
             touched_pages: 0,
         }
     }

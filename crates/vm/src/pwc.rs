@@ -9,7 +9,7 @@
 //! (minor) contended resource: walks from one tenant can evict another's
 //! partial translations.
 
-use walksteal_sim_core::{PhysAddr, TenantId, Vpn};
+use walksteal_sim_core::{FnvMap, PhysAddr, TenantId, Vpn};
 
 /// Result of a PWC probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,14 +21,23 @@ pub struct PwcHit {
     pub node_addr: PhysAddr,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PwcEntry {
-    tenant: TenantId,
-    level: usize,
-    prefix: u64,
-    node_addr: PhysAddr,
-    last_use: u64,
-    valid: bool,
+/// Valid bit in a packed [`PwCache::meta`] word; the remaining bits hold
+/// the tenant id (bits 4..12) and level (bits 0..4).
+const META_VALID: u16 = 0x8000;
+
+/// Levels representable in a packed meta word.
+const MAX_LEVELS: usize = 16;
+
+#[inline]
+fn pack_meta(tenant: TenantId, level: usize) -> u16 {
+    debug_assert!(level < MAX_LEVELS, "page-table level {level} too deep");
+    META_VALID | (u16::from(tenant.0) << 4) | level as u16
+}
+
+/// Index into the per-(tenant, level) live-entry counters.
+#[inline]
+fn live_slot(tenant: TenantId, level: usize) -> usize {
+    usize::from(tenant.0) * MAX_LEVELS + level
 }
 
 /// A fully-associative, LRU page-walk cache.
@@ -54,8 +63,28 @@ struct PwcEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PwCache {
-    entries: Vec<PwcEntry>,
-    tick: u64,
+    /// Hot probe tags, struct-of-arrays: a probe at one level compares
+    /// `capacity` contiguous prefixes plus packed `valid|tenant|level`
+    /// words instead of striding over 40-byte entries.
+    prefixes: Vec<u64>,
+    meta: Vec<u16>,
+    /// Cold payload, touched only on hit/fill.
+    node_addrs: Vec<PhysAddr>,
+    /// Intrusive LRU list over slots: head = eviction victim, tail = most
+    /// recently used. Equivalent to a first-minimum scan of use stamps:
+    /// stamps are unique, and never-touched (invalid) slots keep their
+    /// initial index order at the front.
+    lru_prev: Vec<u32>,
+    lru_next: Vec<u32>,
+    lru_head: u32,
+    lru_tail: u32,
+    /// Valid entries per (tenant, level), so probes skip levels where this
+    /// tenant has nothing cached without scanning.
+    live: Vec<u32>,
+    /// Exact lookup index `(meta, prefix) -> slot`. Entries are unique per
+    /// key (fills refresh in place), so the map answers the same entry a
+    /// linear first-match scan would.
+    index: FnvMap<(u16, u64), u32>,
     hits: u64,
     misses: u64,
 }
@@ -70,21 +99,44 @@ impl PwCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         PwCache {
-            entries: vec![
-                PwcEntry {
-                    tenant: TenantId(0),
-                    level: 0,
-                    prefix: 0,
-                    node_addr: PhysAddr(0),
-                    last_use: 0,
-                    valid: false,
-                };
-                capacity
-            ],
-            tick: 0,
+            prefixes: vec![0; capacity],
+            meta: vec![0; capacity],
+            node_addrs: vec![PhysAddr(0); capacity],
+            lru_prev: (0..capacity as u32)
+                .map(|i| i.checked_sub(1).unwrap_or(u32::MAX))
+                .collect(),
+            lru_next: (1..=capacity as u32)
+                .map(|i| if i == capacity as u32 { u32::MAX } else { i })
+                .collect(),
+            lru_head: 0,
+            lru_tail: capacity as u32 - 1,
+            live: vec![0; (usize::from(u8::MAX) + 1) * MAX_LEVELS],
+            index: FnvMap::default(),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Moves slot `i` to the most-recently-used end of the LRU list.
+    fn lru_touch(&mut self, i: u32) {
+        if self.lru_tail == i {
+            return;
+        }
+        // Unlink.
+        let (prev, next) = (self.lru_prev[i as usize], self.lru_next[i as usize]);
+        if prev == u32::MAX {
+            self.lru_head = next;
+        } else {
+            self.lru_next[prev as usize] = next;
+        }
+        if next != u32::MAX {
+            self.lru_prev[next as usize] = prev;
+        }
+        // Append at tail.
+        self.lru_prev[i as usize] = self.lru_tail;
+        self.lru_next[i as usize] = u32::MAX;
+        self.lru_next[self.lru_tail as usize] = i;
+        self.lru_tail = i;
     }
 
     /// The VPN prefix consumed by levels `0..=level` for a table of
@@ -99,21 +151,21 @@ impl PwCache {
     /// Checks the deepest cacheable level first (`levels - 2`, i.e. the
     /// prefix that leaves only the leaf access) down to the root.
     pub fn probe(&mut self, tenant: TenantId, vpn: Vpn, levels: usize) -> Option<PwcHit> {
-        self.tick += 1;
-        let tick = self.tick;
         // Levels `0..levels-1` produce reusable node pointers; the final
         // level's result is the translation itself (that goes in the TLB).
         for level in (0..levels.saturating_sub(1)).rev() {
+            if self.live[live_slot(tenant, level)] == 0 {
+                continue;
+            }
             let prefix = Self::prefix_of(vpn, level, levels);
-            for e in &mut self.entries {
-                if e.valid && e.tenant == tenant && e.level == level && e.prefix == prefix {
-                    e.last_use = tick;
-                    self.hits += 1;
-                    return Some(PwcHit {
-                        level,
-                        node_addr: e.node_addr,
-                    });
-                }
+            let want = pack_meta(tenant, level);
+            if let Some(&i) = self.index.get(&(want, prefix)) {
+                self.lru_touch(i);
+                self.hits += 1;
+                return Some(PwcHit {
+                    level,
+                    node_addr: self.node_addrs[i as usize],
+                });
             }
         }
         self.misses += 1;
@@ -123,30 +175,26 @@ impl PwCache {
     /// Inserts (or refreshes) a partial translation: after consuming
     /// `prefix` at `level`, the walk continues from `node_addr`.
     pub fn fill(&mut self, tenant: TenantId, level: usize, prefix: u64, node_addr: PhysAddr) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.valid && e.tenant == tenant && e.level == level && e.prefix == prefix)
-        {
-            e.node_addr = node_addr;
-            e.last_use = tick;
+        let want = pack_meta(tenant, level);
+        if let Some(&i) = self.index.get(&(want, prefix)) {
+            self.node_addrs[i as usize] = node_addr;
+            self.lru_touch(i);
             return;
         }
-        let victim = self
-            .entries
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.last_use } else { 0 })
-            .expect("capacity > 0");
-        *victim = PwcEntry {
-            tenant,
-            level,
-            prefix,
-            node_addr,
-            last_use: tick,
-            valid: true,
-        };
+        let victim = self.lru_head as usize;
+        let old = self.meta[victim];
+        if old & META_VALID != 0 {
+            let old_tenant = TenantId((old >> 4) as u8);
+            let old_level = (old & 0xf) as usize;
+            self.live[live_slot(old_tenant, old_level)] -= 1;
+            self.index.remove(&(old, self.prefixes[victim]));
+        }
+        self.prefixes[victim] = prefix;
+        self.meta[victim] = want;
+        self.node_addrs[victim] = node_addr;
+        self.live[live_slot(tenant, level)] += 1;
+        self.index.insert((want, prefix), victim as u32);
+        self.lru_touch(victim as u32);
     }
 
     /// Convenience: fills all cacheable levels of a completed walk.
@@ -176,7 +224,7 @@ impl PwCache {
     /// Number of valid entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 }
 

@@ -54,24 +54,8 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    tenant: TenantId,
-    vpn: Vpn,
-    ppn: Ppn,
-    last_use: u64,
-    valid: bool,
-}
-
-impl Entry {
-    const EMPTY: Entry = Entry {
-        tenant: TenantId(0),
-        vpn: Vpn(0),
-        ppn: Ppn(0),
-        last_use: 0,
-        valid: false,
-    };
-}
+/// Valid bit in a packed [`Tlb::meta`] word; the low byte is the tenant id.
+const META_VALID: u16 = 0x100;
 
 /// A set-associative, LRU TLB holding translations for multiple tenants.
 ///
@@ -91,7 +75,14 @@ impl Entry {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    entries: Vec<Entry>,
+    /// Hot probe tags, struct-of-arrays: a set probe compares `ways`
+    /// contiguous VPNs plus `ways` contiguous packed `valid|tenant` words
+    /// instead of striding over 32-byte entries.
+    keys: Vec<u64>,
+    meta: Vec<u16>,
+    /// Cold payload, touched only on hit/fill.
+    ppns: Vec<Ppn>,
+    last_use: Vec<u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -117,7 +108,10 @@ impl Tlb {
         assert!(n_tenants > 0, "need at least one tenant");
         Tlb {
             cfg,
-            entries: vec![Entry::EMPTY; cfg.sets * cfg.ways],
+            keys: vec![0; cfg.sets * cfg.ways],
+            meta: vec![0; cfg.sets * cfg.ways],
+            ppns: vec![Ppn(0); cfg.sets * cfg.ways],
+            last_use: vec![0; cfg.sets * cfg.ways],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -134,17 +128,26 @@ impl Tlb {
         start..start + self.cfg.ways
     }
 
+    /// Index of `(tenant, vpn)` within its set, in entry order.
+    #[inline]
+    fn find(&self, tenant: TenantId, vpn: Vpn) -> Option<usize> {
+        let range = self.set_range(vpn);
+        let want = META_VALID | u16::from(tenant.0);
+        let start = range.start;
+        self.meta[range.clone()]
+            .iter()
+            .zip(&self.keys[range])
+            .position(|(&m, &k)| m == want && k == vpn.0)
+            .map(|i| start + i)
+    }
+
     /// Looks up `(tenant, vpn)`, updating LRU and hit/miss statistics.
     pub fn probe(&mut self, tenant: TenantId, vpn: Vpn) -> Option<Ppn> {
         self.tick += 1;
-        let tick = self.tick;
-        let range = self.set_range(vpn);
-        for e in &mut self.entries[range] {
-            if e.valid && e.tenant == tenant && e.vpn == vpn {
-                e.last_use = tick;
-                self.hits += 1;
-                return Some(e.ppn);
-            }
+        if let Some(i) = self.find(tenant, vpn) {
+            self.last_use[i] = self.tick;
+            self.hits += 1;
+            return Some(self.ppns[i]);
         }
         self.misses += 1;
         None
@@ -153,9 +156,7 @@ impl Tlb {
     /// Checks residency without disturbing LRU or statistics.
     #[must_use]
     pub fn contains(&self, tenant: TenantId, vpn: Vpn) -> bool {
-        self.entries[self.set_range(vpn)]
-            .iter()
-            .any(|e| e.valid && e.tenant == tenant && e.vpn == vpn)
+        self.find(tenant, vpn).is_some()
     }
 
     /// Integrates per-tenant occupancy up to `now`.
@@ -181,43 +182,56 @@ impl Tlb {
         self.advance_time(now);
         self.tick += 1;
         let tick = self.tick;
-        let range = self.set_range(vpn);
 
-        for e in &mut self.entries[range.clone()] {
-            if e.valid && e.tenant == tenant && e.vpn == vpn {
-                e.last_use = tick;
-                e.ppn = ppn;
-                return None;
-            }
+        if let Some(i) = self.find(tenant, vpn) {
+            self.last_use[i] = tick;
+            self.ppns[i] = ppn;
+            return None;
         }
 
+        let range = self.set_range(vpn);
         let victim = match self.cfg.replacement {
-            Replacement::Lru => self.entries[range]
-                .iter_mut()
-                .min_by_key(|e| if e.valid { e.last_use } else { 0 })
-                .expect("ways > 0"),
+            Replacement::Lru => {
+                // First minimum of last_use (invalid ways count as 0),
+                // matching `min_by_key` over the old entry array.
+                let mut best = range.start;
+                let mut best_key = if self.meta[best] & META_VALID != 0 {
+                    self.last_use[best]
+                } else {
+                    0
+                };
+                for i in range.start + 1..range.end {
+                    let key = if self.meta[i] & META_VALID != 0 {
+                        self.last_use[i]
+                    } else {
+                        0
+                    };
+                    if key < best_key {
+                        best = i;
+                        best_key = key;
+                    }
+                }
+                best
+            }
             Replacement::Random => {
                 // Prefer an invalid way; otherwise evict a random one.
                 let ways = self.cfg.ways;
                 let start = range.start;
-                let idx = match self.entries[range].iter().position(|e| !e.valid) {
-                    Some(i) => i,
-                    None => self.rng.next_below(ways as u64) as usize,
-                };
-                &mut self.entries[start + idx]
+                match self.meta[range].iter().position(|&m| m & META_VALID == 0) {
+                    Some(i) => start + i,
+                    None => start + self.rng.next_below(ways as u64) as usize,
+                }
             }
         };
-        let evicted = victim.valid.then_some((victim.tenant, victim.vpn));
+        let evicted = (self.meta[victim] & META_VALID != 0)
+            .then(|| (TenantId(self.meta[victim] as u8), Vpn(self.keys[victim])));
         if let Some((t, _)) = evicted {
             self.occupancy[t.index()] -= 1;
         }
-        *victim = Entry {
-            tenant,
-            vpn,
-            ppn,
-            last_use: tick,
-            valid: true,
-        };
+        self.keys[victim] = vpn.0;
+        self.meta[victim] = META_VALID | u16::from(tenant.0);
+        self.ppns[victim] = ppn;
+        self.last_use[victim] = tick;
         self.occupancy[tenant.index()] += 1;
         evicted
     }

@@ -189,7 +189,7 @@ impl Default for WalkConfig {
 }
 
 /// A pending walk with its bookkeeping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Pending {
     tenant: TenantId,
     vpn: Vpn,
@@ -329,7 +329,6 @@ impl WalkStats {
 
 /// Queue organization per policy.
 #[derive(Debug)]
-#[allow(clippy::large_enum_variant)] // one Scheduler per simulation; size is irrelevant
 enum Scheduler {
     Shared {
         queue: VecDeque<Pending>,
@@ -339,13 +338,162 @@ enum Scheduler {
         queues: Vec<VecDeque<Pending>>,
         per_tenant_capacity: usize,
     },
-    Partitioned(Part),
+    Partitioned(Box<dyn PartScheduler>),
 }
 
-/// State of the partitioned organizations (static / DWS / DWS++): the FWA,
-/// TWM and WTM hardware tables plus the per-walker queues they describe.
+/// Which implementation backs [`WalkPolicyKind::Partitioned`].
+///
+/// Both implement the same [`PartScheduler`] contract and make bit-identical
+/// decisions (pinned by `tests/walk_differential.rs`, the `BinaryHeapQueue`
+/// pattern): [`SchedulerImpl::Reference`] is the original scan-based
+/// FWA/TWM/WTM tables, [`SchedulerImpl::Optimized`] the bitmap + arena
+/// data layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerImpl {
+    /// Bitmap FWA/TWM/WTM tables and arena-indexed walk queues (default).
+    #[default]
+    Optimized,
+    /// The original `Vec`-of-`VecDeque` tables, kept as the differential
+    /// reference.
+    Reference,
+}
+
+/// DWS++ epoch rollover observed during [`PartScheduler::push`]: the
+/// pre-reset per-tenant arrival counts and the freshly selected
+/// `DIFF_THRES`, reported so the subsystem can trace it.
+struct EpochRollover {
+    enq_epoch: Vec<u32>,
+    diff_thres: Option<f64>,
+}
+
+/// The partitioned-scheduler contract: the paper's FWA / TWM / WTM hardware
+/// tables plus the per-walker pending queues they summarize.
+///
+/// `idle` arguments carry the subsystem's idle-walker bitmask (bit `w` set
+/// means walker `w` has no walk in service); tie-break rules follow the
+/// reference implementation exactly — last-maximum for
+/// [`least_loaded_owned`](Self::least_loaded_owned), first-minimum for
+/// [`most_loaded_owned`](Self::most_loaded_owned), lowest walker index for
+/// the idle searches, lowest tenant id with a strictly greater queue depth
+/// for [`steal_victim`](Self::steal_victim).
+trait PartScheduler: std::fmt::Debug {
+    /// The configured steal mode.
+    fn steal(&self) -> &StealMode;
+    /// Queue slots per walker.
+    fn per_walker_capacity(&self) -> usize;
+    /// WTM: the owner tenant of `walker`.
+    fn owner(&self, w: usize) -> TenantId;
+    /// WTM snapshot, for inspection.
+    fn owners_snapshot(&self) -> Vec<TenantId>;
+    /// Pending walks queued at `walker`.
+    fn queue_len(&self, w: usize) -> usize;
+    /// Pending walks queued across all walkers.
+    fn total_queued(&self) -> usize;
+    /// TWM: `PEND_WALKS` for tenant `t` (queued + in-service).
+    fn pend(&self, t: usize) -> u32;
+    /// Decrements `PEND_WALKS` on walk completion (saturating).
+    fn dec_pend(&mut self, t: usize);
+    /// FWA: the `is_stolen` bit of `walker`.
+    fn is_stolen(&self, w: usize) -> bool;
+    /// Sets the `is_stolen` bit at dispatch.
+    fn set_stolen(&mut self, w: usize, stolen: bool);
+    /// Current `DIFF_THRES` (DWS++); `None` disables imbalance stealing.
+    fn diff_thres(&self) -> Option<f64>;
+    /// Max `PEND_WALKS` over every tenant but `t`.
+    fn max_pend_other(&self, t: usize) -> u32;
+    /// Round-robin choice among `tenant`'s walkers with a free queue slot
+    /// (naive static organization only).
+    fn round_robin_owned(&mut self, tenant: TenantId) -> Option<usize>;
+    /// The owned walker with the most free queue slots, if it has any.
+    fn least_loaded_owned(&self, tenant: TenantId) -> Option<usize>;
+    /// The walker owned by `tenant` with the deepest queue, if non-empty.
+    fn most_loaded_owned(&self, tenant: TenantId) -> Option<usize>;
+    /// Whether `tenant` has any walk queued (FWA view).
+    fn has_queued(&self, tenant: TenantId) -> bool;
+    /// The foreign tenant with the most *queued* walks, if any.
+    fn steal_victim(&self, not: TenantId) -> Option<TenantId>;
+    /// Queues `p` at `walker`: queue push + FWA decrement + `PEND_WALKS`
+    /// increment + DWS++ epoch accounting (returning the rollover, if one
+    /// fired, for tracing).
+    fn push(&mut self, w: usize, p: Pending) -> Option<EpochRollover>;
+    /// Dequeues the head of `walker`'s queue (must be non-empty).
+    fn pop_from_walker(&mut self, w: usize) -> Pending;
+    /// The first idle walker owned by `tenant`.
+    fn first_owned_idle(&self, tenant: TenantId, idle: u128) -> Option<usize>;
+    /// The first idle walker *not* owned by `tenant`.
+    fn first_foreign_idle(&self, tenant: TenantId, idle: u128) -> Option<usize>;
+    /// Recomputes the TWM bitmaps and WTM owner map to split the walkers
+    /// evenly among `active` tenants (paper SecVI.C). Queued and in-service
+    /// walks are untouched — the system converges as they drain.
+    fn repartition(&mut self, active: &[bool]);
+
+    /// Whether this is the naive static organization: no FWA-guided
+    /// enqueue, no sibling rebalancing, no stealing. Walkers serve only
+    /// their own queue; arrivals are assigned round-robin. This is the
+    /// paper's "Static" comparator (Fig. 11) — the FWA machinery is part
+    /// of the DWS proposal, so the straw man must not benefit from it.
+    fn is_naive(&self) -> bool {
+        matches!(self.steal(), StealMode::None)
+    }
+
+    /// Decides whether walker `w` (whose own queue is empty or whose DWS++
+    /// conditions allow) may steal, and from which victim walker's queue.
+    /// Returns the victim walker index.
+    fn steal_choice(&self, w: usize, strict_pend: bool, queue_entries: usize) -> Option<usize> {
+        let owner = self.owner(w);
+        let own_queue_empty = self.queue_len(w) == 0;
+
+        let owner_has_work = if strict_pend {
+            self.pend(owner.index()) > 0
+        } else {
+            self.has_queued(owner)
+        };
+
+        let allowed = match self.steal() {
+            StealMode::None => false,
+            StealMode::Dws => !owner_has_work,
+            StealMode::DwsPlusPlus(params) => {
+                if !owner_has_work {
+                    true // the DWS condition
+                } else if !own_queue_empty && self.is_stolen(w) {
+                    // No consecutive steals while the owner has work.
+                    false
+                } else {
+                    // QUEUE_THRES: don't steal while our own queue is loaded.
+                    let cap = self.per_walker_capacity();
+                    let occupancy = (cap - self.queue_len(w)) as f64;
+                    let own_frac = 1.0 - occupancy / cap as f64;
+                    if own_frac > params.queue_thres {
+                        false
+                    } else {
+                        // DIFF_THRES on normalized PEND_WALKS imbalance.
+                        match self.diff_thres() {
+                            None => false,
+                            Some(thres) => {
+                                let own = self.pend(owner.index()) as f64;
+                                let max_other = self.max_pend_other(owner.index()) as f64;
+                                let diff = (max_other - own) / queue_entries as f64;
+                                diff > thres
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if !allowed {
+            return None;
+        }
+        let victim = self.steal_victim(owner)?;
+        self.most_loaded_owned(victim)
+    }
+}
+
+/// The original partitioned-scheduler state (static / DWS / DWS++): the
+/// FWA, TWM and WTM hardware tables as plain `Vec`s and the per-walker
+/// queues as `VecDeque`s, every selection a linear scan. Kept verbatim as
+/// the differential reference for [`BitmapScheduler`].
 #[derive(Debug)]
-struct Part {
+struct ReferenceScheduler {
     /// FWA: free queue slots per walker.
     fwa_free: Vec<u32>,
     /// FWA: the per-walker `is_stolen` bit.
@@ -372,7 +520,7 @@ struct Part {
     rr_scratch: Vec<usize>,
 }
 
-impl Part {
+impl ReferenceScheduler {
     fn new(n_walkers: usize, n_tenants: usize, queue_entries: usize, steal: StealMode) -> Self {
         let per_walker_capacity = queue_entries / n_walkers;
         assert!(per_walker_capacity > 0, "queue entries < walkers");
@@ -389,7 +537,7 @@ impl Part {
             StealMode::DwsPlusPlus(p) => p.diff_thres_for(1.0),
             _ => None,
         };
-        Part {
+        ReferenceScheduler {
             fwa_free: vec![per_walker_capacity as u32; n_walkers],
             fwa_is_stolen: vec![false; n_walkers],
             twm_owned,
@@ -405,17 +553,63 @@ impl Part {
             rr_scratch: Vec::new(),
         }
     }
+}
 
-    /// Whether this is the naive static organization: no FWA-guided
-    /// enqueue, no sibling rebalancing, no stealing. Walkers serve only
-    /// their own queue; arrivals are assigned round-robin. This is the
-    /// paper's "Static" comparator (Fig. 11) — the FWA machinery is part
-    /// of the DWS proposal, so the straw man must not benefit from it.
-    fn is_naive(&self) -> bool {
-        matches!(self.steal, StealMode::None)
+impl PartScheduler for ReferenceScheduler {
+    fn steal(&self) -> &StealMode {
+        &self.steal
     }
 
-    /// Round-robin choice among `tenant`'s walkers with a free queue slot.
+    fn per_walker_capacity(&self) -> usize {
+        self.per_walker_capacity
+    }
+
+    fn owner(&self, w: usize) -> TenantId {
+        self.wtm[w]
+    }
+
+    fn owners_snapshot(&self) -> Vec<TenantId> {
+        self.wtm.clone()
+    }
+
+    fn queue_len(&self, w: usize) -> usize {
+        self.queues[w].len()
+    }
+
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn pend(&self, t: usize) -> u32 {
+        self.twm_pend[t]
+    }
+
+    fn dec_pend(&mut self, t: usize) {
+        self.twm_pend[t] = self.twm_pend[t].saturating_sub(1);
+    }
+
+    fn is_stolen(&self, w: usize) -> bool {
+        self.fwa_is_stolen[w]
+    }
+
+    fn set_stolen(&mut self, w: usize, stolen: bool) {
+        self.fwa_is_stolen[w] = stolen;
+    }
+
+    fn diff_thres(&self) -> Option<f64> {
+        self.diff_thres
+    }
+
+    fn max_pend_other(&self, t: usize) -> u32 {
+        self.twm_pend
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != t)
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap_or(0)
+    }
+
     fn round_robin_owned(&mut self, tenant: TenantId) -> Option<usize> {
         let mut owned = std::mem::take(&mut self.rr_scratch);
         owned.clear();
@@ -490,10 +684,48 @@ impl Part {
         best.map(|(t, _)| t)
     }
 
+    fn push(&mut self, w: usize, p: Pending) -> Option<EpochRollover> {
+        let t = p.tenant.index();
+        self.queues[w].push_back(p);
+        self.fwa_free[w] -= 1;
+        self.twm_pend[t] += 1;
+
+        // DWS++ epoch accounting.
+        if let StealMode::DwsPlusPlus(params) = &self.steal {
+            self.twm_enq_epoch[t] += 1;
+            self.epoch_counter += 1;
+            if self.epoch_counter >= params.epoch_length {
+                let max = self.twm_enq_epoch.iter().copied().max().unwrap_or(0) as f64;
+                let min = self.twm_enq_epoch.iter().copied().min().unwrap_or(0).max(1) as f64;
+                self.diff_thres = params.diff_thres_for(max / min);
+                let rollover = EpochRollover {
+                    enq_epoch: self.twm_enq_epoch.clone(),
+                    diff_thres: self.diff_thres,
+                };
+                self.epoch_counter = 0;
+                self.twm_enq_epoch.iter_mut().for_each(|c| *c = 0);
+                return Some(rollover);
+            }
+        }
+        None
+    }
+
     fn pop_from_walker(&mut self, w: usize) -> Pending {
         let p = self.queues[w].pop_front().expect("queue checked non-empty");
         self.fwa_free[w] += 1;
         p
+    }
+
+    fn first_owned_idle(&self, tenant: TenantId, idle: u128) -> Option<usize> {
+        self.twm_owned[tenant.index()]
+            .iter()
+            .enumerate()
+            .find(|&(w, &owned)| owned && (idle >> w) & 1 == 1)
+            .map(|(w, _)| w)
+    }
+
+    fn first_foreign_idle(&self, tenant: TenantId, idle: u128) -> Option<usize> {
+        (0..self.wtm.len()).find(|&w| (idle >> w) & 1 == 1 && self.wtm[w] != tenant)
     }
 
     /// Recomputes the TWM bitmaps and WTM owner map to split the walkers
@@ -523,6 +755,334 @@ impl Part {
     }
 }
 
+/// Sentinel for "no slot" in the arena-queue links.
+const NIL: u32 = u32::MAX;
+
+/// The optimized partitioned scheduler: the FWA / TWM / WTM tables as
+/// fixed-size arrays and `u64` bitmaps, and the pending-walk queues as
+/// intrusive FIFO lists threaded through one pre-allocated arena of
+/// `u32`-indexed slots (no per-walk allocation in steady state). Candidate
+/// selection is mask-and-`trailing_zeros` instead of a scan, and
+/// [`steal_victim`](PartScheduler::steal_victim) reads an incrementally
+/// maintained per-tenant queued count. Every decision is bit-identical to
+/// [`ReferenceScheduler`] (pinned by `tests/walk_differential.rs`).
+#[derive(Debug)]
+struct BitmapScheduler {
+    /// TWM: walker-ownership bitmap per tenant (bit `w` set = owned).
+    owned: Vec<u64>,
+    /// WTM: owner tenant per walker.
+    wtm: Vec<TenantId>,
+    /// FWA: free queue slots per walker.
+    fwa_free: Vec<u32>,
+    /// FWA: the per-walker `is_stolen` bits.
+    stolen_bits: u64,
+    /// Bit `w` set while walker `w`'s queue is non-empty.
+    nonempty: u64,
+    /// TWM: `PEND_WALKS` per tenant (queued + in-service).
+    pend: Vec<u32>,
+    /// Queued (not in-service) walks per owning tenant, maintained on
+    /// push/pop and rebuilt on repartition, so `steal_victim` is scan-free.
+    queued_per_tenant: Vec<u32>,
+    /// TWM: `ENQ_EPOCH` per tenant (DWS++).
+    enq_epoch: Vec<u32>,
+    /// Global arrival counter for epochs (DWS++).
+    epoch_counter: u32,
+    /// Current `DIFF_THRES`; `None` disables imbalance stealing.
+    diff_thres: Option<f64>,
+    steal: StealMode,
+    per_walker_capacity: usize,
+    /// Round-robin arrival cursor for the naive static organization.
+    rr_cursor: usize,
+    /// Reusable buffer for [`PartScheduler::round_robin_owned`].
+    rr_scratch: Vec<usize>,
+    /// Arena slots; `links` threads both the per-walker FIFOs
+    /// (`head`/`tail`) and the free list (`free_head`).
+    slots: Vec<Pending>,
+    links: Vec<u32>,
+    free_head: u32,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    lens: Vec<u32>,
+}
+
+impl BitmapScheduler {
+    fn new(n_walkers: usize, n_tenants: usize, queue_entries: usize, steal: StealMode) -> Self {
+        assert!(n_walkers <= 64, "BitmapScheduler supports at most 64 walkers");
+        let per_walker_capacity = queue_entries / n_walkers;
+        assert!(per_walker_capacity > 0, "queue entries < walkers");
+        let walkers_per_tenant = n_walkers / n_tenants;
+        assert!(walkers_per_tenant > 0, "walkers < tenants");
+        let mut owned = vec![0u64; n_tenants];
+        let mut wtm = vec![TenantId(0); n_walkers];
+        for w in 0..n_walkers {
+            let t = (w / walkers_per_tenant).min(n_tenants - 1);
+            owned[t] |= 1 << w;
+            wtm[w] = TenantId(t as u8);
+        }
+        let initial_diff_thres = match &steal {
+            StealMode::DwsPlusPlus(p) => p.diff_thres_for(1.0),
+            _ => None,
+        };
+        let capacity = per_walker_capacity * n_walkers;
+        let placeholder = Pending {
+            tenant: TenantId(0),
+            vpn: Vpn(0),
+            arrival: Cycle::ZERO,
+            foreign_at_arrival: 0,
+        };
+        // Free list: slot i links to i+1, last to NIL.
+        let mut links: Vec<u32> = (1..=capacity as u32).collect();
+        links[capacity - 1] = NIL;
+        BitmapScheduler {
+            owned,
+            wtm,
+            fwa_free: vec![per_walker_capacity as u32; n_walkers],
+            stolen_bits: 0,
+            nonempty: 0,
+            pend: vec![0; n_tenants],
+            queued_per_tenant: vec![0; n_tenants],
+            enq_epoch: vec![0; n_tenants],
+            epoch_counter: 0,
+            diff_thres: initial_diff_thres,
+            steal,
+            per_walker_capacity,
+            rr_cursor: 0,
+            rr_scratch: Vec::new(),
+            slots: vec![placeholder; capacity],
+            links,
+            free_head: 0,
+            head: vec![NIL; n_walkers],
+            tail: vec![NIL; n_walkers],
+            lens: vec![0; n_walkers],
+        }
+    }
+}
+
+impl PartScheduler for BitmapScheduler {
+    fn steal(&self) -> &StealMode {
+        &self.steal
+    }
+
+    fn per_walker_capacity(&self) -> usize {
+        self.per_walker_capacity
+    }
+
+    fn owner(&self, w: usize) -> TenantId {
+        self.wtm[w]
+    }
+
+    fn owners_snapshot(&self) -> Vec<TenantId> {
+        self.wtm.clone()
+    }
+
+    fn queue_len(&self, w: usize) -> usize {
+        self.lens[w] as usize
+    }
+
+    fn total_queued(&self) -> usize {
+        self.lens.iter().map(|&l| l as usize).sum()
+    }
+
+    fn pend(&self, t: usize) -> u32 {
+        self.pend[t]
+    }
+
+    fn dec_pend(&mut self, t: usize) {
+        self.pend[t] = self.pend[t].saturating_sub(1);
+    }
+
+    fn is_stolen(&self, w: usize) -> bool {
+        (self.stolen_bits >> w) & 1 == 1
+    }
+
+    fn set_stolen(&mut self, w: usize, stolen: bool) {
+        if stolen {
+            self.stolen_bits |= 1 << w;
+        } else {
+            self.stolen_bits &= !(1 << w);
+        }
+    }
+
+    fn diff_thres(&self) -> Option<f64> {
+        self.diff_thres
+    }
+
+    fn max_pend_other(&self, t: usize) -> u32 {
+        self.pend
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != t)
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn round_robin_owned(&mut self, tenant: TenantId) -> Option<usize> {
+        let mut owned = std::mem::take(&mut self.rr_scratch);
+        owned.clear();
+        let mut m = self.owned[tenant.index()];
+        while m != 0 {
+            owned.push(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+        let mut chosen = None;
+        for i in 0..owned.len() {
+            let w = owned[(self.rr_cursor + i) % owned.len()];
+            if self.fwa_free[w] > 0 {
+                self.rr_cursor = (self.rr_cursor + i + 1) % owned.len();
+                chosen = Some(w);
+                break;
+            }
+        }
+        self.rr_scratch = owned;
+        chosen
+    }
+
+    fn least_loaded_owned(&self, tenant: TenantId) -> Option<usize> {
+        // The reference's `max_by_key` keeps the *last* maximum: `>=`.
+        let mut m = self.owned[tenant.index()];
+        let mut best = None;
+        let mut best_free = 0u32;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if best.is_none() || self.fwa_free[w] >= best_free {
+                best = Some(w);
+                best_free = self.fwa_free[w];
+            }
+        }
+        best.filter(|_| best_free > 0)
+    }
+
+    fn most_loaded_owned(&self, tenant: TenantId) -> Option<usize> {
+        // The reference's `min_by_key` keeps the *first* minimum: `<`.
+        let mut m = self.owned[tenant.index()];
+        let mut best = None;
+        let mut best_free = u32::MAX;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if best.is_none() || self.fwa_free[w] < best_free {
+                best = Some(w);
+                best_free = self.fwa_free[w];
+            }
+        }
+        best.filter(|&w| (self.nonempty >> w) & 1 == 1)
+    }
+
+    fn has_queued(&self, tenant: TenantId) -> bool {
+        self.owned[tenant.index()] & self.nonempty != 0
+    }
+
+    fn steal_victim(&self, not: TenantId) -> Option<TenantId> {
+        let mut best: Option<(TenantId, u32)> = None;
+        for t in 0..self.pend.len() {
+            let tenant = TenantId(t as u8);
+            if tenant == not {
+                continue;
+            }
+            let queued = self.queued_per_tenant[t];
+            if queued > 0 && best.is_none_or(|(_, b)| queued > b) {
+                best = Some((tenant, queued));
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    fn push(&mut self, w: usize, p: Pending) -> Option<EpochRollover> {
+        let t = p.tenant.index();
+        debug_assert_ne!(self.free_head, NIL, "arena full despite FWA check");
+        let idx = self.free_head as usize;
+        self.free_head = self.links[idx];
+        self.slots[idx] = p;
+        self.links[idx] = NIL;
+        if self.tail[w] == NIL {
+            self.head[w] = idx as u32;
+        } else {
+            self.links[self.tail[w] as usize] = idx as u32;
+        }
+        self.tail[w] = idx as u32;
+        self.lens[w] += 1;
+        self.nonempty |= 1 << w;
+        self.fwa_free[w] -= 1;
+        self.pend[t] += 1;
+        self.queued_per_tenant[self.wtm[w].index()] += 1;
+
+        // DWS++ epoch accounting.
+        if let StealMode::DwsPlusPlus(params) = &self.steal {
+            self.enq_epoch[t] += 1;
+            self.epoch_counter += 1;
+            if self.epoch_counter >= params.epoch_length {
+                let max = self.enq_epoch.iter().copied().max().unwrap_or(0) as f64;
+                let min = self.enq_epoch.iter().copied().min().unwrap_or(0).max(1) as f64;
+                self.diff_thres = params.diff_thres_for(max / min);
+                let rollover = EpochRollover {
+                    enq_epoch: self.enq_epoch.clone(),
+                    diff_thres: self.diff_thres,
+                };
+                self.epoch_counter = 0;
+                self.enq_epoch.iter_mut().for_each(|c| *c = 0);
+                return Some(rollover);
+            }
+        }
+        None
+    }
+
+    fn pop_from_walker(&mut self, w: usize) -> Pending {
+        debug_assert_ne!(self.head[w], NIL, "queue checked non-empty");
+        let idx = self.head[w] as usize;
+        self.head[w] = self.links[idx];
+        if self.head[w] == NIL {
+            self.tail[w] = NIL;
+            self.nonempty &= !(1 << w);
+        }
+        self.links[idx] = self.free_head;
+        self.free_head = idx as u32;
+        self.lens[w] -= 1;
+        self.fwa_free[w] += 1;
+        self.queued_per_tenant[self.wtm[w].index()] -= 1;
+        self.slots[idx]
+    }
+
+    fn first_owned_idle(&self, tenant: TenantId, idle: u128) -> Option<usize> {
+        let m = self.owned[tenant.index()] & idle as u64;
+        (m != 0).then(|| m.trailing_zeros() as usize)
+    }
+
+    fn first_foreign_idle(&self, tenant: TenantId, idle: u128) -> Option<usize> {
+        // The idle mask only carries bits below `n_walkers`, so masking off
+        // the owned walkers leaves exactly the idle foreign ones.
+        let m = idle as u64 & !self.owned[tenant.index()];
+        (m != 0).then(|| m.trailing_zeros() as usize)
+    }
+
+    fn repartition(&mut self, active: &[bool]) {
+        let n_walkers = self.wtm.len();
+        let active_ids: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(t, _)| t)
+            .collect();
+        assert!(!active_ids.is_empty(), "at least one tenant must be active");
+        let per = n_walkers / active_ids.len();
+        assert!(per > 0, "more active tenants than walkers");
+        self.owned.iter_mut().for_each(|m| *m = 0);
+        for w in 0..n_walkers {
+            let slot = (w / per).min(active_ids.len() - 1);
+            let owner = active_ids[slot];
+            self.owned[owner] |= 1 << w;
+            self.wtm[w] = TenantId(owner as u8);
+        }
+        // Ownership moved under live queues; rebuild the per-tenant queued
+        // counts against the new owner map.
+        self.queued_per_tenant.iter_mut().for_each(|c| *c = 0);
+        for w in 0..n_walkers {
+            self.queued_per_tenant[self.wtm[w].index()] += self.lens[w];
+        }
+    }
+}
+
 /// The page-walk subsystem: walkers + queues + policy + PWC.
 ///
 /// Drive it from a discrete-event loop:
@@ -540,6 +1100,9 @@ pub struct WalkSubsystem {
     cfg: WalkConfig,
     pwc: PwCache,
     walkers: Vec<Option<InFlight>>,
+    /// Bit `w` set while walker `w` is idle (mirrors `walkers[w].is_none()`);
+    /// idle-walker searches are mask operations instead of scans.
+    idle_mask: u128,
     sched: Scheduler,
     stats: WalkStats,
     /// Per tenant T: walks of *other* tenants dispatched onto walkers that
@@ -562,11 +1125,25 @@ impl WalkSubsystem {
     /// # Panics
     ///
     /// Panics if the configuration is degenerate (zero walkers/queue
-    /// entries/tenants, or fewer walkers than tenants in a partitioned
-    /// policy).
+    /// entries/tenants, more than 128 walkers, or fewer walkers than
+    /// tenants in a partitioned policy).
     #[must_use]
     pub fn new(cfg: WalkConfig) -> Self {
+        Self::with_scheduler_impl(cfg, SchedulerImpl::Optimized)
+    }
+
+    /// Like [`WalkSubsystem::new`] but with the partitioned scheduler backed
+    /// by the given implementation. [`SchedulerImpl::Reference`] exists for
+    /// differential stress testing; non-partitioned policies are unaffected
+    /// by the choice.
+    ///
+    /// # Panics
+    ///
+    /// As [`WalkSubsystem::new`].
+    #[must_use]
+    pub fn with_scheduler_impl(cfg: WalkConfig, imp: SchedulerImpl) -> Self {
         assert!(cfg.n_walkers > 0, "need at least one walker");
+        assert!(cfg.n_walkers <= 128, "at most 128 walkers supported");
         assert!(cfg.queue_entries > 0, "need at least one queue entry");
         assert!(cfg.n_tenants > 0, "need at least one tenant");
         let sched = match &cfg.policy {
@@ -584,17 +1161,33 @@ impl WalkSubsystem {
                     per_tenant_capacity: cfg.queue_entries / cfg.n_tenants,
                 }
             }
-            WalkPolicyKind::Partitioned(steal) => Scheduler::Partitioned(Part::new(
-                cfg.n_walkers,
-                cfg.n_tenants,
-                cfg.queue_entries,
-                steal.clone(),
-            )),
+            WalkPolicyKind::Partitioned(steal) => {
+                // The bitmap layout carries ownership masks in `u64`s; fall
+                // back to the reference tables beyond 64 walkers.
+                let part: Box<dyn PartScheduler> =
+                    if imp == SchedulerImpl::Optimized && cfg.n_walkers <= 64 {
+                        Box::new(BitmapScheduler::new(
+                            cfg.n_walkers,
+                            cfg.n_tenants,
+                            cfg.queue_entries,
+                            steal.clone(),
+                        ))
+                    } else {
+                        Box::new(ReferenceScheduler::new(
+                            cfg.n_walkers,
+                            cfg.n_tenants,
+                            cfg.queue_entries,
+                            steal.clone(),
+                        ))
+                    };
+                Scheduler::Partitioned(part)
+            }
         };
         let n = cfg.n_tenants;
         WalkSubsystem {
             pwc: PwCache::new(cfg.pwc_entries),
             walkers: vec![None; cfg.n_walkers],
+            idle_mask: u128::MAX >> (128 - cfg.n_walkers),
             sched,
             stats: WalkStats::new(n),
             foreign_service: vec![0; n],
@@ -611,7 +1204,7 @@ impl WalkSubsystem {
     /// requesting tenant itself.
     fn owner_of(&self, walker: usize) -> TenantId {
         match &self.sched {
-            Scheduler::Partitioned(p) => p.wtm[walker],
+            Scheduler::Partitioned(p) => p.owner(walker),
             Scheduler::PerTenant { queues, .. } => {
                 let per = self.cfg.n_walkers / queues.len();
                 TenantId(((walker / per).min(queues.len() - 1)) as u8)
@@ -644,7 +1237,7 @@ impl WalkSubsystem {
             // Private pools never service foreign walks.
             Scheduler::PerTenant { .. } => {}
             Scheduler::Partitioned(p) => {
-                let owner = p.wtm[walker];
+                let owner = p.owner(walker);
                 if owner != tenant {
                     self.foreign_service[owner.index()] += 1;
                 }
@@ -728,7 +1321,7 @@ impl WalkSubsystem {
         self.pwc.fill_walk(t, req.vpn, &path.node_addrs);
 
         if let Scheduler::Partitioned(p) = &mut self.sched {
-            p.fwa_is_stolen[walker] = stolen;
+            p.set_stolen(walker, stolen);
         }
 
         self.walkers[walker] = Some(InFlight {
@@ -737,6 +1330,7 @@ impl WalkSubsystem {
             stolen,
             done_at: at,
         });
+        self.idle_mask &= !(1 << walker);
         self.path_scratch = path;
         DispatchedWalk {
             walker: WalkerId(walker as u8),
@@ -787,10 +1381,8 @@ impl WalkSubsystem {
                     vpn: req.vpn.0,
                 });
                 // Any idle walker takes the head of the shared queue.
-                if let Some(w) = self.walkers.iter().position(Option::is_none) {
-                    let Scheduler::Shared { queue, .. } = &mut self.sched else {
-                        unreachable!("scheduler variant fixed at construction")
-                    };
+                if self.idle_mask != 0 {
+                    let w = self.idle_mask.trailing_zeros() as usize;
                     let head = queue.pop_front().expect("just pushed");
                     return Ok(Some(self.dispatch(w, head, false, now, ctx)));
                 }
@@ -816,12 +1408,12 @@ impl WalkSubsystem {
                     tenant: req.tenant.0,
                     vpn: req.vpn.0,
                 });
+                // First idle walker in this tenant's private range.
                 let per = self.cfg.n_walkers / self.cfg.n_tenants;
-                let range = t * per..(t + 1) * per;
-                if let Some(w) = range.clone().find(|&w| self.walkers[w].is_none()) {
-                    let Scheduler::PerTenant { queues, .. } = &mut self.sched else {
-                        unreachable!("scheduler variant fixed at construction")
-                    };
+                let range_mask = (u128::MAX >> (128 - per)) << (t * per);
+                let m = self.idle_mask & range_mask;
+                if m != 0 {
+                    let w = m.trailing_zeros() as usize;
                     let head = queues[t].pop_front().expect("just pushed");
                     return Ok(Some(self.dispatch(w, head, false, now, ctx)));
                 }
@@ -845,52 +1437,32 @@ impl WalkSubsystem {
                     });
                     return Err(WalkQueueFull);
                 };
-                p.queues[w].push_back(pending);
-                p.fwa_free[w] -= 1;
-                p.twm_pend[t] += 1;
+                let rollover = p.push(w, pending);
                 self.stats.enqueued[t] += 1;
                 ctx.obs.trace(TraceKind::Walk, || TraceEvent::WalkEnqueue {
                     cycle: now.0,
                     tenant: req.tenant.0,
                     vpn: req.vpn.0,
                 });
-
-                // DWS++ epoch accounting.
-                if let StealMode::DwsPlusPlus(params) = &p.steal {
-                    p.twm_enq_epoch[t] += 1;
-                    p.epoch_counter += 1;
-                    if p.epoch_counter >= params.epoch_length {
-                        let max = p.twm_enq_epoch.iter().copied().max().unwrap_or(0) as f64;
-                        let min = p.twm_enq_epoch.iter().copied().min().unwrap_or(0).max(1) as f64;
-                        p.diff_thres = params.diff_thres_for(max / min);
-                        ctx.obs.trace(TraceKind::Epoch, || TraceEvent::EpochUpdate {
-                            cycle: now.0,
-                            enq_epoch: p.twm_enq_epoch.clone(),
-                            diff_thres: p.diff_thres,
-                        });
-                        if let Some(m) = ctx.obs.metrics() {
-                            m.inc("epoch_rollovers", None);
-                        }
-                        p.epoch_counter = 0;
-                        p.twm_enq_epoch.iter_mut().for_each(|c| *c = 0);
+                if let Some(r) = rollover {
+                    ctx.obs.trace(TraceKind::Epoch, || TraceEvent::EpochUpdate {
+                        cycle: now.0,
+                        enq_epoch: r.enq_epoch.clone(),
+                        diff_thres: r.diff_thres,
+                    });
+                    if let Some(m) = ctx.obs.metrics() {
+                        m.inc("epoch_rollovers", None);
                     }
                 }
 
                 // An idle owned walker picks the work up immediately. Under
                 // the naive organization only the assigned walker may.
                 let owned_idle = if p.is_naive() {
-                    self.walkers[w].is_none().then_some(w)
+                    ((self.idle_mask >> w) & 1 == 1).then_some(w)
                 } else {
-                    p.twm_owned[t]
-                        .iter()
-                        .enumerate()
-                        .find(|&(wi, &owned)| owned && self.walkers[wi].is_none())
-                        .map(|(wi, _)| wi)
+                    p.first_owned_idle(req.tenant, self.idle_mask)
                 };
                 if let Some(wi) = owned_idle {
-                    let Scheduler::Partitioned(p) = &mut self.sched else {
-                        unreachable!("scheduler variant fixed at construction")
-                    };
                     let head = p.pop_from_walker(w);
                     return Ok(Some(self.dispatch(wi, head, false, now, ctx)));
                 }
@@ -898,17 +1470,15 @@ impl WalkSubsystem {
                 // Otherwise, an idle *foreign* walker may steal it right
                 // away, under the same eligibility rules it would apply at
                 // walk completion.
-                if !matches!(p.steal, StealMode::None) {
-                    let foreign_idle = (0..self.cfg.n_walkers)
-                        .find(|&w| self.walkers[w].is_none() && p.wtm[w] != req.tenant);
-                    if let Some(wf) = foreign_idle {
+                if !matches!(p.steal(), StealMode::None) {
+                    if let Some(wf) = p.first_foreign_idle(req.tenant, self.idle_mask) {
                         if let Some(m) = ctx.obs.metrics() {
                             m.inc("steal_attempts", None);
                         }
-                        if let Some(victim_walker) = self.steal_choice(wf, now) {
-                            let Scheduler::Partitioned(p) = &mut self.sched else {
-                                unreachable!("scheduler variant fixed at construction")
-                            };
+                        let strict = self.cfg.strict_pend_check;
+                        if let Some(victim_walker) =
+                            p.steal_choice(wf, strict, self.cfg.queue_entries)
+                        {
                             let head = p.pop_from_walker(victim_walker);
                             return Ok(Some(self.dispatch(wf, head, true, now, ctx)));
                         }
@@ -917,66 +1487,6 @@ impl WalkSubsystem {
                 Ok(None)
             }
         }
-    }
-
-    /// Decides whether walker `w` (whose own queue is empty or whose DWS++
-    /// conditions allow) may steal, and from which victim walker's queue.
-    /// Returns the victim walker index.
-    fn steal_choice(&self, w: usize, _now: Cycle) -> Option<usize> {
-        let Scheduler::Partitioned(p) = &self.sched else {
-            return None;
-        };
-        let owner = p.wtm[w];
-        let own_queue_empty = p.queues[w].is_empty();
-
-        let owner_has_work = if self.cfg.strict_pend_check {
-            p.twm_pend[owner.index()] > 0
-        } else {
-            p.has_queued(owner)
-        };
-
-        let allowed = match &p.steal {
-            StealMode::None => false,
-            StealMode::Dws => !owner_has_work,
-            StealMode::DwsPlusPlus(params) => {
-                if !owner_has_work {
-                    true // the DWS condition
-                } else if !own_queue_empty && p.fwa_is_stolen[w] {
-                    // No consecutive steals while the owner has work.
-                    false
-                } else {
-                    // QUEUE_THRES: don't steal while our own queue is loaded.
-                    let occupancy = (p.per_walker_capacity - p.queues[w].len()) as f64;
-                    let own_frac = 1.0 - occupancy / p.per_walker_capacity as f64;
-                    if own_frac > params.queue_thres {
-                        false
-                    } else {
-                        // DIFF_THRES on normalized PEND_WALKS imbalance.
-                        match p.diff_thres {
-                            None => false,
-                            Some(thres) => {
-                                let own = p.twm_pend[owner.index()] as f64;
-                                let max_other =
-                                    p.twm_pend
-                                        .iter()
-                                        .enumerate()
-                                        .filter(|&(t, _)| t != owner.index())
-                                        .map(|(_, &v)| v)
-                                        .max()
-                                        .unwrap_or(0) as f64;
-                                let diff = (max_other - own) / self.cfg.queue_entries as f64;
-                                diff > thres
-                            }
-                        }
-                    }
-                }
-            }
-        };
-        if !allowed {
-            return None;
-        }
-        let victim = p.steal_victim(owner)?;
-        p.most_loaded_owned(victim)
     }
 
     /// Completes the walk on `walker` at cycle `now`.
@@ -998,6 +1508,7 @@ impl WalkSubsystem {
         let w = walker.index();
         self.advance_busy(now);
         let inflight = self.walkers[w].take().expect("walker was not busy");
+        self.idle_mask |= 1 << w;
         debug_assert_eq!(inflight.done_at, now, "walker-done event at wrong cycle");
         let t = inflight.req.tenant;
         self.busy_count[t.index()] -= 1;
@@ -1039,24 +1550,20 @@ impl WalkSubsystem {
             }
             Scheduler::Partitioned(p) => {
                 // TWM PEND_WALKS decrements when a walk finishes (paper).
-                p.twm_pend[t.index()] = p.twm_pend[t.index()].saturating_sub(1);
-                let owner = p.wtm[w];
+                p.dec_pend(t.index());
+                let owner = p.owner(w);
+                let strict = self.cfg.strict_pend_check;
+                let queue_entries = self.cfg.queue_entries;
 
-                if !p.queues[w].is_empty() {
+                if p.queue_len(w) > 0 {
                     // Step 1: serve own queue... unless DWS++ decides the
                     // imbalance warrants a steal instead.
                     if let Some(m) = ctx.obs.metrics() {
                         m.inc("steal_attempts", None);
                     }
-                    if let Some(victim_walker) = self.steal_choice(w, now) {
-                        let Scheduler::Partitioned(p) = &mut self.sched else {
-                            unreachable!("scheduler variant fixed at construction")
-                        };
+                    if let Some(victim_walker) = p.steal_choice(w, strict, queue_entries) {
                         Some((p.pop_from_walker(victim_walker), true))
                     } else {
-                        let Scheduler::Partitioned(p) = &mut self.sched else {
-                            unreachable!("scheduler variant fixed at construction")
-                        };
                         Some((p.pop_from_walker(w), false))
                     }
                 } else if p.is_naive() {
@@ -1069,12 +1576,9 @@ impl WalkSubsystem {
                     if let Some(m) = ctx.obs.metrics() {
                         m.inc("steal_attempts", None);
                     }
-                    self.steal_choice(w, now)
+                    p.steal_choice(w, strict, queue_entries)
                 } {
                     // Step 3b: steal.
-                    let Scheduler::Partitioned(p) = &mut self.sched else {
-                        unreachable!("scheduler variant fixed at construction")
-                    };
                     Some((p.pop_from_walker(victim_walker), true))
                 } else {
                     // Idle; servicing-own resets the is_stolen bit only when
@@ -1100,14 +1604,14 @@ impl WalkSubsystem {
         match &self.sched {
             Scheduler::Shared { queue, .. } => queue.len(),
             Scheduler::PerTenant { queues, .. } => queues.iter().map(VecDeque::len).sum(),
-            Scheduler::Partitioned(p) => p.queues.iter().map(VecDeque::len).sum(),
+            Scheduler::Partitioned(p) => p.total_queued(),
         }
     }
 
     /// Number of walkers currently servicing a walk.
     #[must_use]
     pub fn busy_walkers(&self) -> usize {
-        self.walkers.iter().filter(|w| w.is_some()).count()
+        self.cfg.n_walkers - self.idle_mask.count_ones() as usize
     }
 
     /// Walkers currently busy on behalf of each tenant, indexed by tenant.
@@ -1173,7 +1677,7 @@ impl WalkSubsystem {
     #[must_use]
     pub fn walker_owners(&self) -> Option<Vec<TenantId>> {
         match &self.sched {
-            Scheduler::Partitioned(p) => Some(p.wtm.clone()),
+            Scheduler::Partitioned(p) => Some(p.owners_snapshot()),
             _ => None,
         }
     }

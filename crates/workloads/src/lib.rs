@@ -27,3 +27,6 @@ pub mod stream;
 pub use apps::{AppId, AppProfile, HotPattern, MpmiClass};
 pub use pairs::{named_pairs, paper_pairs, WorkloadPair};
 pub use stream::{WarpOp, WarpStream};
+/// Re-exported so callers naming [`WarpOp::refs`]'s element type need not
+/// depend on `walksteal-gpu` directly.
+pub use walksteal_gpu::MemRef;

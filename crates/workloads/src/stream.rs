@@ -69,6 +69,10 @@ pub struct WarpStream {
     /// Remaining warp instructions in this execution.
     remaining: u64,
     budget: u64,
+    /// `(1 - p).ln()` for the compute-burst geometric draw, hoisted out of
+    /// the per-op loop (`p = 1 / mean_compute`). NaN-free: `p < 1` here;
+    /// `p >= 1` is handled by the `mean_compute <= 1` fast path.
+    geom_ln: f64,
 }
 
 impl WarpStream {
@@ -104,6 +108,7 @@ impl WarpStream {
             hot_line_cursor: warp_index * 7, // desynchronize hot phases
             remaining: scaled,
             budget: scaled,
+            geom_ln: (1.0 - 1.0 / profile.mean_compute.max(1.0)).ln(),
         }
     }
 
@@ -202,15 +207,26 @@ impl WarpStream {
         }
         self.op_counter += 1;
         let p = self.profile;
-        let burst = self
-            .rng
-            .next_geometric(1.0 / p.mean_compute.max(1.0))
-            .min(self.remaining.saturating_sub(1).max(1));
+        let burst = if p.mean_compute <= 1.0 {
+            1
+        } else {
+            self.rng.next_geometric_ln(self.geom_ln)
+        }
+        .min(self.remaining.saturating_sub(1).max(1));
         refs.clear();
+        // Order-preserving dedup without the O(divergence²) scan: a 64-bit
+        // signature of the refs pushed so far. An unset bit proves the ref is
+        // new; only a set bit (possible collision) falls back to the exact
+        // linear check.
+        let mut sig: u64 = 0;
         for _ in 0..p.divergence {
             let r = self.next_ref();
-            if !refs.contains(&r) {
+            let h = (r.vpn.0 ^ (u64::from(r.line_in_page) << 52))
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let bit = 1u64 << (h >> 58);
+            if sig & bit == 0 || !refs.contains(&r) {
                 refs.push(r);
+                sig |= bit;
             }
         }
         self.remaining = self.remaining.saturating_sub(burst + 1);

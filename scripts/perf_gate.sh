@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Perf-smoke gate: run `repro --selftest-perf` and compare the end-to-end
+# simulation throughput against the checked-in BENCH_parallel.json
+# baseline. The threshold is generous — the run must stay above 70% of the
+# baseline — because CI runners are noisy and heterogeneous; the gate
+# exists to catch real regressions (an accidental O(n^2), a lost fast
+# path), not single-digit drift.
+#
+# `repro --selftest-perf` writes BENCH_parallel.json into its working
+# directory, so the selftest runs in a scratch dir and the checked-in
+# baseline stays untouched. Environment knobs:
+#   PERF_GATE_OUT   keep the fresh report here (CI uploads it as an artifact)
+#   PERF_GATE_JOBS  worker count for the parallel-scaling section (default 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# First numeric value of a top-level or nested "key": N in a JSON report.
+field() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'; }
+
+repro="$PWD/target/release/repro"
+if [ ! -x "$repro" ]; then
+  echo "perf gate: target/release/repro missing — run cargo build --release first" >&2
+  exit 1
+fi
+
+baseline=$(field BENCH_parallel.json events_per_sec)
+out="${PERF_GATE_OUT:-$(mktemp -d)}"
+mkdir -p "$out"
+(cd "$out" && "$repro" --selftest-perf --jobs "${PERF_GATE_JOBS:-2}" > selftest.stdout)
+current=$(field "$out/BENCH_parallel.json" events_per_sec)
+host=$(field "$out/BENCH_parallel.json" host_parallelism)
+
+echo "perf gate: end-to-end $current ev/s vs baseline $baseline ev/s (host_parallelism $host)"
+awk -v b="$baseline" -v c="$current" 'BEGIN {
+  ratio = c / b
+  if (ratio < 0.70) {
+    printf "perf gate: FAIL - %.0f ev/s is %.0f%% of the %.0f ev/s baseline (floor 70%%)\n", c, ratio * 100, b
+    exit 1
+  }
+  printf "perf gate: OK - %.2fx of the checked-in baseline\n", ratio
+}'

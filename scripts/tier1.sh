@@ -15,8 +15,8 @@ cargo test -q --workspace
 echo "== determinism: serial vs --jobs 4 =="
 cargo test -q --test determinism
 
-echo "== perf selftest =="
-./target/release/repro --selftest-perf --jobs "${TIER1_JOBS:-4}"
+echo "== perf gate: selftest vs checked-in baseline =="
+PERF_GATE_JOBS="${TIER1_JOBS:-4}" bash scripts/perf_gate.sh
 
 echo "== fault-injection smoke =="
 # Inject a job panic plus a corrupt cache file into a quick-scale run: the
