@@ -4,16 +4,31 @@
 //! repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE]
 //!       [--max-events N] [--max-cycles N] [--max-wall-ms N]
 //!       [--inject-faults SPEC] [--policy NAME] [--selftest-perf]
+//!       [--tenants N] [--sweep AXIS]
 //!       [--trace FILE [--trace-filter KINDS] [--pair A,B]] [EXPERIMENT ...]
 //!
 //! EXPERIMENT: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6
-//!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all (default: all)
+//!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation
+//!             tenants tenants3 tenants4 sens_walkers sens_queue sens_l2tlb
+//!             sens_tenants all (default: all)
 //! ```
 //!
 //! `--jobs N` spreads cache-missing simulations over N worker threads
 //! (default: the machine's available parallelism); the printed tables are
 //! bit-identical to `--jobs 1`. `--selftest-perf` skips the experiments and
 //! instead measures the engine itself, writing `BENCH_parallel.json`.
+//!
+//! # Scenario engine
+//!
+//! `tenants3` / `tenants4` tabulate the curated three- and four-tenant
+//! workload mixes (normalized total IPC and fairness under Baseline / DWS /
+//! DWS++); the generic `tenants` experiment uses the `--tenants N` count
+//! (default 3). `--sweep AXIS` (repeatable) appends the matching `sens_*`
+//! sensitivity table — AXIS is one of `walkers`, `queue`, `l2tlb`,
+//! `tenants` — sweeping that knob at the `--tenants N` mix set (default 2;
+//! ignored by `sens_tenants`, which sweeps the count itself). An invalid
+//! `--tenants` count is rejected up front with a diagnostic and exit
+//! code 2.
 //!
 //! # Observability
 //!
@@ -58,7 +73,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use walksteal_experiments::{
-    parallel, perf, suite, ExpContext, FaultSpec, JobError, Scale, Store, Table,
+    parallel, perf, suite, sweep, ExpContext, FaultSpec, JobError, Scale, Store, SweepAxis, Table,
 };
 use walksteal_multitenant::{
     JsonlTracer, PolicyPreset, RunBudget, SimulationBuilder, TraceFilter, TraceKind,
@@ -68,10 +83,13 @@ use walksteal_workloads::AppId;
 fn usage() -> &'static str {
     "usage: repro [--quick] [--verbose] [--jobs N] [--cache DIR] [--markdown FILE] \
      [--max-events N] [--max-cycles N] [--max-wall-ms N] [--inject-faults SPEC] \
-     [--policy NAME] [--selftest-perf] [--trace FILE [--trace-filter KINDS] [--pair A,B]] \
+     [--policy NAME] [--selftest-perf] [--tenants N] [--sweep AXIS] \
+     [--trace FILE [--trace-filter KINDS] [--pair A,B]] \
      [EXPERIMENT ...]\n\
      experiments: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6 \
-     fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation all\n\
+     fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation \
+     tenants tenants3 tenants4 sens_walkers sens_queue sens_l2tlb sens_tenants all\n\
+     sweep axes: walkers queue l2tlb tenants (repeatable; appends sens_* tables)\n\
      fault spec: panic=N,budget=N,corrupt=N,seed=S (see EXPERIMENTS.md)\n\
      trace kinds: walk steal pwc pte epoch queue meta (comma-separated; default all)"
 }
@@ -232,6 +250,8 @@ fn main() -> ExitCode {
     let mut trace: Option<String> = None;
     let mut trace_filter = TraceFilter::ALL;
     let mut pair = [AppId::Gups, AppId::Mm];
+    let mut tenants: Option<usize> = None;
+    let mut sweeps: Vec<SweepAxis> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -325,6 +345,24 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--tenants" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => tenants = Some(n),
+                _ => {
+                    eprintln!("--tenants needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sweep" => match args.next().map(|s| s.parse::<SweepAxis>()) {
+                Some(Ok(axis)) => sweeps.push(axis),
+                Some(Err(e)) => {
+                    eprintln!("--sweep: {e}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--sweep needs an axis name\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--inject-faults" => match args.next().map(|s| FaultSpec::parse(&s)) {
                 Some(Ok(spec)) => faults = Some(spec),
                 Some(Err(e)) => {
@@ -371,6 +409,22 @@ fn main() -> ExitCode {
         );
     }
 
+    // Reject an unusable tenant count up front, before any simulation
+    // starts: no curated mixes, or a count the hardware split can't honor.
+    if let Some(n) = tenants {
+        if let Err(e) = suite::validate_tenants(scale, n) {
+            eprintln!("--tenants {n}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    for axis in &sweeps {
+        wanted.push(format!("sens_{axis}"));
+    }
+    if wanted.is_empty() && tenants.is_some() {
+        // `--tenants N` alone means "run the N-tenant scenario table".
+        wanted.push("tenants".to_owned());
+    }
     if wanted.is_empty() {
         wanted.push("all".to_owned());
     }
@@ -420,10 +474,26 @@ fn main() -> ExitCode {
             "fig13" => tables.push(ctx.run(suite::fig13)),
             "fig14" => tables.push(ctx.run(suite::fig14)),
             "ablation" => tables.push(ctx.run(suite::ablation_pend_check)),
-            other => {
-                eprintln!("unknown experiment {other}\n{}", usage());
-                return ExitCode::FAILURE;
+            "tenants" => {
+                let n = tenants.unwrap_or(3);
+                if let Err(e) = suite::validate_tenants(scale, n) {
+                    eprintln!("tenants: {e}");
+                    return ExitCode::from(2);
+                }
+                tables.push(ctx.run(|c| suite::tenants_n(c, n)));
             }
+            "tenants3" => tables.push(ctx.run(suite::tenants3)),
+            "tenants4" => tables.push(ctx.run(suite::tenants4)),
+            other => match other.strip_prefix("sens_").map(str::parse::<SweepAxis>) {
+                Some(Ok(axis)) => {
+                    let n = tenants.unwrap_or(2);
+                    tables.push(ctx.run(|c| sweep::sens(c, axis, n)));
+                }
+                _ => {
+                    eprintln!("unknown experiment {other}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
         }
         if verbose {
             eprintln!(

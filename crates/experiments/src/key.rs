@@ -21,8 +21,10 @@ pub const MAX_APPS: usize = 4;
 pub enum KeyKind {
     /// A two-tenant pair under a policy preset at the scale's base config.
     Pair(PolicyPreset),
-    /// A two-tenant pair under a custom config; the label must uniquely
-    /// describe the tweaks (e.g. `"f12|2048e|DWS"`).
+    /// A mix (2..=[`MAX_APPS`] tenants) under a custom config; the label
+    /// must uniquely describe the tweaks (e.g. `"f12|2048e|DWS"`).
+    /// Two-tenant keys render with the legacy `pairx|` prefix, larger
+    /// mixes with `mixx|`.
     Custom(String),
     /// A stand-alone baseline run on `sms` SMs with the tripled budget.
     Solo {
@@ -86,6 +88,13 @@ impl ExpKey {
         Self::pack(KeyKind::Custom(label.to_owned()), &pair.apps(), scale, seed)
     }
 
+    /// Key of a custom-config N-tenant mix run; identical to
+    /// [`custom`](Self::custom) for two apps.
+    #[must_use]
+    pub fn custom_mix(label: &str, apps: &[AppId], scale: &'static str, seed: u64) -> Self {
+        Self::pack(KeyKind::Custom(label.to_owned()), apps, scale, seed)
+    }
+
     /// Key of a stand-alone run.
     #[must_use]
     pub fn solo(app: AppId, sms: usize, scale: &'static str, seed: u64) -> Self {
@@ -120,7 +129,17 @@ impl fmt::Display for ExpKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
             KeyKind::Pair(preset) => write!(f, "pair|{}|", preset.label())?,
-            KeyKind::Custom(label) => write!(f, "pairx|{label}|")?,
+            KeyKind::Custom(label) => {
+                // Two-tenant custom keys keep the historical `pairx|`
+                // prefix so existing on-disk caches stay valid; larger
+                // mixes get their own prefix.
+                let prefix = if self.apps.iter().flatten().count() == 2 {
+                    "pairx"
+                } else {
+                    "mixx"
+                };
+                write!(f, "{prefix}|{label}|")?;
+            }
             KeyKind::Solo { sms } => {
                 let app = self.apps[0].expect("solo key has an app");
                 return write!(f, "solo|{app}|{sms}sms|{}|s{}", self.scale, self.seed);
@@ -164,6 +183,24 @@ mod tests {
         let k = ExpKey::multi(PolicyPreset::Dws, &combo, "quick", 42);
         assert_eq!(k.to_string(), "multi|DWS|GUPS.3DS.MM.HS|quick|s42");
         assert_eq!(k.apps(), combo);
+    }
+
+    #[test]
+    fn custom_mix_renders_pairx_for_two_apps_and_mixx_beyond() {
+        let two = ExpKey::custom_mix("sens|ptw8|DWS", &[AppId::Gups, AppId::Mm], "quick", 42);
+        assert_eq!(two.to_string(), "pairx|sens|ptw8|DWS|GUPS.MM|quick|s42");
+        assert_eq!(
+            two,
+            ExpKey::custom("sens|ptw8|DWS", gups_mm(), "quick", 42),
+            "two-app custom_mix must alias custom"
+        );
+        let three = ExpKey::custom_mix(
+            "sens|ptw9|DWS",
+            &[AppId::Gups, AppId::Tds, AppId::Mm],
+            "quick",
+            42,
+        );
+        assert_eq!(three.to_string(), "mixx|sens|ptw9|DWS|GUPS.3DS.MM|quick|s42");
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! | [`suite::fig14`] | Fig. 14 — 64 KB large pages |
 //! | [`suite::calibration`] | Table II — standalone MPMI per app |
 //!
+//! Beyond the paper's own tables, the scenario engine generalizes the
+//! evaluation to N-tenant mixes and hardware sweeps: [`suite::tenants_n`]
+//! tabulates the curated three- and four-tenant mixes (`tenants3` /
+//! `tenants4`), and [`sweep::sens`] sweeps a [`sweep::SweepAxis`] (walkers,
+//! queue depth, L2-TLB size, tenant count) as gmean-over-mixes tables
+//! (`sens_*`, `repro --sweep`).
+//!
 //! Runs are cached on disk (see [`store::Store`]), so re-running the suite
 //! re-simulates only what is missing, and separate experiments share the
 //! same underlying simulations.
@@ -42,6 +49,7 @@ pub mod report;
 pub mod scale;
 pub mod store;
 pub mod suite;
+pub mod sweep;
 pub mod timeline;
 
 pub use fault::{FaultSpec, InjectedFault};
@@ -51,4 +59,5 @@ pub use report::Table;
 pub use scale::Scale;
 pub use store::{QuarantineEvent, Store, StoreError};
 pub use suite::ExpContext;
+pub use sweep::SweepAxis;
 pub use timeline::{parse_trace, render, replay, TenantReplay, TraceReplay};

@@ -8,7 +8,10 @@ use walksteal_multitenant::{
 };
 use walksteal_sim_core::gmean;
 use walksteal_vm::PageSize;
-use walksteal_workloads::{named_pairs, paper_pairs, AppId, MpmiClass, WorkloadPair};
+use walksteal_workloads::{
+    mixes_for, named_pairs, paper_mixes3, paper_mixes4, paper_pairs, AppId, MpmiClass,
+    WorkloadMix, WorkloadPair,
+};
 
 use crate::fault::FaultSpec;
 use crate::key::ExpKey;
@@ -274,7 +277,90 @@ impl ExpContext {
             self.standalone(pair.b, 2).tenants[0].ipc,
         ]
     }
+
+    /// Stand-alone IPC of every constituent of `apps`, each on the SM share
+    /// it would get among `apps.len()` tenants — the N-tenant
+    /// generalization of [`standalone_ipcs`](Self::standalone_ipcs).
+    pub fn standalone_ipcs_for(&mut self, apps: &[AppId]) -> Vec<f64> {
+        let n = apps.len();
+        apps.iter()
+            .map(|&app| self.standalone(app, n).tenants[0].ipc)
+            .collect()
+    }
+
+    /// The canonical `n`-tenant scenario configuration under `preset` (the
+    /// machine Fig. 13 runs): every tenant gets its even SM share, and the
+    /// walker count is Table I's 16 rounded up to split evenly.
+    #[must_use]
+    pub fn tenant_config(&self, n: usize, preset: PolicyPreset) -> GpuConfig {
+        self.scale
+            .base_config()
+            .with_n_sms(self.scale.sms_per_tenant(n) * n)
+            .with_walkers(walkers_for_tenants(n))
+            .for_tenants(n)
+            .with_preset(preset)
+    }
+
+    /// Runs (or recalls) `mix` under `preset` at the canonical
+    /// [`tenant_config`](Self::tenant_config). Two-tenant mixes route
+    /// through [`pair`](Self::pair) (same config, same cache keys); larger
+    /// mixes share their cache entries with Fig. 13.
+    pub fn mix(&mut self, preset: PolicyPreset, mix: &WorkloadMix) -> SimResult {
+        if let Some(pair) = mix.as_pair() {
+            return self.pair(preset, pair);
+        }
+        let cfg = self.tenant_config(mix.n_tenants(), preset);
+        let key = ExpKey::multi(preset, mix.apps(), self.scale.label(), self.seed);
+        self.run_apps(key, cfg, mix.apps())
+    }
+
+    /// Runs `mix` under a custom configuration (`label` must uniquely
+    /// describe the tweaks) — the N-tenant generalization of
+    /// [`pair_with`](Self::pair_with).
+    pub fn mix_with(&mut self, label: &str, cfg: GpuConfig, mix: &WorkloadMix) -> SimResult {
+        let key = ExpKey::custom_mix(label, mix.apps(), self.scale.label(), self.seed);
+        self.run_apps(key, cfg, mix.apps())
+    }
 }
+
+/// Walker count for an `n`-tenant run: Table I's 16 walkers, rounded up to
+/// the nearest multiple of `n` so a partitioned policy splits them evenly
+/// (18 for three tenants — paper §VII.F).
+#[must_use]
+pub fn walkers_for_tenants(n: usize) -> usize {
+    16usize.div_ceil(n) * n
+}
+
+/// Validates a CLI-requested tenant count against the scenario engine:
+/// curated mixes exist for it, and the canonical configuration splits
+/// cleanly under every compared preset. Errors are diagnostics for the
+/// `repro --tenants` flag.
+pub fn validate_tenants(scale: Scale, n: usize) -> Result<(), String> {
+    if mixes_for(n).is_empty() {
+        return Err(format!(
+            "no curated workload mixes for {n} tenants (supported: 2, 3, 4)"
+        ));
+    }
+    for preset in SCENARIO_PRESETS {
+        scale
+            .base_config()
+            .with_n_sms(scale.sms_per_tenant(n) * n)
+            .with_walkers(walkers_for_tenants(n))
+            .try_for_tenants(n)
+            .map_err(|e| e.to_string())?
+            .try_with_preset(preset)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// The presets every scenario-engine table compares (the paper's headline
+/// trio).
+pub const SCENARIO_PRESETS: [PolicyPreset; 3] = [
+    PolicyPreset::Baseline,
+    PolicyPreset::Dws,
+    PolicyPreset::DwsPlusPlus,
+];
 
 /// Appends per-class and overall gmean summary rows to a per-pair metric
 /// table. `values[pair][column]`.
@@ -727,63 +813,35 @@ pub fn fig12(ctx: &mut ExpContext) -> Table {
     table
 }
 
-/// The 14 three- and four-tenant combinations of Fig. 13.
+/// The 14 three- and four-tenant combinations of Fig. 13 (the curated
+/// [`paper_mixes3`] set followed by [`paper_mixes4`]).
 #[must_use]
 pub fn fig13_combos() -> Vec<Vec<AppId>> {
-    use AppId::*;
-    vec![
-        vec![Gups, Tds, Mm],
-        vec![Sad, Lps, Hs],
-        vec![Blk, Jpeg, Fft],
-        vec![Qtc, Srad, Ray],
-        vec![Gups, Sad, Mm],
-        vec![Blk, Tds, Hs],
-        vec![Gups, Blk, Lps],
-        vec![Gups, Tds, Mm, Hs],
-        vec![Sad, Blk, Jpeg, Fft],
-        vec![Qtc, Lps, Ray, Mm],
-        vec![Gups, Sad, Tds, Srad],
-        vec![Blk, Qtc, Hs, Mm],
-        vec![Gups, Jpeg, Lib, Fft],
-        vec![Sad, Srad, Ray, Hs],
-    ]
+    paper_mixes3()
+        .iter()
+        .chain(paper_mixes4().iter())
+        .map(|m| m.apps().to_vec())
+        .collect()
 }
 
 /// Fig. 13: throughput with three and four tenants, normalized to baseline.
 /// Walkers are adjusted to divide evenly (18 for three tenants, paper §VII.F).
 pub fn fig13(ctx: &mut ExpContext) -> Table {
-    let presets = ctx.presets(&[
-        PolicyPreset::Baseline,
-        PolicyPreset::Dws,
-        PolicyPreset::DwsPlusPlus,
-    ]);
+    let presets = ctx.presets(&SCENARIO_PRESETS);
     let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
     let mut table = Table::new(
         "Fig. 13: Three and four tenants (total IPC, normalized)",
         &columns,
     );
     let mut all: Vec<Vec<f64>> = Vec::new();
-    for combo in fig13_combos() {
-        let n = combo.len();
-        let walkers = if n == 3 { 18 } else { 16 };
-        let sms = ctx.scale.sms_per_tenant(n) * n;
-        let mut vals = Vec::new();
-        for &preset in &presets {
-            let cfg = ctx
-                .scale
-                .base_config()
-                .with_n_sms(sms)
-                .with_walkers(walkers)
-                .for_tenants(n)
-                .with_preset(preset);
-            let key = ExpKey::multi(preset, &combo, ctx.scale.label(), ctx.seed);
-            let r = ctx.run_apps(key, cfg, &combo);
-            vals.push(r.total_ipc());
-        }
+    for mix in paper_mixes3().iter().chain(paper_mixes4().iter()) {
+        let vals: Vec<f64> = presets
+            .iter()
+            .map(|&preset| ctx.mix(preset, mix).total_ipc())
+            .collect();
         let base = vals[0];
         let row: Vec<f64> = vals.iter().map(|v| v / base).collect();
-        let names: Vec<&str> = combo.iter().map(|a| a.name()).collect();
-        table.row(&names.join("."), &row);
+        table.row(&mix.to_string(), &row);
         all.push(row);
     }
     let g: Vec<f64> = (0..presets.len())
@@ -791,6 +849,64 @@ pub fn fig13(ctx: &mut ExpContext) -> Table {
         .collect();
     table.row("gmean", &g);
     table
+}
+
+/// Scenario table (`tenants3` / `tenants4`): every curated `n`-tenant mix
+/// under the headline presets — total IPC normalized to Baseline plus
+/// fairness against the mix's stand-alone references — with gmean rows over
+/// all mixes and the VM-sensitive subset.
+pub fn tenants_n(ctx: &mut ExpContext, n: usize) -> Table {
+    let presets = ctx.presets(&SCENARIO_PRESETS);
+    let columns: Vec<String> = presets
+        .iter()
+        .map(|p| format!("IPC {}", p.label()))
+        .chain(presets.iter().map(|p| format!("Fair {}", p.label())))
+        .collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!("Scenario: {n} tenants (total IPC normalized to Baseline; fairness)"),
+        &column_refs,
+    );
+    let mixes = mixes_for(n);
+    let mut all: Vec<Vec<f64>> = Vec::new();
+    for mix in &mixes {
+        let sa = ctx.standalone_ipcs_for(mix.apps());
+        let runs: Vec<SimResult> = presets.iter().map(|&p| ctx.mix(p, mix)).collect();
+        let base = runs[0].total_ipc();
+        let vals: Vec<f64> = runs
+            .iter()
+            .map(|r| r.total_ipc() / base)
+            .chain(runs.iter().map(|r| fairness(r, &sa)))
+            .collect();
+        table.row(&format!("{mix} [{}]", mix.class()), &vals);
+        all.push(vals);
+    }
+    let gmean_over = |rows: &[&Vec<f64>]| -> Vec<f64> {
+        (0..columns.len())
+            .map(|c| gmean(&rows.iter().map(|v| v[c]).collect::<Vec<_>>()))
+            .collect()
+    };
+    table.row("gmean ALL", &gmean_over(&all.iter().collect::<Vec<_>>()));
+    let vm: Vec<&Vec<f64>> = mixes
+        .iter()
+        .zip(&all)
+        .filter(|(m, _)| m.is_vm_sensitive())
+        .map(|(_, v)| v)
+        .collect();
+    if !vm.is_empty() {
+        table.row("gmean VM-sensitive", &gmean_over(&vm));
+    }
+    table
+}
+
+/// The three-tenant scenario table.
+pub fn tenants3(ctx: &mut ExpContext) -> Table {
+    tenants_n(ctx, 3)
+}
+
+/// The four-tenant scenario table.
+pub fn tenants4(ctx: &mut ExpContext) -> Table {
+    tenants_n(ctx, 4)
 }
 
 /// Fig. 14: 64 KB large pages — DWS still helps.
@@ -961,6 +1077,68 @@ mod tests {
             assert!(combo.len() == 3 || combo.len() == 4);
         }
         assert_eq!(fig13_combos().len(), 14);
+    }
+
+    #[test]
+    fn walkers_round_up_to_tenant_multiples() {
+        assert_eq!(walkers_for_tenants(2), 16);
+        assert_eq!(walkers_for_tenants(3), 18);
+        assert_eq!(walkers_for_tenants(4), 16);
+        assert_eq!(walkers_for_tenants(5), 20);
+    }
+
+    #[test]
+    fn two_tenant_mix_aliases_the_pair_path() {
+        // The canonical 2-tenant scenario config is exactly the pair config,
+        // so mixes route through the pair cache keys.
+        let mut ctx = quick_ctx();
+        assert_eq!(
+            ctx.tenant_config(2, PolicyPreset::Dws),
+            ctx.scale
+                .base_config()
+                .for_tenants(2)
+                .with_preset(PolicyPreset::Dws)
+        );
+        let pair = WorkloadPair::new(AppId::Gups, AppId::Mm);
+        let via_pair = ctx.pair(PolicyPreset::Dws, pair);
+        let misses = ctx.store.misses();
+        let via_mix = ctx.mix(PolicyPreset::Dws, &WorkloadMix::from(pair));
+        assert_eq!(via_pair, via_mix);
+        assert_eq!(ctx.store.misses(), misses, "mix must reuse the pair entry");
+    }
+
+    #[test]
+    fn mix_shares_cache_entries_with_fig13() {
+        let mut ctx = quick_ctx();
+        let mix = paper_mixes3().remove(0);
+        let first = ctx.mix(PolicyPreset::Dws, &mix);
+        let misses = ctx.store.misses();
+        let again = ctx.mix(PolicyPreset::Dws, &mix);
+        assert_eq!(first, again);
+        assert_eq!(ctx.store.misses(), misses);
+        assert_eq!(first.tenants.len(), 3);
+    }
+
+    #[test]
+    fn tenants3_table_normalizes_to_baseline() {
+        let mut ctx = quick_ctx();
+        let t = tenants_n(&mut ctx, 3);
+        // 7 mixes + gmean ALL + gmean VM-sensitive.
+        assert_eq!(t.rows.len(), 9);
+        let (label, vals) = &t.rows[7];
+        assert_eq!(label, "gmean ALL");
+        assert!((vals[0] - 1.0).abs() < 1e-12, "Baseline IPC column is 1.0");
+        assert!(vals.iter().all(|v| v.is_finite() && *v > 0.0), "{vals:?}");
+    }
+
+    #[test]
+    fn validate_tenants_accepts_supported_counts() {
+        for n in [2, 3, 4] {
+            assert_eq!(validate_tenants(Scale::Quick, n), Ok(()), "n={n}");
+            assert_eq!(validate_tenants(Scale::Paper, n), Ok(()), "n={n}");
+        }
+        assert!(validate_tenants(Scale::Quick, 1).is_err());
+        assert!(validate_tenants(Scale::Quick, 5).is_err());
     }
 
     #[test]

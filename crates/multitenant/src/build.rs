@@ -28,7 +28,7 @@
 
 use walksteal_sim_core::metrics::SharedMetrics;
 use walksteal_sim_core::trace::{Observer, Tracer};
-use walksteal_sim_core::{RunBudget, SimError};
+use walksteal_sim_core::{ConfigError, RunBudget, SimError};
 use walksteal_vm::PageSize;
 use walksteal_workloads::AppId;
 
@@ -215,29 +215,42 @@ impl SimulationBuilder {
     /// # Panics
     ///
     /// Panics if no tenants were added, or the configuration cannot host
-    /// them (SMs/walkers not evenly divisible).
+    /// them (SMs/walkers not evenly divisible); use
+    /// [`try_build`](Self::try_build) to get the rejection as a
+    /// [`SimError::InvalidConfig`] instead.
     #[must_use]
     pub fn build(self) -> Simulation {
-        assert!(
-            !self.tenants.is_empty(),
-            "SimulationBuilder needs at least one tenant"
-        );
-        let apps: Vec<AppId> = self.tenants.iter().map(TenantSpec::app).collect();
-        let mut cfg = self.cfg.for_tenants(apps.len());
-        if let Some(preset) = self.preset {
-            cfg = cfg.with_preset(preset);
+        self.try_build()
+            .unwrap_or_else(|e| panic!("SimulationBuilder: {e}"))
+    }
+
+    /// Fallible form of [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when no tenants were added or
+    /// the configuration cannot host them.
+    pub fn try_build(self) -> Result<Simulation, SimError> {
+        if self.tenants.is_empty() {
+            return Err(SimError::InvalidConfig(ConfigError::NoTenants));
         }
-        Simulation::with_observer(cfg, &apps, self.seed, self.obs)
+        let apps: Vec<AppId> = self.tenants.iter().map(TenantSpec::app).collect();
+        let mut cfg = self.cfg.try_for_tenants(apps.len())?;
+        if let Some(preset) = self.preset {
+            cfg = cfg.try_with_preset(preset)?;
+        }
+        Ok(Simulation::with_observer(cfg, &apps, self.seed, self.obs))
     }
 
     /// Builds and runs under the configured budget.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::BudgetExceeded`] when the budget is blown.
+    /// Returns [`SimError::InvalidConfig`] when the configuration is
+    /// rejected, or [`SimError::BudgetExceeded`] when the budget is blown.
     pub fn run(self) -> Result<SimResult, SimError> {
         let budget = self.budget.clone();
-        self.build().run_budgeted(&budget)
+        self.try_build()?.run_budgeted(&budget)
     }
 }
 
@@ -296,5 +309,44 @@ mod tests {
     #[should_panic(expected = "at least one tenant")]
     fn building_without_tenants_panics() {
         let _ = SimulationBuilder::new().build();
+    }
+
+    #[test]
+    fn try_build_reports_invalid_configs() {
+        let err = SimulationBuilder::new().try_build().err().unwrap();
+        assert_eq!(err, SimError::InvalidConfig(ConfigError::NoTenants));
+
+        let err = SimulationBuilder::new()
+            .n_sms(31)
+            .tenants([AppId::Gups, AppId::Mm])
+            .try_build()
+            .err()
+            .unwrap();
+        assert!(
+            matches!(
+                err,
+                SimError::InvalidConfig(ConfigError::UnevenSplit { resource: "SMs", .. })
+            ),
+            "{err}"
+        );
+
+        // 16 walkers cannot partition across 3 tenants; the rejection flows
+        // through `run` as well, instead of panicking.
+        let err = SimulationBuilder::new()
+            .n_sms(30)
+            .tenants([AppId::Gups, AppId::Mm, AppId::Tds])
+            .preset(PolicyPreset::Dws)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::InvalidConfig(ConfigError::UnevenSplit {
+                    resource: "walkers",
+                    ..
+                })
+            ),
+            "{err}"
+        );
     }
 }

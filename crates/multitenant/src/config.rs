@@ -3,6 +3,7 @@
 
 use walksteal_gpu::SmConfig;
 use walksteal_mem::MemSystemConfig;
+use walksteal_sim_core::ConfigError;
 use walksteal_vm::{
     DwsPlusPlusParams, MaskConfig, PageSize, Replacement, StealMode, TlbConfig, WalkConfig,
     WalkPolicyKind,
@@ -190,8 +191,24 @@ impl Default for GpuConfig {
 impl GpuConfig {
     /// Applies a [`PolicyPreset`], adjusting TLB privacy, walker policy, and
     /// resource counts as the paper's corresponding configuration does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting partitioned policy cannot split the walkers
+    /// evenly among the already-set tenant count; use
+    /// [`try_with_preset`](Self::try_with_preset) to get a [`ConfigError`]
+    /// instead.
     #[must_use]
-    pub fn with_preset(mut self, preset: PolicyPreset) -> Self {
+    pub fn with_preset(self, preset: PolicyPreset) -> Self {
+        self.try_with_preset(preset).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`with_preset`](Self::with_preset): re-checks the
+    /// walker split after the preset lands, because the canonical build
+    /// order is `for_tenants(n)` *then* `with_preset(p)` — a preset that
+    /// switches to a partitioned policy can invalidate a walker count that
+    /// was fine under the shared queue.
+    pub fn try_with_preset(mut self, preset: PolicyPreset) -> Result<Self, ConfigError> {
         // Reset the preset-controlled knobs to baseline first.
         self.l2_tlb_private = false;
         self.mask = None;
@@ -244,7 +261,24 @@ impl GpuConfig {
                 self.walk.policy = WalkPolicyKind::Partitioned(StealMode::Dws);
             }
         }
-        self
+        self.check_walker_split(self.walk.n_tenants)?;
+        Ok(self)
+    }
+
+    /// Partitioned policies hand each tenant a fixed walker share, so the
+    /// walker count must divide evenly; other organizations don't care.
+    fn check_walker_split(&self, n_tenants: usize) -> Result<(), ConfigError> {
+        if matches!(self.walk.policy, WalkPolicyKind::Partitioned(_))
+            && n_tenants > 1
+            && self.walk.n_walkers % n_tenants != 0
+        {
+            return Err(ConfigError::UnevenSplit {
+                resource: "walkers",
+                count: self.walk.n_walkers,
+                n_tenants,
+            });
+        }
+        Ok(())
     }
 
     /// Sets the number of SMs.
@@ -321,24 +355,32 @@ impl GpuConfig {
     /// # Panics
     ///
     /// Panics if `n_sms` is not divisible by `n_tenants`, or walkers cannot
-    /// be split evenly under a partitioned policy.
+    /// be split evenly under a partitioned policy; use
+    /// [`try_for_tenants`](Self::try_for_tenants) to get a [`ConfigError`]
+    /// instead.
     #[must_use]
-    pub fn for_tenants(mut self, n_tenants: usize) -> Self {
-        assert!(n_tenants > 0, "need at least one tenant");
-        assert_eq!(
-            self.n_sms % n_tenants,
-            0,
-            "SMs must divide evenly among tenants"
-        );
-        if matches!(self.walk.policy, WalkPolicyKind::Partitioned(_)) && n_tenants > 1 {
-            assert_eq!(
-                self.walk.n_walkers % n_tenants,
-                0,
-                "walkers must divide evenly among tenants"
-            );
+    pub fn for_tenants(self, n_tenants: usize) -> Self {
+        self.try_for_tenants(n_tenants)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`for_tenants`](Self::for_tenants), so a
+    /// CLI-supplied tenant count surfaces as a diagnostic instead of a
+    /// panic.
+    pub fn try_for_tenants(mut self, n_tenants: usize) -> Result<Self, ConfigError> {
+        if n_tenants == 0 {
+            return Err(ConfigError::NoTenants);
         }
+        if self.n_sms % n_tenants != 0 {
+            return Err(ConfigError::UnevenSplit {
+                resource: "SMs",
+                count: self.n_sms,
+                n_tenants,
+            });
+        }
+        self.check_walker_split(n_tenants)?;
         self.walk.n_tenants = n_tenants;
-        self
+        Ok(self)
     }
 }
 
@@ -416,6 +458,87 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn odd_sm_split_panics() {
         let _ = GpuConfig::default().with_n_sms(31).for_tenants(2);
+    }
+
+    #[test]
+    fn try_for_tenants_rejects_zero_tenants() {
+        assert_eq!(
+            GpuConfig::default().try_for_tenants(0),
+            Err(ConfigError::NoTenants)
+        );
+    }
+
+    #[test]
+    fn try_for_tenants_rejects_uneven_sms() {
+        let err = GpuConfig::default()
+            .with_n_sms(31)
+            .try_for_tenants(2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnevenSplit {
+                resource: "SMs",
+                count: 31,
+                n_tenants: 2,
+            }
+        );
+        assert!(err.to_string().contains("divide evenly"), "{err}");
+    }
+
+    #[test]
+    fn try_for_tenants_rejects_uneven_walkers_when_partitioned() {
+        let err = GpuConfig::default()
+            .with_preset(PolicyPreset::Dws)
+            .try_for_tenants(3)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnevenSplit {
+                resource: "walkers",
+                count: 16,
+                n_tenants: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn try_with_preset_rechecks_walker_split_after_preset() {
+        // Canonical build order: tenants first, preset second. The shared
+        // queue accepts any walker count, so the split must be re-validated
+        // when the preset switches to a partitioned policy.
+        let err = GpuConfig::default()
+            .with_n_sms(30)
+            .try_for_tenants(3)
+            .unwrap()
+            .try_with_preset(PolicyPreset::Dws)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnevenSplit {
+                resource: "walkers",
+                count: 16,
+                n_tenants: 3,
+            }
+        );
+        // Rounding the walkers up to a multiple of the tenant count fixes it.
+        assert!(GpuConfig::default()
+            .with_n_sms(30)
+            .with_walkers(18)
+            .try_for_tenants(3)
+            .unwrap()
+            .try_with_preset(PolicyPreset::Dws)
+            .is_ok());
+    }
+
+    #[test]
+    fn try_with_preset_accepts_non_partitioned_uneven_walkers() {
+        // Shared-queue organizations never split walkers per tenant.
+        assert!(GpuConfig::default()
+            .with_n_sms(30)
+            .try_for_tenants(3)
+            .unwrap()
+            .try_with_preset(PolicyPreset::Baseline)
+            .is_ok());
     }
 
     #[test]

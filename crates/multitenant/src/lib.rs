@@ -56,7 +56,7 @@ pub use sim::Simulation;
 // Re-exported so downstream users can configure policies and observability
 // without importing the substrate crates directly.
 pub use walksteal_sim_core::{
-    BudgetKind, JsonlTracer, MetricsRegistry, NullTracer, RingTracer, RunBudget, RunDiag,
-    SharedMetrics, SimError, TraceEvent, TraceFilter, TraceKind, Tracer,
+    BudgetKind, ConfigError, JsonlTracer, MetricsRegistry, NullTracer, RingTracer, RunBudget,
+    RunDiag, SharedMetrics, SimError, TraceEvent, TraceFilter, TraceKind, Tracer,
 };
 pub use walksteal_vm::{DwsPlusPlusParams, StealMode, WalkConfig, WalkPolicyKind};

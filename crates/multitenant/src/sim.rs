@@ -866,7 +866,9 @@ mod tests {
         let err = sim(small_cfg(), &[AppId::Gups, AppId::Mm], 1)
             .run_budgeted(&budget)
             .unwrap_err();
-        let SimError::BudgetExceeded { kind, limit, diag } = err;
+        let SimError::BudgetExceeded { kind, limit, diag } = err else {
+            panic!("expected a budget abort, got {err}");
+        };
         assert_eq!(kind, BudgetKind::Events);
         assert_eq!(limit, 500);
         assert_eq!(diag.events, 500);
@@ -885,7 +887,9 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "budget aborts must replay bit-identically");
-        let SimError::BudgetExceeded { kind, diag, .. } = a;
+        let SimError::BudgetExceeded { kind, diag, .. } = a else {
+            panic!("expected a budget abort, got {a}");
+        };
         assert_eq!(kind, BudgetKind::Cycles);
         assert!(diag.cycles > 2_000, "aborted at cycle {}", diag.cycles);
     }

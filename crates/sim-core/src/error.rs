@@ -112,6 +112,44 @@ impl fmt::Display for RunDiag {
     }
 }
 
+/// Why a configuration was rejected before any simulation started.
+///
+/// Construction helpers like `GpuConfig::try_for_tenants` return these
+/// instead of panicking, so a CLI-supplied tenant count surfaces as a
+/// diagnostic (and a non-zero exit code) rather than a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A simulation was requested with zero tenants.
+    NoTenants,
+    /// A per-GPU resource cannot be split evenly among the tenants.
+    UnevenSplit {
+        /// What would have to split ("SMs", "walkers").
+        resource: &'static str,
+        /// How many of it the configuration has.
+        count: usize,
+        /// The requested tenant count.
+        n_tenants: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoTenants => write!(f, "need at least one tenant"),
+            ConfigError::UnevenSplit {
+                resource,
+                count,
+                n_tenants,
+            } => write!(
+                f,
+                "{count} {resource} do not divide evenly among {n_tenants} tenants"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Structured failure of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -126,6 +164,8 @@ pub enum SimError {
         /// Where the run was when the watchdog fired.
         diag: RunDiag,
     },
+    /// The configuration was rejected before the run started.
+    InvalidConfig(ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -139,11 +179,25 @@ impl fmt::Display for SimError {
                 };
                 write!(f, "{kind} budget exceeded (limit {limit} {unit}; at {diag})")
             }
+            SimError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidConfig(e) => Some(e),
+            SimError::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::InvalidConfig(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -486,6 +486,54 @@ mod tests {
     }
 
     #[test]
+    fn integers_beyond_f64_precision_round_trip_exactly() {
+        // 2^53 + 1 is the first integer an f64 cannot represent; a parser
+        // that routes integers through f64 silently turns it into 2^53.
+        // The cache format leans on UInt staying exact for event counters.
+        for n in [(1_u64 << 53) + 1, u64::MAX, u64::MAX - 1] {
+            let text = Json::UInt(n).dump();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back, Json::UInt(n), "{n}");
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let lossy = ((1_u64 << 53) + 1) as f64 as u64;
+        assert_ne!(lossy, (1 << 53) + 1, "f64 round-trip would have lied");
+    }
+
+    #[test]
+    fn nested_document_with_escapes_and_large_ints_round_trips() {
+        // One document combining every hard case the cache envelope can
+        // contain: maps inside arrays inside maps, keys needing escapes,
+        // values mixing control characters with >2^53 counters.
+        let doc = Json::Obj(vec![
+            (
+                "path\\with \"quotes\"".into(),
+                Json::Arr(vec![
+                    Json::Obj(vec![
+                        ("events".into(), Json::UInt((1 << 53) + 1)),
+                        ("note".into(), Json::Str("line1\nline2\t\u{1}end".into())),
+                    ]),
+                    Json::Arr(vec![Json::UInt(u64::MAX), Json::Null, Json::Bool(false)]),
+                ]),
+            ),
+            ("empty".into(), Json::Obj(vec![("a".into(), Json::Arr(vec![]))])),
+        ]);
+        for text in [doc.dump(), doc.pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc, "from {text}");
+        }
+        // And the compact form itself is stable through a second cycle.
+        let once = doc.dump();
+        assert_eq!(Json::parse(&once).unwrap().dump(), once);
+    }
+
+    #[test]
+    fn escaped_object_keys_survive() {
+        let doc = Json::Obj(vec![("tab\tkey\"\\".into(), Json::UInt(1))]);
+        let back = Json::parse(&doc.dump()).unwrap();
+        assert_eq!(back.get("tab\tkey\"\\").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
     fn object_lookup_and_accessors() {
         let doc = Json::parse(r#"{"x": 3, "y": [1, 2], "s": "hi", "b": true}"#).unwrap();
         assert_eq!(doc.get("x").and_then(Json::as_u64), Some(3));

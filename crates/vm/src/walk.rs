@@ -1681,6 +1681,43 @@ impl WalkSubsystem {
             _ => None,
         }
     }
+
+    /// The TWM `PEND_WALKS` counter of each tenant (walks queued plus in
+    /// service), for inspection; `None` under non-partitioned
+    /// organizations.
+    #[must_use]
+    pub fn pend_walks(&self) -> Option<Vec<u32>> {
+        match &self.sched {
+            Scheduler::Partitioned(p) => {
+                Some((0..self.cfg.n_tenants).map(|t| p.pend(t)).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// The queue occupancy of each walker, for inspection; `None` under
+    /// non-partitioned organizations.
+    #[must_use]
+    pub fn walker_queue_depths(&self) -> Option<Vec<usize>> {
+        match &self.sched {
+            Scheduler::Partitioned(p) => {
+                Some((0..self.cfg.n_walkers).map(|w| p.queue_len(w)).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// The FWA `is_stolen` bit of each walker (whether its current walk was
+    /// stolen), for inspection; `None` under non-partitioned organizations.
+    #[must_use]
+    pub fn walker_stolen_bits(&self) -> Option<Vec<bool>> {
+        match &self.sched {
+            Scheduler::Partitioned(p) => {
+                Some((0..self.cfg.n_walkers).map(|w| p.is_stolen(w)).collect())
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,231 @@
+//! N-tenant workload mixes for the scenario engine.
+//!
+//! The paper's scalability study (§VII.F, Fig. 13) runs three- and
+//! four-tenant combinations of the 13 MAFIA applications. [`WorkloadMix`]
+//! generalizes [`WorkloadPair`] to N co-running applications with a class
+//! signature ("HML" = one Heavy, one Medium, one Light), and the curated
+//! [`paper_mixes3`] / [`paper_mixes4`] sets fix the seven combinations per
+//! tenant count that the figure evaluates — weighted toward mixes with at
+//! least one Heavy (VM-sensitive) constituent, while keeping signature
+//! diversity.
+
+use std::fmt;
+
+use crate::apps::{AppId, MpmiClass};
+use crate::pairs::WorkloadPair;
+
+/// The largest mix the scenario engine runs (matches the experiment
+/// cache's per-key app capacity).
+pub const MAX_MIX_TENANTS: usize = 4;
+
+/// An N-tenant workload: `apps()[i]` is tenant *i*'s application.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WorkloadMix {
+    apps: Vec<AppId>,
+}
+
+impl WorkloadMix {
+    /// Creates a mix of 2 to [`MAX_MIX_TENANTS`] applications, in tenant
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app count is outside `2..=MAX_MIX_TENANTS`.
+    #[must_use]
+    pub fn new(apps: impl Into<Vec<AppId>>) -> Self {
+        let apps = apps.into();
+        assert!(
+            (2..=MAX_MIX_TENANTS).contains(&apps.len()),
+            "a mix has 2..={MAX_MIX_TENANTS} tenants, got {}",
+            apps.len()
+        );
+        WorkloadMix { apps }
+    }
+
+    /// The applications, in tenant order.
+    #[must_use]
+    pub fn apps(&self) -> &[AppId] {
+        &self.apps
+    }
+
+    /// How many tenants the mix runs.
+    #[must_use]
+    pub fn n_tenants(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The mix's class signature, heaviest constituents first ("HML",
+    /// "HHLL", …) — the N-tenant generalization of
+    /// [`WorkloadPair::class`].
+    #[must_use]
+    pub fn class(&self) -> String {
+        let mut classes: Vec<MpmiClass> = self.apps.iter().map(|a| a.class()).collect();
+        classes.sort_by(|x, y| y.cmp(x));
+        classes.iter().map(ToString::to_string).collect()
+    }
+
+    /// Whether the mix is virtual-memory sensitive (contains at least one
+    /// Heavy application).
+    #[must_use]
+    pub fn is_vm_sensitive(&self) -> bool {
+        self.apps.iter().any(|a| a.class() == MpmiClass::Heavy)
+    }
+
+    /// The mix as a [`WorkloadPair`] when it has exactly two tenants, so
+    /// two-tenant mixes can reuse the pair-shaped experiment path (and its
+    /// cache keys).
+    #[must_use]
+    pub fn as_pair(&self) -> Option<WorkloadPair> {
+        match *self.apps {
+            [a, b] => Some(WorkloadPair::new(a, b)),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadPair> for WorkloadMix {
+    fn from(p: WorkloadPair) -> Self {
+        WorkloadMix::new([p.a, p.b])
+    }
+}
+
+impl fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, app) in self.apps.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{app}")?;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! mix {
+    ($($a:ident),+) => {
+        WorkloadMix::new([$(AppId::$a),+])
+    };
+}
+
+/// The seven curated three-tenant mixes (the paper's Fig. 13 combinations):
+/// five with one Heavy, two all-Heavy, signatures HML through HHH.
+#[must_use]
+pub fn paper_mixes3() -> Vec<WorkloadMix> {
+    vec![
+        mix!(Gups, Tds, Mm),
+        mix!(Sad, Lps, Hs),
+        mix!(Blk, Jpeg, Fft),
+        mix!(Qtc, Srad, Ray),
+        mix!(Gups, Sad, Mm),
+        mix!(Blk, Tds, Hs),
+        mix!(Gups, Blk, Lps),
+    ]
+}
+
+/// The seven curated four-tenant mixes (the paper's Fig. 13 combinations).
+#[must_use]
+pub fn paper_mixes4() -> Vec<WorkloadMix> {
+    vec![
+        mix!(Gups, Tds, Mm, Hs),
+        mix!(Sad, Blk, Jpeg, Fft),
+        mix!(Qtc, Lps, Ray, Mm),
+        mix!(Gups, Sad, Tds, Srad),
+        mix!(Blk, Qtc, Hs, Mm),
+        mix!(Gups, Jpeg, Lib, Fft),
+        mix!(Sad, Srad, Ray, Hs),
+    ]
+}
+
+/// The curated mix set for `n` tenants: the twelve representative
+/// [`named_pairs`](crate::pairs::named_pairs) at `n == 2`, the Fig. 13
+/// combinations at `n == 3` and `n == 4`, and empty otherwise.
+#[must_use]
+pub fn mixes_for(n: usize) -> Vec<WorkloadMix> {
+    match n {
+        2 => crate::pairs::named_pairs()
+            .into_iter()
+            .map(|(_, p)| p.into())
+            .collect(),
+        3 => paper_mixes3(),
+        4 => paper_mixes4(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn curated_sets_are_seven_distinct_mixes_each() {
+        for (n, mixes) in [(3, paper_mixes3()), (4, paper_mixes4())] {
+            assert_eq!(mixes.len(), 7, "{n}-tenant set");
+            let set: HashSet<Vec<AppId>> = mixes
+                .iter()
+                .map(|m| {
+                    let mut apps = m.apps().to_vec();
+                    apps.sort();
+                    apps
+                })
+                .collect();
+            assert_eq!(set.len(), 7, "duplicate {n}-tenant mix");
+            for m in &mixes {
+                assert_eq!(m.n_tenants(), n, "{m}");
+                // No app appears twice within one mix.
+                let distinct: HashSet<_> = m.apps().iter().collect();
+                assert_eq!(distinct.len(), n, "{m} repeats an app");
+            }
+        }
+    }
+
+    #[test]
+    fn curated_sets_lean_vm_sensitive_with_class_diversity() {
+        for mixes in [paper_mixes3(), paper_mixes4()] {
+            let sensitive = mixes.iter().filter(|m| m.is_vm_sensitive()).count();
+            assert!(sensitive >= 5, "most mixes should contain a Heavy app");
+            let signatures: HashSet<_> = mixes.iter().map(WorkloadMix::class).collect();
+            assert!(signatures.len() >= 3, "signatures too uniform");
+        }
+    }
+
+    #[test]
+    fn class_signature_sorts_heaviest_first() {
+        assert_eq!(mix!(Mm, Tds, Gups).class(), "HML");
+        assert_eq!(mix!(Gups, Tds, Mm).class(), "HML");
+        assert_eq!(mix!(Gups, Sad, Mm).class(), "HHL");
+        assert_eq!(mix!(Hs, Mm, Fft, Ray).class(), "LLLL");
+        assert_eq!(mix!(Gups, Mm).class(), "HL");
+    }
+
+    #[test]
+    fn two_tenant_mixes_round_trip_through_pairs() {
+        let pair = WorkloadPair::new(AppId::Gups, AppId::Mm);
+        let m = WorkloadMix::from(pair);
+        assert_eq!(m.as_pair(), Some(pair));
+        assert_eq!(m.class(), pair.class());
+        assert_eq!(m.to_string(), pair.to_string());
+        assert_eq!(mix!(Gups, Tds, Mm).as_pair(), None);
+    }
+
+    #[test]
+    fn mixes_for_covers_the_supported_tenant_counts() {
+        assert_eq!(mixes_for(2).len(), 12);
+        assert_eq!(mixes_for(3), paper_mixes3());
+        assert_eq!(mixes_for(4), paper_mixes4());
+        assert!(mixes_for(1).is_empty());
+        assert!(mixes_for(5).is_empty());
+    }
+
+    #[test]
+    fn display_joins_app_names_with_dots() {
+        assert_eq!(mix!(Gups, Tds, Mm).to_string(), "GUPS.3DS.MM");
+        assert_eq!(mix!(Sad, Blk, Jpeg, Fft).to_string(), "SAD.BLK.JPEG.FFT");
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=4 tenants")]
+    fn single_app_mix_panics() {
+        let _ = WorkloadMix::new([AppId::Gups]);
+    }
+}

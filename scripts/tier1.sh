@@ -35,6 +35,23 @@ fi
 cmp "$SMOKE/clean.txt" "$SMOKE/faulted.txt"
 test -d "$SMOKE/cache/quick/quarantine"
 
+echo "== n-tenant smoke =="
+# The scenario engine must handle more than two tenants and at least one
+# sensitivity axis end-to-end: a 3-tenant table with its gmean rows, a
+# walker sweep whose canonical point is labelled, and a clean exit-code-2
+# diagnostic (not a panic) for a tenant count the hardware can't split.
+./target/release/repro --quick --cache "$SMOKE/ncache" --tenants 3 tenants3 > "$SMOKE/tenants3.txt"
+grep -q "gmean ALL" "$SMOKE/tenants3.txt"
+./target/release/repro --quick --cache "$SMOKE/ncache" --sweep walkers > "$SMOKE/sweep.txt"
+grep -q "16 walkers" "$SMOKE/sweep.txt"
+rc=0
+./target/release/repro --quick --cache "$SMOKE/ncache" --tenants 5 tenants > /dev/null 2> "$SMOKE/tenants5.err" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "n-tenant smoke: --tenants 5 should exit 2, got $rc" >&2
+  exit 1
+fi
+grep -q "tenants" "$SMOKE/tenants5.err"
+
 echo "== trace smoke =="
 # Trace one pair at quick scale: the run must exit 0, emit valid JSONL
 # (repro replays the trace and self-checks pw_share bit-for-bit before

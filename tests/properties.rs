@@ -10,8 +10,8 @@ use walksteal::mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig}
 use walksteal::sim::{Cycle, EventQueue, LineAddr, Observer, Ppn, SimRng, TenantId, Vpn};
 use walksteal::vm::walk::WalkContext;
 use walksteal::vm::{
-    DispatchedWalk, FrameAlloc, PageSize, PageTable, Replacement, StealMode, Tlb, TlbConfig,
-    WalkConfig, WalkPolicyKind, WalkRequest, WalkSubsystem,
+    DispatchedWalk, DwsPlusPlusParams, FrameAlloc, PageSize, PageTable, Replacement, SchedulerImpl,
+    StealMode, Tlb, TlbConfig, WalkConfig, WalkPolicyKind, WalkRequest, WalkSubsystem,
 };
 
 /// Cases per property. Each case draws a fresh input of random size.
@@ -286,6 +286,252 @@ fn walk_subsystem_conserves_walks() {
         assert_eq!(ws.busy_walkers(), 0, "case {case}");
         let stats = ws.stats();
         assert_eq!(stats.completed.iter().sum::<u64>(), completed, "case {case}");
+    }
+}
+
+/// One partitioned-scheduler instance under invariant scrutiny: the
+/// subsystem plus the deterministic machinery it dispatches against.
+struct SchedSide {
+    ws: WalkSubsystem,
+    page_tables: Vec<PageTable>,
+    frames: FrameAlloc,
+    mem: MemSystem,
+    obs: Observer,
+}
+
+impl SchedSide {
+    fn new(cfg: &WalkConfig, imp: SchedulerImpl) -> SchedSide {
+        SchedSide {
+            ws: WalkSubsystem::with_scheduler_impl(cfg.clone(), imp),
+            page_tables: (0..cfg.n_tenants)
+                .map(|t| PageTable::new(TenantId(t as u8), PageSize::Small4K))
+                .collect(),
+            frames: FrameAlloc::new(),
+            mem: MemSystem::new(MemSystemConfig::default()),
+            obs: Observer::off(),
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        req: WalkRequest,
+        now: Cycle,
+    ) -> Result<Option<DispatchedWalk>, walksteal::vm::WalkQueueFull> {
+        let mut ctx = WalkContext {
+            page_tables: &mut self.page_tables,
+            frames: &mut self.frames,
+            mem: &mut self.mem,
+            mask: None,
+            obs: &mut self.obs,
+        };
+        self.ws.try_enqueue(req, now, &mut ctx)
+    }
+
+    fn complete(&mut self, d: DispatchedWalk) -> Option<DispatchedWalk> {
+        let mut ctx = WalkContext {
+            page_tables: &mut self.page_tables,
+            frames: &mut self.frames,
+            mem: &mut self.mem,
+            mask: None,
+            obs: &mut self.obs,
+        };
+        let pre_depths = self.ws.walker_queue_depths().expect("partitioned");
+        let pre_stolen = self.ws.walker_stolen_bits().expect("partitioned");
+        let (_, next) = self.ws.on_walker_done(d.walker, d.done_at, &mut ctx);
+        if let Some(n) = next {
+            self.check_no_consecutive_steal(&pre_depths, &pre_stolen, n.walker.index());
+        }
+        next
+    }
+
+    /// The FWA no-consecutive-steals rule, checked from the outside: a
+    /// walker whose previous walk was stolen and whose own queue had work
+    /// must not have picked up another stolen walk.
+    fn check_no_consecutive_steal(&self, pre_depths: &[usize], pre_stolen: &[bool], w: usize) {
+        let post_stolen = self.ws.walker_stolen_bits().expect("partitioned");
+        if post_stolen[w] && pre_depths[w] > 0 {
+            assert!(
+                !pre_stolen[w],
+                "walker {w} stole twice in a row with its own queue non-empty"
+            );
+        }
+    }
+
+    /// Checks the conservation and occupancy invariants against the
+    /// scheduler's own PEND_WALKS / queue-depth / ownership views.
+    fn check_invariants(&self, attempts: u64, at: &str) {
+        let stats = self.ws.stats();
+        let pend = self.ws.pend_walks().expect("partitioned");
+        let depths = self.ws.walker_queue_depths().expect("partitioned");
+        let owners = self.ws.walker_owners().expect("partitioned");
+        let busy = self.ws.busy_per_tenant();
+
+        // Every accepted walk is completed or still pending, per tenant.
+        for (t, &p) in pend.iter().enumerate() {
+            assert_eq!(
+                stats.enqueued[t],
+                stats.completed[t] + u64::from(p),
+                "{at}: tenant {t} walk conservation (PEND_WALKS)"
+            );
+            // PEND_WALKS is exactly the tenant's queued walks (which live
+            // only in its own walkers' queues) plus its in-service walks
+            // (wherever they run, stolen or not).
+            let queued: usize = depths
+                .iter()
+                .zip(&owners)
+                .filter(|&(_, &o)| o == TenantId(t as u8))
+                .map(|(&d, _)| d)
+                .sum();
+            assert_eq!(
+                p as usize,
+                queued + busy[t],
+                "{at}: tenant {t} PEND_WALKS != owned-queue occupancy + in-service"
+            );
+        }
+        // Every enqueue attempt was either accepted or rejected.
+        let accepted: u64 = stats.enqueued.iter().sum();
+        let rejected: u64 = stats.rejected.iter().sum();
+        assert_eq!(attempts, accepted + rejected, "{at}: attempts unaccounted");
+        // The aggregate queue occupancy agrees with the per-walker view.
+        assert_eq!(
+            self.ws.queued_len(),
+            depths.iter().sum::<usize>(),
+            "{at}: queued_len != sum of walker queue depths"
+        );
+    }
+}
+
+/// Drives both scheduler implementations through lockstep random N-tenant
+/// traffic, checking the partitioned-scheduler invariants on both sides at
+/// every step and that the two sides' inspection views never diverge.
+/// Returns total steals, so callers can assert the run exercised stealing.
+fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) -> u64 {
+    let cfg = WalkConfig {
+        n_walkers: 12, // divisible by 2, 3, and 4 tenants
+        // Shallow queues: walks are slow (multi-level, memory-bound), so a
+        // starved tenant must not sit on a deep backlog or it would never
+        // reach PEND_WALKS == 0 — the only state DWS steals from — within
+        // a solo phase.
+        queue_entries: 24,
+        n_tenants,
+        policy: WalkPolicyKind::Partitioned(mode),
+        pwc_entries: 128,
+        pwc_latency: 2,
+        dispatch_overhead: 2,
+        strict_pend_check: true,
+    };
+    let mut a = SchedSide::new(&cfg, SchedulerImpl::Optimized);
+    let mut b = SchedSide::new(&cfg, SchedulerImpl::Reference);
+    let mut rng = SimRng::new(seed);
+    let mut now = Cycle::ZERO;
+    let mut attempts = 0u64;
+    let mut outstanding: Vec<DispatchedWalk> = Vec::new();
+
+    for step in 0..steps {
+        now += 1 + rng.next_below(7);
+        while let Some(&d) = outstanding.first() {
+            if d.done_at > now {
+                break;
+            }
+            outstanding.remove(0);
+            let na = a.complete(d);
+            let nb = b.complete(d);
+            assert_eq!(na, nb, "step {step}: follow-on dispatch diverged");
+            if let Some(n) = na {
+                let pos = outstanding.partition_point(|o| o.done_at <= n.done_at);
+                outstanding.insert(pos, n);
+            }
+        }
+
+        // Solo phases starve every tenant but one so PEND_WALKS of the
+        // others reaches zero while queues elsewhere are loaded — the only
+        // state DWS steals from.
+        let solo_phase = (step / 400) % 2 == 1;
+        for _ in 0..rng.next_below(5) {
+            let t = if solo_phase {
+                TenantId(0)
+            } else {
+                TenantId(rng.next_below(n_tenants as u64) as u8)
+            };
+            // A small working set keeps the PWC hot so walks complete fast
+            // enough for solo phases to actually drain the idle tenants.
+            let vpn = Vpn((u64::from(t.0) << 32) | rng.next_below(4_000));
+            let req = WalkRequest { tenant: t, vpn };
+            attempts += 1;
+            let ra = a.enqueue(req, now);
+            let rb = b.enqueue(req, now);
+            assert_eq!(ra, rb, "step {step}: enqueue decision diverged");
+            if let Ok(Some(d)) = ra {
+                let pos = outstanding.partition_point(|o| o.done_at <= d.done_at);
+                outstanding.insert(pos, d);
+            }
+        }
+
+        a.check_invariants(attempts, &format!("optimized step {step}"));
+        b.check_invariants(attempts, &format!("reference step {step}"));
+        assert_eq!(a.ws.pend_walks(), b.ws.pend_walks(), "step {step}");
+        assert_eq!(
+            a.ws.walker_queue_depths(),
+            b.ws.walker_queue_depths(),
+            "step {step}"
+        );
+        assert_eq!(
+            a.ws.walker_stolen_bits(),
+            b.ws.walker_stolen_bits(),
+            "step {step}"
+        );
+    }
+
+    // Drain, then the terminal state must conserve everything.
+    while let Some(d) = outstanding.first().copied() {
+        outstanding.remove(0);
+        let na = a.complete(d);
+        let nb = b.complete(d);
+        assert_eq!(na, nb, "drain dispatch diverged");
+        if let Some(n) = na {
+            let pos = outstanding.partition_point(|o| o.done_at <= n.done_at);
+            outstanding.insert(pos, n);
+        }
+    }
+    for side in [&a, &b] {
+        side.check_invariants(attempts, "terminal");
+        assert_eq!(side.ws.busy_walkers(), 0, "walks left in flight");
+        assert_eq!(side.ws.queued_len(), 0, "walks left queued");
+    }
+    a.ws.stats().stolen.iter().sum()
+}
+
+/// The partitioned scheduler's core invariants (per-tenant walk
+/// conservation through PEND_WALKS, attempt accounting, queue-occupancy
+/// agreement, no consecutive steals from a backlogged walker) hold at every
+/// step, for 2/3/4 tenants under every steal mode, on both the optimized
+/// and the reference implementation in lockstep.
+#[test]
+fn scheduler_invariants_hold_for_n_tenants() {
+    for n_tenants in [2usize, 3, 4] {
+        for (mode, label) in [
+            (StealMode::None, "static"),
+            (StealMode::Dws, "dws"),
+            (
+                StealMode::DwsPlusPlus(DwsPlusPlusParams::paper_default()),
+                "dws++",
+            ),
+        ] {
+            let mut stolen = 0;
+            for seed in [0xA1u64, 0xB2, 0xC3] {
+                stolen += drive_invariants(n_tenants, mode.clone(), seed, 2_000);
+            }
+            if label == "static" {
+                assert_eq!(stolen, 0, "static partitioning must never steal");
+            } else {
+                // The no-consecutive-steal check is vacuous unless the
+                // traffic actually provoked steals.
+                assert!(
+                    stolen > 0,
+                    "{label} at {n_tenants} tenants produced no steals"
+                );
+            }
+        }
     }
 }
 
