@@ -102,6 +102,13 @@ impl SmState {
         self.l1_tlb.probe(self.tenant, vpn)
     }
 
+    /// Resolves a run of same-cycle L1 TLB probes in one pass, stopping
+    /// after the first miss; returns how many probes were consumed (see
+    /// [`Tlb::probe_run`]).
+    pub fn probe_l1_tlb_run(&mut self, vpns: &[Vpn], out: &mut Vec<Option<Ppn>>) -> usize {
+        self.l1_tlb.probe_run(self.tenant, vpns, out)
+    }
+
     /// Fills the private L1 TLB with a completed translation.
     pub fn fill_l1_tlb(&mut self, vpn: Vpn, ppn: Ppn, now: Cycle) {
         self.l1_tlb.fill(self.tenant, vpn, ppn, now);

@@ -35,6 +35,11 @@ impl CacheConfig {
 }
 
 
+/// Tag stored in never-filled ways. No modeled address reaches it (line
+/// addresses derive from frame numbers far below 2^59), so a probe can
+/// test residency with a single tag compare per way.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// A set-associative cache with true-LRU replacement, indexed by
 /// [`LineAddr`].
 ///
@@ -78,7 +83,7 @@ impl Cache {
         assert!(cfg.ways > 0, "ways must be positive");
         Cache {
             cfg,
-            tags: vec![0; cfg.sets * cfg.ways],
+            tags: vec![INVALID_TAG; cfg.sets * cfg.ways],
             last_use: vec![0; cfg.sets * cfg.ways],
             tick: 0,
             hits: 0,
@@ -95,12 +100,14 @@ impl Cache {
     /// Index of `line` within its set, if resident.
     #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
+        debug_assert!(line.0 != INVALID_TAG, "line address aliases INVALID_TAG");
         let range = self.set_range(line);
         let start = range.start;
-        self.tags[range.clone()]
+        // One tag compare per way: invalid ways hold `INVALID_TAG`, which
+        // no probed line can equal, so `last_use` stays untouched here.
+        self.tags[range]
             .iter()
-            .zip(&self.last_use[range])
-            .position(|(&t, &u)| t == line.0 && u > 0)
+            .position(|&t| t == line.0)
             .map(|i| start + i)
     }
 
@@ -156,7 +163,7 @@ impl Cache {
 
     /// Invalidates every line. Statistics are preserved.
     pub fn flush(&mut self) {
-        self.tags.fill(0);
+        self.tags.fill(INVALID_TAG);
         self.last_use.fill(0);
     }
 

@@ -34,6 +34,7 @@ use walksteal_workloads::AppId;
 
 use crate::config::{GpuConfig, PolicyPreset};
 use crate::metrics::SimResult;
+use crate::pipeline::StreamPipelining;
 use crate::sim::Simulation;
 
 /// One tenant in a [`SimulationBuilder`]: which application it runs.
@@ -73,6 +74,7 @@ pub struct SimulationBuilder {
     seed: u64,
     budget: RunBudget,
     obs: Observer,
+    pipelining: StreamPipelining,
 }
 
 impl Default for SimulationBuilder {
@@ -93,6 +95,7 @@ impl SimulationBuilder {
             seed: 42,
             budget: RunBudget::unlimited(),
             obs: Observer::off(),
+            pipelining: StreamPipelining::Auto,
         }
     }
 
@@ -209,6 +212,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Controls epoch-pipelined warp-stream generation (default:
+    /// [`StreamPipelining::Auto`]): whether epoch N+1's warp ops are
+    /// generated on a second thread while epoch N simulates. Purely a
+    /// performance knob — results are byte-identical in every mode — which
+    /// is why it lives here and not in [`GpuConfig`] (config feeds
+    /// result-cache keys; this must not).
+    #[must_use]
+    pub fn stream_pipelining(mut self, mode: StreamPipelining) -> Self {
+        self.pipelining = mode;
+        self
+    }
+
     /// Builds the simulation: specializes the config for the tenant count,
     /// applies the preset, and attaches the observer.
     ///
@@ -239,7 +254,13 @@ impl SimulationBuilder {
         if let Some(preset) = self.preset {
             cfg = cfg.try_with_preset(preset)?;
         }
-        Ok(Simulation::with_observer(cfg, &apps, self.seed, self.obs))
+        Ok(Simulation::with_observer(
+            cfg,
+            &apps,
+            self.seed,
+            self.obs,
+            self.pipelining,
+        ))
     }
 
     /// Builds and runs under the configured budget.
@@ -292,6 +313,27 @@ mod tests {
         assert_eq!(r.tenants.len(), 2);
         assert_eq!(r.tenants[0].app, AppId::Mm);
         assert_eq!(r.tenants[1].app, AppId::Gups);
+    }
+
+    #[test]
+    fn pipelined_stream_handoff_is_deterministic() {
+        // A budget long enough that the light tenant relaunches, so the
+        // epoch hand-off (`advance_epoch`) is exercised, not just epoch 0.
+        let run = |mode| {
+            small()
+                .instructions_per_warp(2_000)
+                .tenants([AppId::Gups, AppId::Mm])
+                .preset(PolicyPreset::DwsPlusPlus)
+                .seed(9)
+                .stream_pipelining(mode)
+                .build()
+                .run()
+        };
+        let inline = run(StreamPipelining::Off);
+        let overlapped = run(StreamPipelining::On);
+        assert!(inline.tenants[1].completed_executions > 1, "want a relaunch");
+        assert_eq!(inline, overlapped);
+        assert_eq!(inline, run(StreamPipelining::Auto));
     }
 
     #[test]

@@ -46,11 +46,13 @@
 pub mod build;
 pub mod config;
 pub mod metrics;
+pub mod pipeline;
 pub mod sim;
 
 pub use build::{SimulationBuilder, TenantSpec};
 pub use config::{GpuConfig, PolicyPreset};
 pub use metrics::{fairness, total_ipc, weighted_ipc, Sample, SimResult, TenantResult};
+pub use pipeline::StreamPipelining;
 pub use sim::Simulation;
 
 // Re-exported so downstream users can configure policies and observability

@@ -1,0 +1,166 @@
+//! Epoch-pipelined warp-stream generation.
+//!
+//! A [`WarpStream`]'s op sequence is a pure function of its seeded
+//! construction parameters — it never observes simulator state. Under the
+//! relaunch methodology each tenant's stream divides into *epochs* (one
+//! execution per epoch), so epoch N+1's ops can be generated on a second
+//! thread while the simulator consumes epoch N. The hand-off buffer
+//! carries exactly the ops the seeded inline generator would produce, so
+//! simulation results are byte-identical with the overlap on, off, or
+//! unavailable (pinned by `pipelined_stream_handoff_is_deterministic`).
+
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::thread::JoinHandle;
+
+use walksteal_gpu::MemRef;
+use walksteal_workloads::WarpStream;
+
+/// Whether stream generation for epoch N+1 overlaps epoch N's simulation
+/// on a second thread. Purely a performance knob: results are identical in
+/// every mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamPipelining {
+    /// Overlap when the host exposes more than one unit of parallelism;
+    /// generate inline otherwise (a second thread on one core only adds
+    /// context switches).
+    #[default]
+    Auto,
+    /// Always overlap, even on single-core hosts (exercised by tests).
+    On,
+    /// Always generate inline on the simulation thread.
+    Off,
+}
+
+impl StreamPipelining {
+    pub(crate) fn enabled(self) -> bool {
+        match self {
+            StreamPipelining::Auto => {
+                std::thread::available_parallelism().is_ok_and(|p| p.get() > 1)
+            }
+            StreamPipelining::On => true,
+            StreamPipelining::Off => false,
+        }
+    }
+}
+
+/// One warp's pre-generated ops for one epoch: `(compute burst, refs
+/// start, refs len)` per op, indexing the flat `refs` arena.
+struct WarpEpoch {
+    ops: Vec<(u64, u32, u32)>,
+    refs: Vec<MemRef>,
+}
+
+/// One tenant execution's ops for every warp of the tenant.
+struct EpochChunk {
+    warps: Vec<WarpEpoch>,
+}
+
+/// Consumer half of the epoch pipeline: per-tenant hand-off channels fed
+/// by one generator thread per tenant, plus cursors into the epoch
+/// currently being simulated.
+pub(crate) struct StreamPipeline {
+    rx: Vec<Receiver<EpochChunk>>,
+    current: Vec<EpochChunk>,
+    /// Per tenant, per tenant-local warp: next op index in the epoch.
+    cursor: Vec<Vec<usize>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl StreamPipeline {
+    /// Spawns one generator thread per tenant, each owning seeded
+    /// duplicates of the tenant's warp streams, and receives every
+    /// tenant's epoch 0. `streams` is indexed `[tenant][tenant-local
+    /// warp]` and must be constructed exactly as the simulator's inline
+    /// streams are. The bounded channel keeps each generator at most one
+    /// finished epoch ahead of the simulation.
+    pub(crate) fn spawn(streams: Vec<Vec<WarpStream>>) -> Self {
+        let mut rx = Vec::with_capacity(streams.len());
+        let mut handles = Vec::with_capacity(streams.len());
+        for tenant_streams in streams {
+            let (tx, r) = sync_channel(1);
+            handles.push(std::thread::spawn(move || {
+                let mut streams = tenant_streams;
+                let mut buf = Vec::new();
+                loop {
+                    let chunk = EpochChunk {
+                        warps: streams
+                            .iter_mut()
+                            .map(|s| generate_execution(s, &mut buf))
+                            .collect(),
+                    };
+                    if tx.send(chunk).is_err() {
+                        return; // simulation dropped; stop generating
+                    }
+                }
+            }));
+            rx.push(r);
+        }
+        let current: Vec<EpochChunk> = rx
+            .iter()
+            .map(|r| r.recv().expect("stream generator died before epoch 0"))
+            .collect();
+        let cursor = current.iter().map(|c| vec![0; c.warps.len()]).collect();
+        StreamPipeline {
+            rx,
+            current,
+            cursor,
+            handles,
+        }
+    }
+
+    /// The pipelined equivalent of [`WarpStream::next_op_into`] for the
+    /// given tenant-local warp: clears `refs`, fills it with the op's
+    /// coalesced references, and returns the compute burst. `None` marks
+    /// the end of the current epoch, exactly where the inline stream's
+    /// execution budget would run out.
+    pub(crate) fn next_op_into(
+        &mut self,
+        tenant: usize,
+        warp: usize,
+        refs: &mut Vec<MemRef>,
+    ) -> Option<u64> {
+        let chunk = &self.current[tenant].warps[warp];
+        let i = self.cursor[tenant][warp];
+        let &(compute, start, len) = chunk.ops.get(i)?;
+        refs.clear();
+        refs.extend_from_slice(&chunk.refs[start as usize..(start as usize + len as usize)]);
+        self.cursor[tenant][warp] = i + 1;
+        Some(compute)
+    }
+
+    /// Swaps in the next epoch for `tenant` at relaunch, blocking until
+    /// the generator has it ready (in steady state it already does — the
+    /// generation ran while the previous epoch simulated).
+    pub(crate) fn advance_epoch(&mut self, tenant: usize) {
+        self.current[tenant] = self.rx[tenant].recv().expect("stream generator died mid-run");
+        self.cursor[tenant].iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Drains one full execution from `stream` (auto-relaunching afterwards,
+/// mirroring the simulator's relaunch methodology) into a [`WarpEpoch`].
+fn generate_execution(stream: &mut WarpStream, buf: &mut Vec<MemRef>) -> WarpEpoch {
+    let mut epoch = WarpEpoch {
+        ops: Vec::new(),
+        refs: Vec::new(),
+    };
+    while let Some(compute) = stream.next_op_into(buf) {
+        let start = epoch.refs.len() as u32;
+        epoch.refs.extend_from_slice(buf);
+        epoch.ops.push((compute, start, buf.len() as u32));
+    }
+    stream.relaunch();
+    epoch
+}
+
+impl Drop for StreamPipeline {
+    fn drop(&mut self) {
+        // Dropping the receivers unblocks any generator parked on its
+        // bounded `send`, which then exits; join so no generator outlives
+        // the simulation.
+        self.rx.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

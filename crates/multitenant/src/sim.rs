@@ -23,6 +23,7 @@ use walksteal_workloads::{AppId, WarpStream};
 
 use crate::config::GpuConfig;
 use crate::metrics::{Sample, SimResult, TenantResult};
+use crate::pipeline::{StreamPipeline, StreamPipelining};
 
 /// A translation waiting on an outstanding walk: (sm, warp, reference).
 type Waiter = (usize, usize, MemRef);
@@ -32,7 +33,7 @@ type Waiter = (usize, usize, MemRef);
 /// The payload is deliberately narrow (`u16` indices, `u8` walker id) so an
 /// event plus its timestamp stays within one cache line slot in the
 /// calendar queue; the hot loop moves millions of these per second.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Event {
     /// The warp begins its next operation (compute burst + memory op).
     WarpStart { sm: u16, warp: u16 },
@@ -88,7 +89,10 @@ pub struct Simulation {
     events: EventQueue<Event>,
     now: Cycle,
     sms: Vec<SmState>,
-    warps: Vec<Vec<Warp>>,
+    /// All warps, flattened as `sm * warps_per_sm + warp`; the hot loop
+    /// indexes this constantly and a flat vector keeps it one bounds check
+    /// and no pointer chase.
+    warps: Vec<Warp>,
     tenants: Vec<Tenant>,
     l2_tlbs: Vec<Tlb>,
     walk: WalkSubsystem,
@@ -109,6 +113,16 @@ pub struct Simulation {
     /// backlog cannot starve another tenant's rare misses.
     parked: Vec<std::collections::VecDeque<Waiter>>,
     parked_rr: usize,
+    /// Reusable same-cycle TLB batch buffers for `on_warp_mem`: the probed
+    /// VPNs of a warp's coalesced references and their probe results.
+    vpn_batch: Vec<Vpn>,
+    tlb_batch: Vec<Option<Ppn>>,
+    /// When present, warp ops come from epoch-pipelined generator threads
+    /// instead of the inline per-warp streams (byte-identical either way;
+    /// see [`crate::pipeline`]).
+    pipeline: Option<StreamPipeline>,
+    /// SMs assigned to each tenant (`n_sms / n_tenants`).
+    sms_per_tenant: usize,
     events_processed: u64,
     /// Tenants with >= 1 completed execution.
     tenants_done: usize,
@@ -136,12 +150,18 @@ impl Simulation {
     )]
     #[must_use]
     pub fn new(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Self {
-        Self::with_observer(cfg, apps, seed, Observer::off())
+        Self::with_observer(cfg, apps, seed, Observer::off(), StreamPipelining::Auto)
     }
 
-    /// [`new`](Self::new) with an explicit [`Observer`] attached; the
-    /// construction path used by `SimulationBuilder`.
-    pub(crate) fn with_observer(cfg: GpuConfig, apps: &[AppId], seed: u64, obs: Observer) -> Self {
+    /// [`new`](Self::new) with an explicit [`Observer`] and stream-pipelining
+    /// mode attached; the construction path used by `SimulationBuilder`.
+    pub(crate) fn with_observer(
+        cfg: GpuConfig,
+        apps: &[AppId],
+        seed: u64,
+        obs: Observer,
+        pipelining: StreamPipelining,
+    ) -> Self {
         assert!(!apps.is_empty(), "need at least one tenant");
         let cfg = cfg.for_tenants(apps.len());
         assert!(
@@ -150,14 +170,17 @@ impl Simulation {
         );
         let n_tenants = apps.len();
         let sms_per_tenant = cfg.n_sms / n_tenants;
+        let pipelined = pipelining.enabled();
 
         let mut sms = Vec::with_capacity(cfg.n_sms);
-        let mut warps = Vec::with_capacity(cfg.n_sms);
+        let mut warps = Vec::with_capacity(cfg.n_sms * cfg.warps_per_sm);
+        // Seeded duplicates of every warp stream, bucketed per tenant in
+        // tenant-local warp order, for the generator threads.
+        let mut gen_streams: Vec<Vec<WarpStream>> = vec![Vec::new(); n_tenants];
         let mut events = EventQueue::new();
         for sm in 0..cfg.n_sms {
             let tenant = TenantId((sm / sms_per_tenant) as u8);
             sms.push(SmState::new(cfg.sm, tenant));
-            let mut sm_warps = Vec::with_capacity(cfg.warps_per_sm);
             for w in 0..cfg.warps_per_sm {
                 let app = apps[tenant.index()];
                 let local_sm = sm % sms_per_tenant;
@@ -168,7 +191,10 @@ impl Simulation {
                     warp_index,
                     cfg.instructions_per_warp,
                 );
-                sm_warps.push(Warp {
+                if pipelined {
+                    gen_streams[tenant.index()].push(stream.clone());
+                }
+                warps.push(Warp {
                     stream,
                     pending: Vec::new(),
                     outstanding: 0,
@@ -182,7 +208,6 @@ impl Simulation {
                     },
                 );
             }
-            warps.push(sm_warps);
         }
 
         let tenants = apps
@@ -219,12 +244,18 @@ impl Simulation {
             l2_tlbs,
             page_tables,
             frames: FrameAlloc::new(),
-            merge: FnvMap::default(),
+            // Sized to the merge-table limit so the L2-miss path never
+            // rehashes mid-run.
+            merge: FnvMap::with_capacity_and_hasher(cfg.merge_capacity, Default::default()),
             waiter_pool: Vec::new(),
             parked: (0..n_tenants)
                 .map(|_| std::collections::VecDeque::new())
                 .collect(),
             parked_rr: 0,
+            vpn_batch: Vec::new(),
+            tlb_batch: Vec::new(),
+            pipeline: pipelined.then(|| StreamPipeline::spawn(gen_streams)),
+            sms_per_tenant,
             events,
             now: Cycle::ZERO,
             events_processed: 0,
@@ -236,6 +267,12 @@ impl Simulation {
             seed,
             cfg,
         }
+    }
+
+    /// Flat index of warp `warp` on SM `sm` (see the `warps` field).
+    #[inline]
+    fn wi(&self, sm: usize, warp: usize) -> usize {
+        sm * self.cfg.warps_per_sm + warp
     }
 
     fn l2_tlb_of(&mut self, tenant: TenantId) -> &mut Tlb {
@@ -280,25 +317,46 @@ impl Simulation {
         }
         let limited = !budget.is_unlimited();
         let started = std::time::Instant::now();
-        while let Some((at, ev)) = self.events.pop() {
+        // Cycle-batched drain: pull every same-cycle event in one queue
+        // operation, then dispatch them in the exact order the scalar
+        // per-event loop would have popped them. Events pushed back at the
+        // current cycle land in the (now empty) ring bucket and form the
+        // next batch, preserving FIFO order within the cycle.
+        let max_cycles = self.cfg.max_cycles;
+        let mut batch: Vec<Event> = Vec::with_capacity(256);
+        'run: while let Some(at) = self.events.drain_cycle_into(&mut batch) {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
-            if self.stopped || at.0 > self.cfg.max_cycles {
+            if at.0 > max_cycles {
                 break;
             }
-            if limited {
-                if let Some(e) = self.check_budget(budget, &started) {
-                    return Err(e);
+            for idx in 0..batch.len() {
+                if limited {
+                    if let Some(e) = self.check_budget(budget, &started) {
+                        return Err(e);
+                    }
+                }
+                self.events_processed += 1;
+                match batch[idx] {
+                    Event::WarpStart { sm, warp } => self.on_warp_start(sm.into(), warp.into()),
+                    Event::WarpMem { sm, warp } => self.on_warp_mem(sm.into(), warp.into()),
+                    Event::WalkerDone { walker } => self.on_walker_done(walker),
+                    Event::RefDone { sm, warp } => self.on_ref_done(sm.into(), warp.into()),
+                    Event::TakeSample => self.on_sample(),
+                }
+                if self.stopped {
+                    // Replicate the scalar loop's final `now`: it pops the
+                    // next event (same cycle if the batch has remainder,
+                    // else the queue's next cycle) before noticing the stop.
+                    if idx + 1 == batch.len() {
+                        if let Some(c) = self.events.next_cycle() {
+                            self.now = c;
+                        }
+                    }
+                    break 'run;
                 }
             }
-            self.events_processed += 1;
-            match ev {
-                Event::WarpStart { sm, warp } => self.on_warp_start(sm.into(), warp.into()),
-                Event::WarpMem { sm, warp } => self.on_warp_mem(sm.into(), warp.into()),
-                Event::WalkerDone { walker } => self.on_walker_done(walker),
-                Event::RefDone { sm, warp } => self.on_ref_done(sm.into(), warp.into()),
-                Event::TakeSample => self.on_sample(),
-            }
+            batch.clear();
         }
         Ok(self.collect())
     }
@@ -389,13 +447,20 @@ impl Simulation {
 
     fn on_warp_start(&mut self, sm: usize, warp: usize) {
         let tenant = self.sms[sm].tenant();
+        let wi = self.wi(sm, warp);
         // Generate the next op directly into the warp's pending buffer —
         // `next_op_into` emits references already coalesced (distinct, in
         // first-appearance order), and reusing the buffer keeps this
         // per-instruction path allocation-free in steady state.
-        let mut refs = std::mem::take(&mut self.warps[sm][warp].pending);
-        let Some(compute) = self.warps[sm][warp].stream.next_op_into(&mut refs) else {
-            self.warps[sm][warp].pending = refs;
+        let mut refs = std::mem::take(&mut self.warps[wi].pending);
+        let next = if let Some(pl) = &mut self.pipeline {
+            let local = (sm % self.sms_per_tenant) * self.cfg.warps_per_sm + warp;
+            pl.next_op_into(tenant.index(), local, &mut refs)
+        } else {
+            self.warps[wi].stream.next_op_into(&mut refs)
+        };
+        let Some(compute) = next else {
+            self.warps[wi].pending = refs;
             self.on_warp_finished(sm, warp, tenant);
             return;
         };
@@ -406,7 +471,7 @@ impl Simulation {
         t.instr_total += instructions;
 
         debug_assert!(!refs.is_empty(), "memory op with no references");
-        let w = &mut self.warps[sm][warp];
+        let w = &mut self.warps[wi];
         w.outstanding = refs.len();
         // Stash the refs by scheduling the memory issue; the refs travel in
         // the warp state to keep events small.
@@ -421,13 +486,42 @@ impl Simulation {
     }
 
     fn on_warp_mem(&mut self, sm: usize, warp: usize) {
-        let refs = std::mem::take(&mut self.warps[sm][warp].pending);
-        for &r in &refs {
-            self.begin_ref(sm, warp, r, false);
+        let wi = self.wi(sm, warp);
+        let refs = std::mem::take(&mut self.warps[wi].pending);
+        let mut vpns = std::mem::take(&mut self.vpn_batch);
+        let mut probed = std::mem::take(&mut self.tlb_batch);
+        // All of a warp's coalesced references probe the L1 TLB this cycle;
+        // resolve them as a batch, one tag pass per hit run. A probe never
+        // mutates tags, but a *miss* can (its translation may return and
+        // fill synchronously), so each batch ends at the first miss and the
+        // remaining references re-batch after the miss is handled — the
+        // per-reference state evolution is exactly `begin_ref`'s.
+        let mut i = 0;
+        while i < refs.len() {
+            vpns.clear();
+            vpns.extend(refs[i..].iter().map(|r| r.vpn));
+            let consumed = self.sms[sm].probe_l1_tlb_run(&vpns, &mut probed);
+            for k in 0..consumed {
+                let r = refs[i + k];
+                match probed[k] {
+                    Some(ppn) => {
+                        if let Some(m) = self.obs.metrics() {
+                            m.inc("l1_tlb_hits", Some(self.sms[sm].tenant().0));
+                        }
+                        self.data_access(sm, warp, r, ppn, self.now);
+                    }
+                    None => {
+                        self.after_l1_miss(sm, warp, r, false);
+                    }
+                }
+            }
+            i += consumed;
         }
+        self.vpn_batch = vpns;
+        self.tlb_batch = probed;
         // Hand the buffer back for the warp's next op (contents are stale
         // until `next_op_into` clears them).
-        self.warps[sm][warp].pending = refs;
+        self.warps[wi].pending = refs;
     }
 
     /// Drives one coalesced reference through translation and then data.
@@ -442,6 +536,13 @@ impl Simulation {
             self.data_access(sm, warp, r, ppn, self.now);
             return;
         }
+        self.after_l1_miss(sm, warp, r, is_retry);
+    }
+
+    /// The L1-TLB-miss tail of [`begin_ref`](Self::begin_ref): MSHR
+    /// allocation, L2 TLB, and the walk-merge path.
+    fn after_l1_miss(&mut self, sm: usize, warp: usize, r: MemRef, is_retry: bool) {
+        let tenant = self.sms[sm].tenant();
         if let Some(m) = self.obs.metrics() {
             m.inc("l1_tlb_misses", Some(tenant.0));
         }
@@ -593,7 +694,8 @@ impl Simulation {
     }
 
     fn on_ref_done(&mut self, sm: usize, warp: usize) {
-        let w = &mut self.warps[sm][warp];
+        let wi = self.wi(sm, warp);
+        let w = &mut self.warps[wi];
         debug_assert!(w.outstanding > 0, "ref completion without outstanding refs");
         w.outstanding -= 1;
         if w.outstanding == 0 {
@@ -609,7 +711,8 @@ impl Simulation {
 
     /// A warp exhausted its execution budget.
     fn on_warp_finished(&mut self, sm: usize, warp: usize, tenant: TenantId) {
-        let w = &mut self.warps[sm][warp];
+        let wi = self.wi(sm, warp);
+        let w = &mut self.warps[wi];
         debug_assert!(!w.finished, "warp finished twice");
         w.finished = true;
         let t = &mut self.tenants[tenant.index()];
@@ -633,14 +736,22 @@ impl Simulation {
         }
 
         // Relaunch (the methodology: keep contention alive until every
-        // tenant completes at least once).
-        let sms_per_tenant = self.cfg.n_sms / self.tenants.len();
+        // tenant completes at least once). Pipelined, the next epoch was
+        // generated while this one simulated; swap it in for the whole
+        // tenant instead of relaunching each inline stream.
+        if let Some(pl) = &mut self.pipeline {
+            pl.advance_epoch(tenant.index());
+        }
+        let inline = self.pipeline.is_none();
+        let sms_per_tenant = self.sms_per_tenant;
         let sm_base = tenant.index() * sms_per_tenant;
         for s in sm_base..sm_base + sms_per_tenant {
             for wi in 0..self.cfg.warps_per_sm {
-                let w = &mut self.warps[s][wi];
+                let w = &mut self.warps[s * self.cfg.warps_per_sm + wi];
                 w.finished = false;
-                w.stream.relaunch();
+                if inline {
+                    w.stream.relaunch();
+                }
                 self.events.push(
                     self.now,
                     Event::WarpStart {
@@ -721,7 +832,7 @@ mod tests {
     /// Builds a simulation the way the deprecated constructor used to,
     /// through the supported observer-aware path.
     fn sim(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Simulation {
-        Simulation::with_observer(cfg, apps, seed, Observer::off())
+        Simulation::with_observer(cfg, apps, seed, Observer::off(), StreamPipelining::Off)
     }
 
     fn small_cfg() -> GpuConfig {

@@ -77,6 +77,13 @@ pub struct EventQueue<T> {
     /// Ring of FIFO buckets; bucket `c & (BUCKETS-1)` holds the events of
     /// cycle `c` for `c` in the window `[cursor, cursor + BUCKETS)`.
     buckets: Box<[VecDeque<T>]>,
+    /// Occupancy bitmap: bit `b` of `occ[b / 64]` is set iff bucket `b` is
+    /// non-empty. At typical simulation densities (< 1 event per cycle) the
+    /// pop path would otherwise touch several empty buckets per event; the
+    /// bitmap turns that scan into a couple of word operations.
+    occ: [u64; BUCKETS / 64],
+    /// Summary bitmap: bit `w` is set iff `occ[w]` is non-zero.
+    occ_summary: u64,
     /// Total events currently in the ring.
     in_ring: usize,
     /// Base of the window. Only moves forward, and never past a non-empty
@@ -97,6 +104,8 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             buckets: (0..BUCKETS).map(|_| VecDeque::new()).collect(),
+            occ: [0; BUCKETS / 64],
+            occ_summary: 0,
             in_ring: 0,
             cursor: 0,
             far: BinaryHeap::new(),
@@ -104,11 +113,62 @@ impl<T> EventQueue<T> {
         }
     }
 
+    #[inline]
+    fn set_bit(&mut self, bucket: usize) {
+        let w = bucket >> 6;
+        self.occ[w] |= 1u64 << (bucket & 63);
+        self.occ_summary |= 1u64 << w;
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, bucket: usize) {
+        let w = bucket >> 6;
+        self.occ[w] &= !(1u64 << (bucket & 63));
+        if self.occ[w] == 0 {
+            self.occ_summary &= !(1u64 << w);
+        }
+    }
+
+    /// The cycle of the earliest ring event. Valid only while `in_ring > 0`.
+    ///
+    /// Every ring event's cycle is in `[cursor, cursor + BUCKETS)`, so the
+    /// earliest one is the first occupied bucket at or (circularly) after
+    /// the cursor's bucket; its distance from the cursor is the offset in
+    /// cycles.
+    #[inline]
+    fn next_ring_cycle(&self) -> u64 {
+        debug_assert!(self.in_ring > 0);
+        let p = (self.cursor as usize) & (BUCKETS - 1);
+        let (w, b) = (p >> 6, p & 63);
+        // Bits at or after the cursor within its own word.
+        let first = self.occ[w] >> b;
+        if first != 0 {
+            return self.cursor + first.trailing_zeros() as u64;
+        }
+        // Next occupied word strictly after `w`, circularly; the cursor's
+        // word is excluded so its below-cursor bits (nearly a full window
+        // away) are only considered last.
+        let rotated = (self.occ_summary & !(1u64 << w)).rotate_right((w as u32 + 1) & 63);
+        let dist = if rotated != 0 {
+            let wi = (w + 1 + rotated.trailing_zeros() as usize) & (BUCKETS / 64 - 1);
+            let bit = self.occ[wi].trailing_zeros() as usize;
+            ((wi << 6) | bit).wrapping_sub(p) & (BUCKETS - 1)
+        } else {
+            // Only bits below the cursor in its own word remain.
+            let low = self.occ[w] & ((1u64 << b) - 1);
+            debug_assert!(low != 0, "in_ring > 0 but occupancy bitmap empty");
+            ((w << 6) | low.trailing_zeros() as usize).wrapping_sub(p) & (BUCKETS - 1)
+        };
+        self.cursor + dist as u64
+    }
+
     /// Schedules `payload` at cycle `at`.
     pub fn push(&mut self, at: Cycle, payload: T) {
         let c = at.0;
         if c >= self.cursor && c - self.cursor < BUCKETS as u64 {
-            self.buckets[(c as usize) & (BUCKETS - 1)].push_back(payload);
+            let b = (c as usize) & (BUCKETS - 1);
+            self.buckets[b].push_back(payload);
+            self.set_bit(b);
             self.in_ring += 1;
         } else {
             self.far.push(FarEntry {
@@ -132,22 +192,27 @@ impl<T> EventQueue<T> {
     /// first preserves FIFO.
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
         if self.in_ring > 0 {
-            // Scan forward to the next non-empty bucket, yielding to the
-            // heap as soon as its minimum is due at or before the cursor.
-            loop {
-                if let Some(f) = self.far.peek() {
-                    if f.at.0 <= self.cursor {
-                        let e = self.far.pop().expect("peeked entry");
-                        return Some((e.at, e.payload));
+            let ring_c = self.next_ring_cycle();
+            // Yield to the heap when its minimum is due at or before the
+            // earliest ring event (the heap event is always the older one).
+            if let Some(f) = self.far.peek() {
+                if f.at.0 <= ring_c {
+                    if f.at.0 > self.cursor {
+                        self.cursor = f.at.0;
                     }
+                    let e = self.far.pop().expect("peeked entry");
+                    return Some((e.at, e.payload));
                 }
-                let bucket = &mut self.buckets[(self.cursor as usize) & (BUCKETS - 1)];
-                if let Some(payload) = bucket.pop_front() {
-                    self.in_ring -= 1;
-                    return Some((Cycle(self.cursor), payload));
-                }
-                self.cursor += 1;
             }
+            self.cursor = ring_c;
+            let b = (ring_c as usize) & (BUCKETS - 1);
+            let bucket = &mut self.buckets[b];
+            let payload = bucket.pop_front().expect("occupied per bitmap");
+            self.in_ring -= 1;
+            if bucket.is_empty() {
+                self.clear_bit(b);
+            }
+            return Some((Cycle(ring_c), payload));
         }
         // Ring empty: drain the heap, dragging the window forward so
         // subsequent near-future pushes take the bucket path again.
@@ -158,21 +223,48 @@ impl<T> EventQueue<T> {
         Some((e.at, e.payload))
     }
 
+    /// Removes every event due at the earliest pending cycle, appending
+    /// them to `buf` in the exact order [`pop`](Self::pop) would have
+    /// produced them, and returns that cycle.
+    ///
+    /// This is the cycle-batch entry point for the simulator's hot loop:
+    /// one cursor/bitmap advance and one heap peek serve the whole cycle
+    /// instead of every event paying them. Events pushed *at* the drained
+    /// cycle while the caller processes the batch land in the (now empty)
+    /// bucket and come back from the next call, exactly as `pop` would
+    /// interleave them.
+    pub fn drain_cycle_into(&mut self, buf: &mut Vec<T>) -> Option<Cycle> {
+        let (at, first) = self.pop()?;
+        buf.push(first);
+        // Older same-cycle events live in the heap and pop before ring ones.
+        while self.far.peek().is_some_and(|f| f.at == at) {
+            buf.push(self.far.pop().expect("peeked entry").payload);
+        }
+        // The remainder of the cycle's bucket, if the window covers it. (If
+        // the first event came from the heap *behind* the window, the
+        // cursor sits past `at` and the bucket belongs to a later cycle.)
+        if self.in_ring > 0 && self.cursor == at.0 {
+            let b = (at.0 as usize) & (BUCKETS - 1);
+            let bucket = &mut self.buckets[b];
+            if !bucket.is_empty() {
+                self.in_ring -= bucket.len();
+                buf.extend(bucket.drain(..));
+                self.clear_bit(b);
+            }
+        }
+        Some(at)
+    }
+
     /// The cycle of the earliest pending event, without removing it.
     #[must_use]
     pub fn next_cycle(&self) -> Option<Cycle> {
         let far_at = self.far.peek().map(|e| e.at);
         if self.in_ring > 0 {
-            let mut c = self.cursor;
-            loop {
-                if far_at.is_some_and(|f| f.0 <= c) {
-                    return far_at;
-                }
-                if !self.buckets[(c as usize) & (BUCKETS - 1)].is_empty() {
-                    return Some(Cycle(c));
-                }
-                c += 1;
+            let ring_c = self.next_ring_cycle();
+            if far_at.is_some_and(|f| f.0 <= ring_c) {
+                return far_at;
             }
+            return Some(Cycle(ring_c));
         }
         far_at
     }
@@ -473,6 +565,84 @@ mod tests {
     fn matches_reference_model_heavy_same_cycle_ties() {
         for seed in 300..304 {
             differential_run(seed, 4_000, 4);
+        }
+    }
+
+    #[test]
+    fn drain_cycle_returns_whole_cycle_in_pop_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 1);
+        q.push(Cycle(5), 2);
+        q.push(Cycle(9), 3);
+        let mut buf = Vec::new();
+        assert_eq!(q.drain_cycle_into(&mut buf), Some(Cycle(5)));
+        assert_eq!(buf, [1, 2]);
+        buf.clear();
+        // A push at the drained cycle while "processing" comes back from
+        // the next call, before later cycles.
+        q.push(Cycle(5), 4);
+        assert_eq!(q.drain_cycle_into(&mut buf), Some(Cycle(5)));
+        assert_eq!(buf, [4]);
+        buf.clear();
+        assert_eq!(q.drain_cycle_into(&mut buf), Some(Cycle(9)));
+        assert_eq!(buf, [3]);
+        buf.clear();
+        assert_eq!(q.drain_cycle_into(&mut buf), None);
+    }
+
+    #[test]
+    fn drain_cycle_merges_heap_and_ring_heap_first() {
+        let mut q = EventQueue::new();
+        let c = BUCKETS as u64 + 100;
+        q.push(Cycle(c), "old (heap)");
+        q.push(Cycle(c - 1), "nearer");
+        assert_eq!(q.pop(), Some((Cycle(c - 1), "nearer")));
+        q.push(Cycle(c), "new (ring)");
+        let mut buf = Vec::new();
+        assert_eq!(q.drain_cycle_into(&mut buf), Some(Cycle(c)));
+        assert_eq!(buf, ["old (heap)", "new (ring)"]);
+    }
+
+    /// Random pushes and cycle drains against the reference model popped
+    /// one event at a time.
+    fn differential_drain_run(seed: u64, ops: usize, horizon: u64) {
+        let mut rng = SimRng::new(seed);
+        let mut calendar = EventQueue::new();
+        let mut reference = BinaryHeapQueue::new();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        let mut buf = Vec::new();
+        for _ in 0..ops {
+            if rng.chance(0.7) || calendar.is_empty() {
+                let at = Cycle(now + rng.next_below(horizon));
+                calendar.push(at, next_id);
+                reference.push(at, next_id);
+                next_id += 1;
+            } else {
+                buf.clear();
+                let at = calendar.drain_cycle_into(&mut buf).expect("non-empty");
+                now = at.0;
+                for &got in &buf {
+                    let (rat, want) = reference.pop().expect("reference non-empty");
+                    assert_eq!((at, got), (rat, want));
+                }
+                assert_eq!(calendar.len(), reference.len());
+                // The drain must have taken the whole cycle.
+                assert_ne!(calendar.next_cycle(), Some(at));
+            }
+        }
+    }
+
+    #[test]
+    fn drain_cycle_matches_reference_model() {
+        for seed in 400..404 {
+            differential_drain_run(seed, 4_000, 300);
+        }
+        for seed in 404..408 {
+            differential_drain_run(seed, 4_000, 4);
+        }
+        for seed in 408..412 {
+            differential_drain_run(seed, 4_000, BUCKETS as u64 * 3);
         }
     }
 }

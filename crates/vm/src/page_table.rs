@@ -15,6 +15,15 @@ use crate::page::PageSize;
 /// Size of one page-table entry in bytes.
 pub const PTE_BYTES: u64 = 8;
 
+/// Packs an interior-node map key into one word (single-`u64` FNV hash).
+/// Prefixes stay far below 2^60: a level-`L` prefix is the VPN shifted
+/// right by at least one 9-bit radix step.
+#[inline]
+fn node_key(level: usize, prefix: u64) -> u64 {
+    debug_assert!(level < 16 && prefix < 1 << 60, "node key fields overflow");
+    ((level as u64) << 60) | prefix
+}
+
 /// The result of resolving a [`Vpn`] through the radix tree.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WalkPath {
@@ -48,14 +57,24 @@ pub struct PageTable {
     page_size: PageSize,
     root: Ppn,
     root_allocated: bool,
-    /// Interior nodes, keyed by (level, index-prefix). Level 0 is the root's
-    /// children, i.e. the node *reached from* the root at a given prefix.
-    /// FNV-hashed: probed per walk level on the hot path, never iterated.
-    nodes: FnvMap<(usize, u64), Ppn>,
+    /// Interior nodes, keyed by [`node_key`] (level packed with the
+    /// index-prefix). Level 0 is the root's children, i.e. the node
+    /// *reached from* the root at a given prefix. FNV-hashed: probed per
+    /// walk level on the hot path, never iterated.
+    nodes: FnvMap<u64, Ppn>,
     /// Leaf mappings (FNV-hashed likewise).
     leaves: FnvMap<Vpn, Ppn>,
+    /// Last `(packed key, node)` resolved per interior level. Consecutive
+    /// walks nearly always repeat the upper-level prefixes, and interior
+    /// nodes are never remapped once allocated, so a key match answers the
+    /// map probe exactly (and implies no allocation would have happened).
+    node_memo: [(u64, Ppn); 4],
     touched_pages: u64,
 }
+
+/// Sentinel memo key that can never equal a real [`node_key`] (real keys
+/// keep bit 63 clear: levels stay below 8).
+const MEMO_EMPTY: u64 = u64::MAX;
 
 impl PageTable {
     /// Creates an empty page table for `tenant`.
@@ -66,8 +85,11 @@ impl PageTable {
             page_size,
             root: Ppn(0),
             root_allocated: false,
-            nodes: FnvMap::default(),
-            leaves: FnvMap::default(),
+            // Pre-sized so steady-state walks never pay a rehash; both maps
+            // grow past default capacity within the first simulated epoch.
+            nodes: FnvMap::with_capacity_and_hasher(1 << 12, Default::default()),
+            leaves: FnvMap::with_capacity_and_hasher(1 << 14, Default::default()),
+            node_memo: [(MEMO_EMPTY, Ppn(0)); 4],
             touched_pages: 0,
         }
     }
@@ -136,22 +158,28 @@ impl PageTable {
             self.root_allocated = true;
         }
         let levels = self.page_size.levels();
+        let bits = u64::from(self.page_size.bits_per_level());
         out.entry_addrs.clear();
         out.node_addrs.clear();
         let mut node = self.root;
         for level in 0..levels {
-            let index = self.index_at(vpn, level);
+            let shift = bits * (levels - 1 - level) as u64;
+            let index = (vpn.0 >> shift) & ((1 << bits) - 1);
             // One 4 KB frame holds a 512-entry node regardless of data page
             // size; entries are PTE_BYTES each.
             let node_base = PhysAddr(node.0 << 12);
             out.node_addrs.push(node_base);
             out.entry_addrs.push(PhysAddr(node_base.0 + index * PTE_BYTES));
             if level + 1 < levels {
-                let prefix = self.prefix_at(vpn, level);
-                node = *self
-                    .nodes
-                    .entry((level, prefix))
-                    .or_insert_with(|| frames.alloc());
+                let key = node_key(level, vpn.0 >> shift);
+                let memo = &mut self.node_memo[level];
+                node = if memo.0 == key {
+                    memo.1
+                } else {
+                    let n = *self.nodes.entry(key).or_insert_with(|| frames.alloc());
+                    *memo = (key, n);
+                    n
+                };
             }
         }
         let touched = &mut self.touched_pages;
@@ -172,7 +200,7 @@ impl PageTable {
     pub fn node_after(&self, vpn: Vpn, level: usize) -> Option<PhysAddr> {
         let prefix = self.prefix_at(vpn, level);
         self.nodes
-            .get(&(level, prefix))
+            .get(&node_key(level, prefix))
             .map(|ppn| PhysAddr(ppn.0 << 12))
     }
 }

@@ -40,6 +40,15 @@ fn live_slot(tenant: TenantId, level: usize) -> usize {
     usize::from(tenant.0) * MAX_LEVELS + level
 }
 
+/// Packs a (meta, prefix) lookup key into one word so the index map hashes
+/// a single `u64`. Prefixes consume at most 9 bits per level over a 36-bit
+/// VPN space, far below the 48-bit field.
+#[inline]
+fn index_key(meta: u16, prefix: u64) -> u64 {
+    debug_assert!(prefix < 1 << 48, "PWC prefix overflows packed key");
+    (u64::from(meta) << 48) | prefix
+}
+
 /// A fully-associative, LRU page-walk cache.
 ///
 /// Entries are keyed by (tenant, level, VPN-prefix) and hold the physical
@@ -81,10 +90,10 @@ pub struct PwCache {
     /// Valid entries per (tenant, level), so probes skip levels where this
     /// tenant has nothing cached without scanning.
     live: Vec<u32>,
-    /// Exact lookup index `(meta, prefix) -> slot`. Entries are unique per
-    /// key (fills refresh in place), so the map answers the same entry a
-    /// linear first-match scan would.
-    index: FnvMap<(u16, u64), u32>,
+    /// Exact lookup index `index_key(meta, prefix) -> slot`. Entries are
+    /// unique per key (fills refresh in place), so the map answers the same
+    /// entry a linear first-match scan would.
+    index: FnvMap<u64, u32>,
     hits: u64,
     misses: u64,
 }
@@ -159,7 +168,7 @@ impl PwCache {
             }
             let prefix = Self::prefix_of(vpn, level, levels);
             let want = pack_meta(tenant, level);
-            if let Some(&i) = self.index.get(&(want, prefix)) {
+            if let Some(&i) = self.index.get(&index_key(want, prefix)) {
                 self.lru_touch(i);
                 self.hits += 1;
                 return Some(PwcHit {
@@ -172,11 +181,67 @@ impl PwCache {
         None
     }
 
+    /// Resolves a same-cycle batch of probes for one tenant in one pass,
+    /// appending one result per VPN to `out` (cleared first).
+    ///
+    /// A probe never inserts or evicts, so every repeat of a VPN within
+    /// the batch resolves to the entry its first lookup found: consecutive
+    /// repeats skip the per-level prefix search and replay only the
+    /// per-probe bookkeeping (LRU touch, hit/miss counters). State
+    /// evolution is identical to calling [`probe`](Self::probe) once per
+    /// element in order (pinned by `tests/batch_differential.rs`).
+    pub fn probe_batch(
+        &mut self,
+        tenant: TenantId,
+        vpns: &[Vpn],
+        levels: usize,
+        out: &mut Vec<Option<PwcHit>>,
+    ) {
+        out.clear();
+        out.reserve(vpns.len());
+        let mut memo: Option<(Vpn, Option<(u32, PwcHit)>)> = None;
+        for &vpn in vpns {
+            let found = match memo {
+                Some((v, f)) if v == vpn => f,
+                _ => {
+                    let mut f = None;
+                    for level in (0..levels.saturating_sub(1)).rev() {
+                        if self.live[live_slot(tenant, level)] == 0 {
+                            continue;
+                        }
+                        let prefix = Self::prefix_of(vpn, level, levels);
+                        let want = pack_meta(tenant, level);
+                        if let Some(&i) = self.index.get(&index_key(want, prefix)) {
+                            f = Some((
+                                i,
+                                PwcHit {
+                                    level,
+                                    node_addr: self.node_addrs[i as usize],
+                                },
+                            ));
+                            break;
+                        }
+                    }
+                    memo = Some((vpn, f));
+                    f
+                }
+            };
+            if let Some((i, hit)) = found {
+                self.lru_touch(i);
+                self.hits += 1;
+                out.push(Some(hit));
+            } else {
+                self.misses += 1;
+                out.push(None);
+            }
+        }
+    }
+
     /// Inserts (or refreshes) a partial translation: after consuming
     /// `prefix` at `level`, the walk continues from `node_addr`.
     pub fn fill(&mut self, tenant: TenantId, level: usize, prefix: u64, node_addr: PhysAddr) {
         let want = pack_meta(tenant, level);
-        if let Some(&i) = self.index.get(&(want, prefix)) {
+        if let Some(&i) = self.index.get(&index_key(want, prefix)) {
             self.node_addrs[i as usize] = node_addr;
             self.lru_touch(i);
             return;
@@ -187,13 +252,13 @@ impl PwCache {
             let old_tenant = TenantId((old >> 4) as u8);
             let old_level = (old & 0xf) as usize;
             self.live[live_slot(old_tenant, old_level)] -= 1;
-            self.index.remove(&(old, self.prefixes[victim]));
+            self.index.remove(&index_key(old, self.prefixes[victim]));
         }
         self.prefixes[victim] = prefix;
         self.meta[victim] = want;
         self.node_addrs[victim] = node_addr;
         self.live[live_slot(tenant, level)] += 1;
-        self.index.insert((want, prefix), victim as u32);
+        self.index.insert(index_key(want, prefix), victim as u32);
         self.lru_touch(victim as u32);
     }
 

@@ -133,12 +133,16 @@ impl Tlb {
     fn find(&self, tenant: TenantId, vpn: Vpn) -> Option<usize> {
         let range = self.set_range(vpn);
         let want = META_VALID | u16::from(tenant.0);
-        let start = range.start;
-        self.meta[range.clone()]
-            .iter()
-            .zip(&self.keys[range])
-            .position(|(&m, &k)| m == want && k == vpn.0)
-            .map(|i| start + i)
+        // Manual scan with the VPN compare first: it rejects almost every
+        // way on its own, and the indexed loop avoids the zip iterator's
+        // per-way bounds state (this runs on every translation).
+        let (keys, meta) = (&self.keys[range.clone()], &self.meta[range.clone()]);
+        for i in 0..keys.len() {
+            if keys[i] == vpn.0 && meta[i] == want {
+                return Some(range.start + i);
+            }
+        }
+        None
     }
 
     /// Looks up `(tenant, vpn)`, updating LRU and hit/miss statistics.
@@ -151,6 +155,72 @@ impl Tlb {
         }
         self.misses += 1;
         None
+    }
+
+    /// Resolves a same-cycle batch of probes in one pass over the tag
+    /// arrays. `out` is cleared and receives one result per probe, in
+    /// order.
+    ///
+    /// A probe never mutates tags, so every repeat of a `(tenant, vpn)`
+    /// within the batch resolves to the way its first lookup found:
+    /// consecutive repeats dedupe into a single tag scan whose result fans
+    /// out, with only the per-probe bookkeeping (tick, LRU stamp, hit/miss
+    /// counters) replayed. State evolution is identical to calling
+    /// [`probe`](Self::probe) once per element in order (pinned by
+    /// `tests/batch_differential.rs`).
+    pub fn probe_batch(&mut self, probes: &[(TenantId, Vpn)], out: &mut Vec<Option<Ppn>>) {
+        out.clear();
+        out.reserve(probes.len());
+        let mut memo: Option<(TenantId, Vpn, Option<usize>)> = None;
+        for &(tenant, vpn) in probes {
+            let way = match memo {
+                Some((t, v, way)) if (t, v) == (tenant, vpn) => way,
+                _ => {
+                    let way = self.find(tenant, vpn);
+                    memo = Some((tenant, vpn, way));
+                    way
+                }
+            };
+            self.tick += 1;
+            if let Some(i) = way {
+                self.last_use[i] = self.tick;
+                self.hits += 1;
+                out.push(Some(self.ppns[i]));
+            } else {
+                self.misses += 1;
+                out.push(None);
+            }
+        }
+    }
+
+    /// As [`probe_batch`](Self::probe_batch) for a single-tenant run of
+    /// probes, but stops after the first miss: a caller that *fills* on a
+    /// miss (so later probes could see different tags) batches the leading
+    /// hit run in one pass and resumes element-wise after handling the
+    /// miss. Returns how many probes were consumed — every consumed probe,
+    /// the trailing miss included, has its result in `out` and its
+    /// bookkeeping applied exactly as a scalar [`probe`](Self::probe).
+    pub fn probe_run(&mut self, tenant: TenantId, vpns: &[Vpn], out: &mut Vec<Option<Ppn>>) -> usize {
+        out.clear();
+        let mut memo: Option<(Vpn, usize)> = None;
+        for (n, &vpn) in vpns.iter().enumerate() {
+            let way = match memo {
+                Some((v, way)) if v == vpn => Some(way),
+                _ => self.find(tenant, vpn),
+            };
+            self.tick += 1;
+            if let Some(i) = way {
+                memo = Some((vpn, i));
+                self.last_use[i] = self.tick;
+                self.hits += 1;
+                out.push(Some(self.ppns[i]));
+            } else {
+                self.misses += 1;
+                out.push(None);
+                return n + 1;
+            }
+        }
+        vpns.len()
     }
 
     /// Checks residency without disturbing LRU or statistics.
@@ -428,5 +498,42 @@ mod tests {
     fn share_zero_at_time_zero() {
         let t = tiny();
         assert_eq!(t.share_of(T0, Cycle(0)), 0.0);
+    }
+
+    #[test]
+    fn probe_batch_matches_scalar_probes() {
+        let mut a = tiny();
+        let mut b = tiny();
+        for (v, p) in [(0u64, 10u64), (2, 11), (5, 12)] {
+            a.fill(T0, Vpn(v), Ppn(p), Cycle(0));
+            b.fill(T0, Vpn(v), Ppn(p), Cycle(0));
+        }
+        let probes: Vec<(TenantId, Vpn)> = [0u64, 0, 3, 2, 2, 2, 5, 9, 9, 0]
+            .into_iter()
+            .map(|v| (T0, Vpn(v)))
+            .collect();
+        let mut batched = Vec::new();
+        a.probe_batch(&probes, &mut batched);
+        let scalar: Vec<Option<Ppn>> = probes.iter().map(|&(t, v)| b.probe(t, v)).collect();
+        assert_eq!(batched, scalar);
+        assert_eq!((a.hits(), a.misses()), (b.hits(), b.misses()));
+        // LRU state must match too: same eviction from here on.
+        assert_eq!(
+            a.fill(T0, Vpn(4), Ppn(1), Cycle(1)),
+            b.fill(T0, Vpn(4), Ppn(1), Cycle(1))
+        );
+    }
+
+    #[test]
+    fn probe_run_stops_after_first_miss() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(0), Ppn(7), Cycle(0));
+        let vpns = [Vpn(0), Vpn(0), Vpn(3), Vpn(0)];
+        let mut out = Vec::new();
+        let consumed = t.probe_run(T0, &vpns, &mut out);
+        assert_eq!(consumed, 3);
+        assert_eq!(out, vec![Some(Ppn(7)), Some(Ppn(7)), None]);
+        assert_eq!(t.hits(), 2);
+        assert_eq!(t.misses(), 1);
     }
 }

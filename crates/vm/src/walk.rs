@@ -338,7 +338,70 @@ enum Scheduler {
         queues: Vec<VecDeque<Pending>>,
         per_tenant_capacity: usize,
     },
-    Partitioned(Box<dyn PartScheduler>),
+    Partitioned(PartSched),
+}
+
+/// Concrete dispatch over the two [`PartScheduler`] implementations.
+///
+/// The partitioned scheduler sits on the walk subsystem's hottest paths
+/// (every enqueue and every completion make several scheduler calls); an
+/// enum keeps those calls statically dispatched and inlinable where a
+/// `Box<dyn PartScheduler>` would force a virtual call per query.
+#[derive(Debug)]
+enum PartSched {
+    Bitmap(BitmapScheduler),
+    Reference(ReferenceScheduler),
+}
+
+/// Forwards every [`PartScheduler`] method through one `match`, so the
+/// subsystem code reads the same as with a trait object but monomorphizes.
+macro_rules! forward_part {
+    () => {};
+    (fn $name:ident(&self $(, $arg:ident : $ty:ty)*) $(-> $ret:ty)?; $($rest:tt)*) => {
+        #[inline]
+        fn $name(&self $(, $arg: $ty)*) $(-> $ret)? {
+            match self {
+                PartSched::Bitmap(p) => p.$name($($arg),*),
+                PartSched::Reference(p) => p.$name($($arg),*),
+            }
+        }
+        forward_part!($($rest)*);
+    };
+    (fn $name:ident(&mut self $(, $arg:ident : $ty:ty)*) $(-> $ret:ty)?; $($rest:tt)*) => {
+        #[inline]
+        fn $name(&mut self $(, $arg: $ty)*) $(-> $ret)? {
+            match self {
+                PartSched::Bitmap(p) => p.$name($($arg),*),
+                PartSched::Reference(p) => p.$name($($arg),*),
+            }
+        }
+        forward_part!($($rest)*);
+    };
+}
+
+impl PartSched {
+    forward_part! {
+        fn steal(&self) -> &StealMode;
+        fn owner(&self, w: usize) -> TenantId;
+        fn owners_snapshot(&self) -> Vec<TenantId>;
+        fn queue_len(&self, w: usize) -> usize;
+        fn total_queued(&self) -> usize;
+        fn pend(&self, t: usize) -> u32;
+        fn dec_pend(&mut self, t: usize);
+        fn set_stolen(&mut self, w: usize, stolen: bool);
+        fn round_robin_owned(&mut self, tenant: TenantId) -> Option<usize>;
+        fn least_loaded_owned(&self, tenant: TenantId) -> Option<usize>;
+        fn most_loaded_owned(&self, tenant: TenantId) -> Option<usize>;
+        fn push(&mut self, w: usize, p: Pending) -> Option<EpochRollover>;
+        fn pop_from_walker(&mut self, w: usize) -> Pending;
+        fn first_owned_idle(&self, tenant: TenantId, idle: u128) -> Option<usize>;
+        fn first_foreign_idle(&self, tenant: TenantId, idle: u128) -> Option<usize>;
+        fn repartition(&mut self, active: &[bool]);
+        fn is_naive(&self) -> bool;
+        fn is_stolen(&self, w: usize) -> bool;
+        fn steal_choice(&self, w: usize, strict_pend: bool, queue_entries: usize) -> Option<usize>;
+        fn next_service(&self, w: usize, strict_pend: bool, queue_entries: usize) -> (Option<(usize, bool)>, bool);
+    }
 }
 
 /// Which implementation backs [`WalkPolicyKind::Partitioned`].
@@ -485,6 +548,42 @@ trait PartScheduler: std::fmt::Debug {
         }
         let victim = self.steal_victim(owner)?;
         self.most_loaded_owned(victim)
+    }
+
+    /// Resolves, in one call, what walker `w` services next after completing
+    /// a walk: its own queue (possibly overridden by a DWS++ steal), the
+    /// deepest sibling queue, a stolen walk, or nothing. Returns the walker
+    /// to pop from plus the stolen flag, and whether a steal was attempted
+    /// (so the caller can count `steal_attempts` exactly as before).
+    fn next_service(
+        &self,
+        w: usize,
+        strict_pend: bool,
+        queue_entries: usize,
+    ) -> (Option<(usize, bool)>, bool) {
+        let owner = self.owner(w);
+        if self.queue_len(w) > 0 {
+            // Step 1: serve own queue... unless DWS++ decides the imbalance
+            // warrants a steal instead.
+            match self.steal_choice(w, strict_pend, queue_entries) {
+                Some(victim) => (Some((victim, true)), true),
+                None => (Some((w, false)), true),
+            }
+        } else if self.is_naive() {
+            // Naive static: no sibling rebalancing, no stealing.
+            (None, false)
+        } else if let Some(sib) = self.most_loaded_owned(owner) {
+            // Steps 2/3a: owner has walks queued on a sibling walker.
+            (Some((sib, false)), false)
+        } else {
+            // Step 3b: steal, or go idle. Servicing-own resets the
+            // is_stolen bit only when we actually serve, so idling leaves
+            // it as-is.
+            match self.steal_choice(w, strict_pend, queue_entries) {
+                Some(victim) => (Some((victim, true)), true),
+                None => (None, true),
+            }
+        }
     }
 }
 
@@ -789,8 +888,19 @@ struct BitmapScheduler {
     epoch_counter: u32,
     /// Current `DIFF_THRES`; `None` disables imbalance stealing.
     diff_thres: Option<f64>,
+    /// Integer equivalent of `DIFF_THRES`: the smallest pend-count
+    /// imbalance whose normalized value exceeds the threshold. Recomputed
+    /// on every `diff_thres` change so the steal decision needs no per-call
+    /// float division. `None` = no imbalance passes (stealing disabled).
+    diff_min: Option<i64>,
+    /// `frac_over_thres[len]` = whether a queue of depth `len` exceeds
+    /// DWS++'s `QUEUE_THRES` occupancy fraction, precomputed with the
+    /// reference's exact f64 expression (empty unless DWS++).
+    frac_over_thres: Vec<bool>,
     steal: StealMode,
     per_walker_capacity: usize,
+    /// The raw `queue_entries` config the thresholds were derived from.
+    queue_entries: usize,
     /// Round-robin arrival cursor for the naive static organization.
     rr_cursor: usize,
     /// Reusable buffer for [`PartScheduler::round_robin_owned`].
@@ -823,6 +933,18 @@ impl BitmapScheduler {
             StealMode::DwsPlusPlus(p) => p.diff_thres_for(1.0),
             _ => None,
         };
+        let frac_over_thres = match &steal {
+            StealMode::DwsPlusPlus(p) => (0..=per_walker_capacity)
+                .map(|len| {
+                    // Byte-for-byte the reference's occupancy expression,
+                    // evaluated once per possible depth.
+                    let occupancy = (per_walker_capacity - len) as f64;
+                    let own_frac = 1.0 - occupancy / per_walker_capacity as f64;
+                    own_frac > p.queue_thres
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         let capacity = per_walker_capacity * n_walkers;
         let placeholder = Pending {
             tenant: TenantId(0),
@@ -833,7 +955,7 @@ impl BitmapScheduler {
         // Free list: slot i links to i+1, last to NIL.
         let mut links: Vec<u32> = (1..=capacity as u32).collect();
         links[capacity - 1] = NIL;
-        BitmapScheduler {
+        let mut sched = BitmapScheduler {
             owned,
             wtm,
             fwa_free: vec![per_walker_capacity as u32; n_walkers],
@@ -844,8 +966,11 @@ impl BitmapScheduler {
             enq_epoch: vec![0; n_tenants],
             epoch_counter: 0,
             diff_thres: initial_diff_thres,
+            diff_min: None,
+            frac_over_thres,
             steal,
             per_walker_capacity,
+            queue_entries,
             rr_cursor: 0,
             rr_scratch: Vec::new(),
             slots: vec![placeholder; capacity],
@@ -854,7 +979,67 @@ impl BitmapScheduler {
             head: vec![NIL; n_walkers],
             tail: vec![NIL; n_walkers],
             lens: vec![0; n_walkers],
+        };
+        sched.recompute_diff_min();
+        sched
+    }
+
+    /// Recomputes [`diff_min`](Self::diff_min) from the current
+    /// `DIFF_THRES`. `d ↦ d / queue_entries` is monotone in the integer `d`
+    /// (f64 division by a positive constant), so the smallest passing `d`
+    /// splits the integer imbalances exactly where the reference's per-call
+    /// float test does. Pend counts are bounded by the queue capacity plus
+    /// one in-service walk per walker, so the scan range covers every
+    /// reachable imbalance.
+    fn recompute_diff_min(&mut self) {
+        self.diff_min = self.diff_thres.and_then(|thres| {
+            let qe = self.queue_entries as f64;
+            let bound = self.queue_entries as i64 + 64 + 1;
+            (-bound..=bound).find(|&d| (d as f64) / qe > thres)
+        });
+    }
+
+    /// One-pass steal decision over the FWA/TWM bitmaps using the
+    /// precomputed integer thresholds. Decision-identical to the provided
+    /// [`PartScheduler::steal_choice`] (pinned by the differential suite);
+    /// `own_len` is walker `w`'s queue depth, passed in so callers that
+    /// already read it don't reload.
+    fn steal_target(&self, w: usize, owner: TenantId, own_len: u32, strict_pend: bool) -> Option<usize> {
+        let owner_has_work = if strict_pend {
+            self.pend[owner.index()] > 0
+        } else {
+            self.owned[owner.index()] & self.nonempty != 0
+        };
+        let allowed = match &self.steal {
+            StealMode::None => false,
+            StealMode::Dws => !owner_has_work,
+            StealMode::DwsPlusPlus(_) => {
+                if !owner_has_work {
+                    true // the DWS condition
+                } else if own_len > 0 && (self.stolen_bits >> w) & 1 == 1 {
+                    // No consecutive steals while the owner has work.
+                    false
+                } else if self.frac_over_thres[own_len as usize] {
+                    // QUEUE_THRES: don't steal while our own queue is loaded.
+                    false
+                } else {
+                    // DIFF_THRES on the PEND_WALKS imbalance, in integers.
+                    match self.diff_min {
+                        None => false,
+                        Some(dmin) => {
+                            let own = i64::from(self.pend[owner.index()]);
+                            let max_other = i64::from(self.max_pend_other(owner.index()));
+                            max_other - own >= dmin
+                        }
+                    }
+                }
+            }
+        };
+        if !allowed {
+            return None;
         }
+        let victim = self.steal_victim(owner)?;
+        self.most_loaded_owned(victim)
     }
 }
 
@@ -1016,6 +1201,7 @@ impl PartScheduler for BitmapScheduler {
                 let max = self.enq_epoch.iter().copied().max().unwrap_or(0) as f64;
                 let min = self.enq_epoch.iter().copied().min().unwrap_or(0).max(1) as f64;
                 self.diff_thres = params.diff_thres_for(max / min);
+                self.recompute_diff_min();
                 let rollover = EpochRollover {
                     enq_epoch: self.enq_epoch.clone(),
                     diff_thres: self.diff_thres,
@@ -1042,6 +1228,37 @@ impl PartScheduler for BitmapScheduler {
         self.fwa_free[w] += 1;
         self.queued_per_tenant[self.wtm[w].index()] -= 1;
         self.slots[idx]
+    }
+
+    fn steal_choice(&self, w: usize, strict_pend: bool, queue_entries: usize) -> Option<usize> {
+        debug_assert_eq!(queue_entries, self.queue_entries, "thresholds stale");
+        self.steal_target(w, self.wtm[w], self.lens[w], strict_pend)
+    }
+
+    fn next_service(
+        &self,
+        w: usize,
+        strict_pend: bool,
+        queue_entries: usize,
+    ) -> (Option<(usize, bool)>, bool) {
+        debug_assert_eq!(queue_entries, self.queue_entries, "thresholds stale");
+        let owner = self.wtm[w];
+        let own_len = self.lens[w];
+        if own_len > 0 {
+            match self.steal_target(w, owner, own_len, strict_pend) {
+                Some(victim) => (Some((victim, true)), true),
+                None => (Some((w, false)), true),
+            }
+        } else if self.is_naive() {
+            (None, false)
+        } else if let Some(sib) = self.most_loaded_owned(owner) {
+            (Some((sib, false)), false)
+        } else {
+            match self.steal_target(w, owner, 0, strict_pend) {
+                Some(victim) => (Some((victim, true)), true),
+                None => (None, true),
+            }
+        }
     }
 
     fn first_owned_idle(&self, tenant: TenantId, idle: u128) -> Option<usize> {
@@ -1164,22 +1381,21 @@ impl WalkSubsystem {
             WalkPolicyKind::Partitioned(steal) => {
                 // The bitmap layout carries ownership masks in `u64`s; fall
                 // back to the reference tables beyond 64 walkers.
-                let part: Box<dyn PartScheduler> =
-                    if imp == SchedulerImpl::Optimized && cfg.n_walkers <= 64 {
-                        Box::new(BitmapScheduler::new(
-                            cfg.n_walkers,
-                            cfg.n_tenants,
-                            cfg.queue_entries,
-                            steal.clone(),
-                        ))
-                    } else {
-                        Box::new(ReferenceScheduler::new(
-                            cfg.n_walkers,
-                            cfg.n_tenants,
-                            cfg.queue_entries,
-                            steal.clone(),
-                        ))
-                    };
+                let part = if imp == SchedulerImpl::Optimized && cfg.n_walkers <= 64 {
+                    PartSched::Bitmap(BitmapScheduler::new(
+                        cfg.n_walkers,
+                        cfg.n_tenants,
+                        cfg.queue_entries,
+                        steal.clone(),
+                    ))
+                } else {
+                    PartSched::Reference(ReferenceScheduler::new(
+                        cfg.n_walkers,
+                        cfg.n_tenants,
+                        cfg.queue_entries,
+                        steal.clone(),
+                    ))
+                };
                 Scheduler::Partitioned(part)
             }
         };
@@ -1489,6 +1705,30 @@ impl WalkSubsystem {
         }
     }
 
+    /// Accepts a same-cycle batch of L2-TLB misses in arrival order,
+    /// writing one result per request into `out` (cleared first).
+    ///
+    /// Same-cycle arrivals interact — an earlier arrival can take the queue
+    /// slot or idle walker a later one would have used — so the pass is
+    /// strictly order-preserving and equivalent to calling
+    /// [`try_enqueue`](Self::try_enqueue) once per request in order (pinned
+    /// by `tests/batch_differential.rs`); batching amortizes the per-call
+    /// setup and keeps one cycle's arrivals in a single cache-resident
+    /// sweep.
+    pub fn try_enqueue_batch(
+        &mut self,
+        reqs: &[WalkRequest],
+        now: Cycle,
+        ctx: &mut WalkContext<'_>,
+        out: &mut Vec<Result<Option<DispatchedWalk>, WalkQueueFull>>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        for &req in reqs {
+            out.push(self.try_enqueue(req, now, ctx));
+        }
+    }
+
     /// Completes the walk on `walker` at cycle `now`.
     ///
     /// Returns the finished walk and, if the walker immediately picked up
@@ -1551,40 +1791,16 @@ impl WalkSubsystem {
             Scheduler::Partitioned(p) => {
                 // TWM PEND_WALKS decrements when a walk finishes (paper).
                 p.dec_pend(t.index());
-                let owner = p.owner(w);
-                let strict = self.cfg.strict_pend_check;
-                let queue_entries = self.cfg.queue_entries;
-
-                if p.queue_len(w) > 0 {
-                    // Step 1: serve own queue... unless DWS++ decides the
-                    // imbalance warrants a steal instead.
+                // Paper steps 1-3 resolved in a single scheduler pass over
+                // the FWA/TWM state; see `PartScheduler::next_service`.
+                let (next, attempted_steal) =
+                    p.next_service(w, self.cfg.strict_pend_check, self.cfg.queue_entries);
+                if attempted_steal {
                     if let Some(m) = ctx.obs.metrics() {
                         m.inc("steal_attempts", None);
                     }
-                    if let Some(victim_walker) = p.steal_choice(w, strict, queue_entries) {
-                        Some((p.pop_from_walker(victim_walker), true))
-                    } else {
-                        Some((p.pop_from_walker(w), false))
-                    }
-                } else if p.is_naive() {
-                    // Naive static: no sibling rebalancing, no stealing.
-                    None
-                } else if let Some(sib) = p.most_loaded_owned(owner) {
-                    // Steps 2/3a: owner has walks queued on a sibling walker.
-                    Some((p.pop_from_walker(sib), false))
-                } else if let Some(victim_walker) = {
-                    if let Some(m) = ctx.obs.metrics() {
-                        m.inc("steal_attempts", None);
-                    }
-                    p.steal_choice(w, strict, queue_entries)
-                } {
-                    // Step 3b: steal.
-                    Some((p.pop_from_walker(victim_walker), true))
-                } else {
-                    // Idle; servicing-own resets the is_stolen bit only when
-                    // we actually serve, so leave it as-is here.
-                    None
                 }
+                next.map(|(from, stolen)| (p.pop_from_walker(from), stolen))
             }
         };
 

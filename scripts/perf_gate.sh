@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf-smoke gate: run `repro --selftest-perf` and compare the end-to-end
-# simulation throughput against the checked-in BENCH_parallel.json
-# baseline. The threshold is generous — the run must stay above 70% of the
-# baseline — because CI runners are noisy and heterogeneous; the gate
-# exists to catch real regressions (an accidental O(n^2), a lost fast
-# path), not single-digit drift.
+# simulation throughput — plus the batched translation subsystem rates —
+# against the checked-in BENCH_parallel.json baseline. The threshold is
+# generous — each gated number must stay above 70% of its baseline —
+# because CI runners are noisy and heterogeneous; the gate exists to catch
+# real regressions (an accidental O(n^2), a lost fast path, a batch entry
+# point silently degrading to element-wise cost), not single-digit drift.
 #
 # `repro --selftest-perf` writes BENCH_parallel.json into its working
 # directory, so the selftest runs in a scratch dir and the checked-in
@@ -23,19 +24,40 @@ if [ ! -x "$repro" ]; then
   exit 1
 fi
 
-baseline=$(field BENCH_parallel.json events_per_sec)
 out="${PERF_GATE_OUT:-$(mktemp -d)}"
 mkdir -p "$out"
 (cd "$out" && "$repro" --selftest-perf --jobs "${PERF_GATE_JOBS:-2}" > selftest.stdout)
-current=$(field "$out/BENCH_parallel.json" events_per_sec)
-host=$(field "$out/BENCH_parallel.json" host_parallelism)
 
-echo "perf gate: end-to-end $current ev/s vs baseline $baseline ev/s (host_parallelism $host)"
-awk -v b="$baseline" -v c="$current" 'BEGIN {
-  ratio = c / b
-  if (ratio < 0.70) {
-    printf "perf gate: FAIL - %.0f ev/s is %.0f%% of the %.0f ev/s baseline (floor 70%%)\n", c, ratio * 100, b
-    exit 1
-  }
-  printf "perf gate: OK - %.2fx of the checked-in baseline\n", ratio
-}'
+host=$(field "$out/BENCH_parallel.json" host_parallelism)
+echo "perf gate: host_parallelism $host"
+
+fail=0
+# gate <metric-key> <label>: compare fresh vs checked-in, floor 70%.
+gate() {
+  local key="$1" label="$2" base cur
+  base=$(field BENCH_parallel.json "$key")
+  cur=$(field "$out/BENCH_parallel.json" "$key")
+  if [ -z "$base" ] || [ -z "$cur" ]; then
+    echo "perf gate: FAIL - $label ($key) missing from baseline or fresh report"
+    fail=1
+    return
+  fi
+  awk -v b="$base" -v c="$cur" -v l="$label" 'BEGIN {
+    ratio = c / b
+    if (ratio < 0.70) {
+      printf "perf gate: FAIL - %s: %.0f/s is %.0f%% of the %.0f/s baseline (floor 70%%)\n", l, c, ratio * 100, b
+      exit 1
+    }
+    printf "perf gate: OK - %s: %.2fx of the checked-in baseline (%.0f/s vs %.0f/s)\n", l, ratio, c, b
+  }' || fail=1
+}
+
+gate events_per_sec "end-to-end simulation"
+gate tlb_batch_ops_per_sec "batched TLB probe"
+gate walk_sched_batch_ops_per_sec "batched walk scheduler"
+
+if [ "$fail" -ne 0 ]; then
+  echo "perf gate: FAIL"
+  exit 1
+fi
+echo "perf gate: all gated metrics OK"

@@ -327,6 +327,24 @@ impl SchedSide {
         self.ws.try_enqueue(req, now, &mut ctx)
     }
 
+    /// A whole cycle's arrivals through the batched entry point the
+    /// simulator's hot loop uses.
+    fn enqueue_batch(
+        &mut self,
+        reqs: &[WalkRequest],
+        now: Cycle,
+        out: &mut Vec<Result<Option<DispatchedWalk>, walksteal::vm::WalkQueueFull>>,
+    ) {
+        let mut ctx = WalkContext {
+            page_tables: &mut self.page_tables,
+            frames: &mut self.frames,
+            mem: &mut self.mem,
+            mask: None,
+            obs: &mut self.obs,
+        };
+        self.ws.try_enqueue_batch(reqs, now, &mut ctx, out);
+    }
+
     fn complete(&mut self, d: DispatchedWalk) -> Option<DispatchedWalk> {
         let mut ctx = WalkContext {
             page_tables: &mut self.page_tables,
@@ -402,8 +420,10 @@ impl SchedSide {
 }
 
 /// Drives both scheduler implementations through lockstep random N-tenant
-/// traffic, checking the partitioned-scheduler invariants on both sides at
-/// every step and that the two sides' inspection views never diverge.
+/// traffic — the optimized side through the batched enqueue entry point,
+/// the reference side element-wise — checking the partitioned-scheduler
+/// invariants on both sides at every step and that the two sides'
+/// inspection views never diverge.
 /// Returns total steals, so callers can assert the run exercised stealing.
 fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) -> u64 {
     let cfg = WalkConfig {
@@ -426,6 +446,8 @@ fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) 
     let mut now = Cycle::ZERO;
     let mut attempts = 0u64;
     let mut outstanding: Vec<DispatchedWalk> = Vec::new();
+    let mut burst: Vec<WalkRequest> = Vec::new();
+    let mut batch_out = Vec::new();
 
     for step in 0..steps {
         now += 1 + rng.next_below(7);
@@ -447,6 +469,7 @@ fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) 
         // others reaches zero while queues elsewhere are loaded — the only
         // state DWS steals from.
         let solo_phase = (step / 400) % 2 == 1;
+        burst.clear();
         for _ in 0..rng.next_below(5) {
             let t = if solo_phase {
                 TenantId(0)
@@ -456,12 +479,18 @@ fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) 
             // A small working set keeps the PWC hot so walks complete fast
             // enough for solo phases to actually drain the idle tenants.
             let vpn = Vpn((u64::from(t.0) << 32) | rng.next_below(4_000));
-            let req = WalkRequest { tenant: t, vpn };
-            attempts += 1;
-            let ra = a.enqueue(req, now);
+            burst.push(WalkRequest { tenant: t, vpn });
+        }
+        attempts += burst.len() as u64;
+        // The optimized side takes the cycle's arrivals through the
+        // batched entry point the simulator's hot loop uses; the reference
+        // side replays them element-wise. The invariants below must hold
+        // — and the two views agree — either way.
+        a.enqueue_batch(&burst, now, &mut batch_out);
+        for (i, (&req, ra)) in burst.iter().zip(&batch_out).enumerate() {
             let rb = b.enqueue(req, now);
-            assert_eq!(ra, rb, "step {step}: enqueue decision diverged");
-            if let Ok(Some(d)) = ra {
+            assert_eq!(*ra, rb, "step {step}: enqueue decision {i} diverged");
+            if let Ok(Some(d)) = *ra {
                 let pos = outstanding.partition_point(|o| o.done_at <= d.done_at);
                 outstanding.insert(pos, d);
             }
