@@ -5,7 +5,9 @@
 //!       [--max-events N] [--max-cycles N] [--max-wall-ms N]
 //!       [--inject-faults SPEC] [--policy NAME] [--selftest-perf]
 //!       [--tenants N] [--sweep AXIS]
-//!       [--trace FILE [--trace-filter KINDS] [--pair A,B]] [EXPERIMENT ...]
+//!       [--trace FILE [--trace-filter KINDS] [--pair A,B]]
+//!       [--fuzz N [--fuzz-seed S] [--fuzz-budget-ms T]]
+//!       [--fuzz-repro FILE] [--verify-cache [N]] [EXPERIMENT ...]
 //!
 //! EXPERIMENT: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6
 //!             fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation
@@ -47,6 +49,26 @@
 //! `--trace-filter walk,steal,epoch` limits which event kinds are recorded
 //! (kinds: `walk steal pwc pte epoch queue meta`; default: all).
 //!
+//! # Fuzzing
+//!
+//! `--fuzz N` skips the experiment suite and runs a fuzz campaign instead
+//! (see EXPERIMENTS.md and `walksteal_experiments::fuzz`): regression
+//! scenarios under `results/fuzz/` replay first, then N seeded random
+//! scenarios — synthetic tenants, random hardware sweep points, every
+//! policy preset, mid-run repartitions, fault schedules — each checked by
+//! the stacked differential oracle (scheduler lockstep, end-to-end run,
+//! trace replay, fault equivalence). `--fuzz-seed S` picks the campaign
+//! seed (default 42; scenario `i` depends only on `(S, i)`), and
+//! `--fuzz-budget-ms T` bounds the campaign's wall clock. On divergence
+//! the scenario is shrunk to a minimal repro, written under
+//! `results/fuzz/repros/`, and the campaign exits 1; `--fuzz-repro FILE`
+//! deterministically replays such a file through the same oracle stack.
+//!
+//! `--verify-cache [N]` (default 10) audits the on-disk result cache: a
+//! seeded random sample of N cached suite results is re-simulated and
+//! compared byte-for-byte; stale entries are listed and exit code 1 is
+//! returned. `--fuzz-seed` doubles as the sampling seed.
+//!
 //! # Fault tolerance
 //!
 //! The engine survives failing jobs and corrupt cache files instead of
@@ -73,7 +95,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use walksteal_experiments::{
-    parallel, perf, suite, sweep, ExpContext, FaultSpec, JobError, Scale, Store, SweepAxis, Table,
+    fuzz, parallel, perf, suite, sweep, ExpContext, FaultSpec, JobError, Scale, Store, SweepAxis,
+    Table,
 };
 use walksteal_multitenant::{
     JsonlTracer, PolicyPreset, RunBudget, SimulationBuilder, TraceFilter, TraceKind,
@@ -85,7 +108,8 @@ fn usage() -> &'static str {
      [--max-events N] [--max-cycles N] [--max-wall-ms N] [--inject-faults SPEC] \
      [--policy NAME] [--selftest-perf] [--tenants N] [--sweep AXIS] \
      [--trace FILE [--trace-filter KINDS] [--pair A,B]] \
-     [EXPERIMENT ...]\n\
+     [--fuzz N [--fuzz-seed S] [--fuzz-budget-ms T]] [--fuzz-repro FILE] \
+     [--verify-cache [N]] [EXPERIMENT ...]\n\
      experiments: calib fig2 fig3 tab3 doubling fig5 fig6 fig7 tab5 tab6 \
      fig8 fig9 fig10 fig11 fig12 fig13 fig14 ablation \
      tenants tenants3 tenants4 sens_walkers sens_queue sens_l2tlb sens_tenants all\n\
@@ -177,6 +201,102 @@ fn run_trace(
     }
 }
 
+/// Fuzz-campaign mode (`--fuzz N`): replay the corpus, run N generated
+/// scenarios, shrink and serialize the first divergence. Exit contract:
+/// 0 clean, 1 divergence (repro path printed on stderr).
+fn run_fuzz(count: usize, seed: u64, budget_ms: Option<u64>, verbose: bool) -> ExitCode {
+    let mut opts = fuzz::CampaignOptions::new(count);
+    opts.seed = seed;
+    opts.budget = budget_ms.map(Duration::from_millis);
+    opts.verbose = verbose;
+    let outcome = match fuzz::run_campaign(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fuzz: {} corpus + {} generated scenario(s) clean ({} lockstep steals observed){}",
+        outcome.corpus_replayed,
+        outcome.generated,
+        outcome.total_steals,
+        if outcome.out_of_budget {
+            "; stopped on wall-clock budget"
+        } else {
+            ""
+        },
+    );
+    match outcome.divergence {
+        None => ExitCode::SUCCESS,
+        Some((sc, d, path)) => {
+            eprintln!("fuzz: DIVERGENCE in {}: {d}", sc.label);
+            eprintln!("fuzz: minimal repro written to {}", path.display());
+            eprintln!("fuzz: replay with `repro --fuzz-repro {}`", path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Repro-replay mode (`--fuzz-repro FILE`): run one serialized scenario
+/// through the full oracle stack. Exit contract: 0 clean, 1 divergence
+/// (or unreadable file).
+fn run_fuzz_repro(path: &str) -> ExitCode {
+    let sc = match fuzz::load_repro(std::path::Path::new(path)) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("fuzz-repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fuzz-repro: {} — {} tenants, {}, {} walkers, {} steps",
+        sc.label,
+        sc.tenants.len(),
+        sc.preset.label(),
+        sc.walkers,
+        sc.steps,
+    );
+    match fuzz::run_oracles(&sc) {
+        Ok(stats) => {
+            eprintln!(
+                "fuzz-repro: clean ({} steals, {} rejects, {} batched, {} sim events)",
+                stats.steals, stats.rejected, stats.batched, stats.sim_events
+            );
+            ExitCode::SUCCESS
+        }
+        Err(d) => {
+            eprintln!("fuzz-repro: DIVERGENCE: {d}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Cache-audit mode (`--verify-cache [N]`): re-simulate a seeded sample of
+/// cached suite results and compare byte-for-byte. Exit contract: 0 all
+/// sampled entries match (or cache empty), 1 stale entries found.
+fn run_verify_cache(scale: Scale, scale_dir: &str, sample: usize, seed: u64, verbose: bool) -> ExitCode {
+    let audit = suite::verify_cache(scale, std::path::Path::new(scale_dir), sample, seed, verbose);
+    eprintln!(
+        "verify-cache [{}]: {} planned, {} cached, {} absent; checked {} -> {} stale",
+        scale.label(),
+        audit.planned,
+        audit.cached,
+        audit.absent,
+        audit.checked,
+        audit.stale.len(),
+    );
+    if audit.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for key in &audit.stale {
+            eprintln!("  STALE: {key}");
+        }
+        eprintln!("stale entries no longer match the current simulator; delete them and re-run the suite");
+        ExitCode::FAILURE
+    }
+}
+
 /// Prints the end-of-run failure summary (stderr, so tables on stdout stay
 /// byte-identical to a clean run) and picks the process exit code.
 fn summarize_failures(ctx: &ExpContext) -> ExitCode {
@@ -252,9 +372,14 @@ fn main() -> ExitCode {
     let mut pair = [AppId::Gups, AppId::Mm];
     let mut tenants: Option<usize> = None;
     let mut sweeps: Vec<SweepAxis> = Vec::new();
+    let mut fuzz_count: Option<usize> = None;
+    let mut fuzz_seed = 42u64;
+    let mut fuzz_budget_ms: Option<u64> = None;
+    let mut fuzz_repro: Option<String> = None;
+    let mut verify_cache: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
@@ -363,6 +488,45 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--fuzz" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => fuzz_count = Some(n),
+                None => {
+                    eprintln!("--fuzz needs a scenario count\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => fuzz_seed = s,
+                None => {
+                    eprintln!("--fuzz-seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-budget-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => fuzz_budget_ms = Some(n),
+                _ => {
+                    eprintln!("--fuzz-budget-ms needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-repro" => match args.next() {
+                Some(f) => fuzz_repro = Some(f),
+                None => {
+                    eprintln!("--fuzz-repro needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verify-cache" => {
+                // The sample size is optional: `--verify-cache 25` or bare
+                // `--verify-cache` (defaults to 10).
+                verify_cache = match args.peek().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => {
+                        args.next();
+                        Some(n)
+                    }
+                    None => Some(10),
+                };
+            }
             "--inject-faults" => match args.next().map(|s| FaultSpec::parse(&s)) {
                 Some(Ok(spec)) => faults = Some(spec),
                 Some(Err(e)) => {
@@ -407,6 +571,17 @@ fn main() -> ExitCode {
             policy.unwrap_or(PolicyPreset::Dws),
             42,
         );
+    }
+
+    if let Some(path) = fuzz_repro {
+        return run_fuzz_repro(&path);
+    }
+    if let Some(count) = fuzz_count {
+        return run_fuzz(count, fuzz_seed, fuzz_budget_ms, verbose);
+    }
+    if let Some(sample) = verify_cache {
+        let scale_dir = format!("{cache_dir}/{}", scale.label());
+        return run_verify_cache(scale, &scale_dir, sample, fuzz_seed, verbose);
     }
 
     // Reject an unusable tenant count up front, before any simulation

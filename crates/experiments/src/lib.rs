@@ -42,6 +42,7 @@
 //! ```
 
 pub mod fault;
+pub mod fuzz;
 pub mod key;
 pub mod parallel;
 pub mod perf;
@@ -53,6 +54,10 @@ pub mod sweep;
 pub mod timeline;
 
 pub use fault::{FaultSpec, InjectedFault};
+pub use fuzz::{
+    load_repro, run_campaign, run_oracles, shrink, write_repro, CampaignOptions, CampaignOutcome,
+    Divergence, FuzzGen, FuzzScenario, OracleStats, Plant, RepartitionEvent, TenantSource,
+};
 pub use key::ExpKey;
 pub use parallel::{Job, JobError, JobFailure, RunOptions, RunReport};
 pub use report::Table;

@@ -1043,6 +1043,89 @@ pub fn all(ctx: &mut ExpContext) -> Vec<Table> {
     out
 }
 
+/// Every simulation the full suite would run at `scale` with `seed`, as
+/// [`Job`]s, without running any of them: a plan pass of [`all`] against an
+/// empty in-memory store records each cache miss — which, with an empty
+/// store, is every simulation. This is the suite's ground-truth job list
+/// for cache auditing (`repro --verify-cache`).
+#[must_use]
+pub fn planned_jobs(scale: Scale, seed: u64) -> Vec<Job> {
+    let mut ctx = ExpContext::new(scale, Store::in_memory());
+    ctx.seed = seed;
+    ctx.plan = Some(Plan::default());
+    let _ = all(&mut ctx);
+    ctx.plan.take().expect("plan mode set above").jobs
+}
+
+/// What [`verify_cache`] found.
+#[derive(Debug, Default)]
+pub struct CacheAudit {
+    /// Simulations the full suite plans at this scale.
+    pub planned: usize,
+    /// Planned keys present in the cache.
+    pub cached: usize,
+    /// Cached entries re-simulated and compared.
+    pub checked: usize,
+    /// Planned keys absent from the cache (not an error: the cache may be
+    /// partial).
+    pub absent: usize,
+    /// Cached entries whose re-simulation no longer matches byte-for-byte —
+    /// stale results from an older simulator or a corrupted store.
+    pub stale: Vec<ExpKey>,
+}
+
+/// Audits an on-disk result cache against the current simulator:
+/// re-simulates a seeded random sample of up to `sample` cached suite
+/// results at `scale` and compares each against its cached value
+/// byte-for-byte (via the JSON serialization, the cache's own format).
+/// `sample_seed` picks which entries are sampled — the same seed always
+/// audits the same entries.
+#[must_use]
+pub fn verify_cache(
+    scale: Scale,
+    cache_dir: &std::path::Path,
+    sample: usize,
+    sample_seed: u64,
+    verbose: bool,
+) -> CacheAudit {
+    let jobs = planned_jobs(scale, 42);
+    let mut audit = CacheAudit {
+        planned: jobs.len(),
+        ..CacheAudit::default()
+    };
+    let mut store = Store::on_disk(cache_dir);
+    audit.cached = jobs.iter().filter(|j| store.lookup(&j.key).is_some()).count();
+
+    // Fisher–Yates shuffle of the job indices, so the sample is uniform
+    // and deterministic in `sample_seed`.
+    let mut rng = walksteal_sim_core::SimRng::new(sample_seed).split(0xCAC4E);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+
+    for idx in order {
+        if audit.checked >= sample {
+            break;
+        }
+        let job = &jobs[idx];
+        let Some(cached) = store.lookup(&job.key) else {
+            audit.absent += 1;
+            continue;
+        };
+        if verbose {
+            eprintln!("  verify: {}", job.key);
+        }
+        let fresh = job.simulate();
+        audit.checked += 1;
+        if fresh.to_json().dump() != cached.to_json().dump() {
+            audit.stale.push(job.key.clone());
+        }
+    }
+    audit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

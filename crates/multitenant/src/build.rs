@@ -30,33 +30,54 @@ use walksteal_sim_core::metrics::SharedMetrics;
 use walksteal_sim_core::trace::{Observer, Tracer};
 use walksteal_sim_core::{ConfigError, RunBudget, SimError};
 use walksteal_vm::PageSize;
-use walksteal_workloads::AppId;
+use walksteal_workloads::{AppId, AppProfile};
 
 use crate::config::{GpuConfig, PolicyPreset};
 use crate::metrics::SimResult;
 use crate::pipeline::StreamPipelining;
 use crate::sim::Simulation;
 
-/// One tenant in a [`SimulationBuilder`]: which application it runs.
+/// One tenant in a [`SimulationBuilder`]: which application it runs, or —
+/// for fuzzer-generated tenants — an arbitrary behavioral profile.
 ///
-/// Exists as its own type so future per-tenant knobs (SM share, priority)
-/// have a home; today it wraps an [`AppId`] and converts from one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Exists as its own type so per-tenant knobs have a home; it wraps an
+/// [`AppId`] (and converts from one) or carries a full synthetic
+/// [`AppProfile`] overriding the calibrated one.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantSpec {
     app: AppId,
+    profile: Option<AppProfile>,
 }
 
 impl TenantSpec {
-    /// A tenant running `app`.
+    /// A tenant running `app` with its calibrated profile.
     #[must_use]
     pub fn new(app: AppId) -> Self {
-        TenantSpec { app }
+        TenantSpec { app, profile: None }
     }
 
-    /// The application this tenant runs.
+    /// A tenant running an arbitrary behavioral profile (the scenario
+    /// fuzzer's synthetic tenants). The profile's `id` labels the tenant
+    /// in results; behavior comes entirely from the profile's knobs.
+    #[must_use]
+    pub fn synthetic(profile: AppProfile) -> Self {
+        TenantSpec {
+            app: profile.id,
+            profile: Some(profile),
+        }
+    }
+
+    /// The application this tenant runs (the label, for synthetic tenants).
     #[must_use]
     pub fn app(&self) -> AppId {
         self.app
+    }
+
+    /// The behavioral profile this tenant simulates: the synthetic
+    /// override if present, the app's calibrated profile otherwise.
+    #[must_use]
+    pub fn profile(&self) -> AppProfile {
+        self.profile.unwrap_or_else(|| self.app.profile())
     }
 }
 
@@ -249,14 +270,14 @@ impl SimulationBuilder {
         if self.tenants.is_empty() {
             return Err(SimError::InvalidConfig(ConfigError::NoTenants));
         }
-        let apps: Vec<AppId> = self.tenants.iter().map(TenantSpec::app).collect();
-        let mut cfg = self.cfg.try_for_tenants(apps.len())?;
+        let profiles: Vec<AppProfile> = self.tenants.iter().map(TenantSpec::profile).collect();
+        let mut cfg = self.cfg.try_for_tenants(profiles.len())?;
         if let Some(preset) = self.preset {
             cfg = cfg.try_with_preset(preset)?;
         }
-        Ok(Simulation::with_observer(
+        Ok(Simulation::with_profiles(
             cfg,
-            &apps,
+            &profiles,
             self.seed,
             self.obs,
             self.pipelining,
@@ -313,6 +334,49 @@ mod tests {
         assert_eq!(r.tenants.len(), 2);
         assert_eq!(r.tenants[0].app, AppId::Mm);
         assert_eq!(r.tenants[1].app, AppId::Gups);
+    }
+
+    #[test]
+    fn synthetic_tenant_with_calibrated_profile_matches_app_id() {
+        // A synthetic spec carrying an app's own calibrated profile must be
+        // indistinguishable from the plain AppId path — same construction,
+        // same result, bit for bit.
+        let run = |spec: TenantSpec| {
+            small()
+                .tenant(spec)
+                .tenant(AppId::Mm)
+                .preset(PolicyPreset::Dws)
+                .seed(3)
+                .build()
+                .run()
+        };
+        let by_id = run(TenantSpec::new(AppId::Gups));
+        let by_profile = run(TenantSpec::synthetic(AppId::Gups.profile()));
+        assert_eq!(by_id, by_profile);
+    }
+
+    #[test]
+    fn synthetic_profile_changes_behavior() {
+        // A genuinely different profile must actually drive the simulation
+        // differently (the override is not ignored).
+        let mut profile = AppId::Mm.profile();
+        profile.cold_pages = 2048;
+        profile.cold_prob = 0.8;
+        let baseline = small()
+            .tenants([AppId::Mm, AppId::Mm])
+            .preset(PolicyPreset::Dws)
+            .seed(3)
+            .build()
+            .run();
+        let overridden = small()
+            .tenant(TenantSpec::synthetic(profile))
+            .tenant(AppId::Mm)
+            .preset(PolicyPreset::Dws)
+            .seed(3)
+            .build()
+            .run();
+        assert_eq!(overridden.tenants[0].app, AppId::Mm, "label preserved");
+        assert_ne!(baseline, overridden, "profile override had no effect");
     }
 
     #[test]

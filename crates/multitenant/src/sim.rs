@@ -19,7 +19,7 @@ use walksteal_sim_core::{
 use walksteal_vm::{
     walk::WalkContext, FrameAlloc, MaskState, PageTable, Tlb, WalkRequest, WalkSubsystem,
 };
-use walksteal_workloads::{AppId, WarpStream};
+use walksteal_workloads::{AppId, AppProfile, WarpStream};
 
 use crate::config::GpuConfig;
 use crate::metrics::{Sample, SimResult, TenantResult};
@@ -162,13 +162,30 @@ impl Simulation {
         obs: Observer,
         pipelining: StreamPipelining,
     ) -> Self {
-        assert!(!apps.is_empty(), "need at least one tenant");
-        let cfg = cfg.for_tenants(apps.len());
+        let profiles: Vec<AppProfile> = apps.iter().map(|a| a.profile()).collect();
+        Self::with_profiles(cfg, &profiles, seed, obs, pipelining)
+    }
+
+    /// [`with_observer`](Self::with_observer) generalized to arbitrary
+    /// behavioral profiles (one tenant per entry), so synthetic tenants —
+    /// profiles outside the 13 calibrated apps, as drawn by the scenario
+    /// fuzzer — run through the exact same construction path. For
+    /// calibrated profiles this is behaviorally identical to
+    /// `with_observer` (an [`AppId`]'s profile embeds its own id).
+    pub(crate) fn with_profiles(
+        cfg: GpuConfig,
+        profiles: &[AppProfile],
+        seed: u64,
+        obs: Observer,
+        pipelining: StreamPipelining,
+    ) -> Self {
+        assert!(!profiles.is_empty(), "need at least one tenant");
+        let cfg = cfg.for_tenants(profiles.len());
         assert!(
             cfg.n_sms <= usize::from(u16::MAX) && cfg.warps_per_sm <= usize::from(u16::MAX),
             "SM/warp counts must fit the packed u16 event payload"
         );
-        let n_tenants = apps.len();
+        let n_tenants = profiles.len();
         let sms_per_tenant = cfg.n_sms / n_tenants;
         let pipelined = pipelining.enabled();
 
@@ -182,11 +199,10 @@ impl Simulation {
             let tenant = TenantId((sm / sms_per_tenant) as u8);
             sms.push(SmState::new(cfg.sm, tenant));
             for w in 0..cfg.warps_per_sm {
-                let app = apps[tenant.index()];
                 let local_sm = sm % sms_per_tenant;
                 let warp_index = (local_sm * cfg.warps_per_sm + w) as u64;
                 let stream = WarpStream::new(
-                    app.profile(),
+                    profiles[tenant.index()],
                     seed ^ (0x9E37 * (tenant.index() as u64 + 1)),
                     warp_index,
                     cfg.instructions_per_warp,
@@ -210,10 +226,10 @@ impl Simulation {
             }
         }
 
-        let tenants = apps
+        let tenants = profiles
             .iter()
-            .map(|&app| Tenant {
-                app,
+            .map(|p| Tenant {
+                app: p.id,
                 warps_total: sms_per_tenant * cfg.warps_per_sm,
                 warps_finished: 0,
                 launch_cycle: Cycle::ZERO,

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod frame;
+pub mod invariants;
 pub mod mask;
 pub mod page;
 pub mod page_table;

@@ -406,7 +406,8 @@ impl PartSched {
 
 /// Which implementation backs [`WalkPolicyKind::Partitioned`].
 ///
-/// Both implement the same [`PartScheduler`] contract and make bit-identical
+/// Both implement the same (private) `PartScheduler` contract and make
+/// bit-identical
 /// decisions (pinned by `tests/walk_differential.rs`, the `BinaryHeapQueue`
 /// pattern): [`SchedulerImpl::Reference`] is the original scan-based
 /// FWA/TWM/WTM tables, [`SchedulerImpl::Optimized`] the bitmap + arena

@@ -387,6 +387,80 @@ impl AppProfile {
     pub fn pages_per_warp(&self) -> u64 {
         self.hot_pages + self.cold_pages
     }
+
+    /// Serializes the full profile, so synthetic (non-calibrated) tenants
+    /// round-trip through fuzz repro files. The `id` only labels the
+    /// tenant; behavior comes entirely from the knobs.
+    #[must_use]
+    pub fn to_json(&self) -> walksteal_sim_core::Json {
+        use walksteal_sim_core::Json;
+        let (pattern, stride) = match self.hot_pattern {
+            HotPattern::Sequential => ("sequential", None),
+            HotPattern::Strided(s) => ("strided", Some(s)),
+            HotPattern::Random => ("random", None),
+        };
+        let mut obj = vec![
+            ("id".into(), Json::Str(self.id.name().into())),
+            ("mean_compute".into(), Json::Num(self.mean_compute)),
+            ("divergence".into(), Json::UInt(self.divergence as u64)),
+            ("hot_pages".into(), Json::UInt(self.hot_pages)),
+            ("cold_pages".into(), Json::UInt(self.cold_pages)),
+            ("cold_prob".into(), Json::Num(self.cold_prob)),
+            ("warm_pages".into(), Json::UInt(self.warm_pages)),
+            ("warm_prob".into(), Json::Num(self.warm_prob)),
+            ("storm_every_ops".into(), Json::UInt(self.storm_every_ops)),
+            ("storm_ops".into(), Json::UInt(self.storm_ops)),
+            ("storm_cold_prob".into(), Json::Num(self.storm_cold_prob)),
+            ("hot_pattern".into(), Json::Str(pattern.into())),
+            ("length_scale".into(), Json::Num(self.length_scale)),
+        ];
+        if let Some(s) = stride {
+            obj.push(("hot_stride".into(), Json::UInt(s)));
+        }
+        Json::Obj(obj)
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &walksteal_sim_core::Json) -> Result<AppProfile, String> {
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(walksteal_sim_core::Json::as_str)
+                .ok_or_else(|| format!("profile: missing string field `{k}`"))
+        };
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(walksteal_sim_core::Json::as_f64)
+                .ok_or_else(|| format!("profile: missing numeric field `{k}`"))
+        };
+        let uint = |k: &str| {
+            v.get(k)
+                .and_then(walksteal_sim_core::Json::as_u64)
+                .ok_or_else(|| format!("profile: missing integer field `{k}`"))
+        };
+        let id_name = str_field("id")?;
+        let id = AppId::from_name(id_name).ok_or_else(|| format!("profile: unknown app id `{id_name}`"))?;
+        let hot_pattern = match str_field("hot_pattern")? {
+            "sequential" => HotPattern::Sequential,
+            "random" => HotPattern::Random,
+            "strided" => HotPattern::Strided(uint("hot_stride")?),
+            other => return Err(format!("profile: unknown hot_pattern `{other}`")),
+        };
+        Ok(AppProfile {
+            id,
+            mean_compute: num("mean_compute")?,
+            divergence: uint("divergence")? as usize,
+            hot_pages: uint("hot_pages")?,
+            cold_pages: uint("cold_pages")?,
+            cold_prob: num("cold_prob")?,
+            warm_pages: uint("warm_pages")?,
+            warm_prob: num("warm_prob")?,
+            storm_every_ops: uint("storm_every_ops")?,
+            storm_ops: uint("storm_ops")?,
+            storm_cold_prob: num("storm_cold_prob")?,
+            hot_pattern,
+            length_scale: num("length_scale")?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -24,11 +24,13 @@ pub mod apps;
 pub mod mixes;
 pub mod pairs;
 pub mod stream;
+pub mod synth;
 
 pub use apps::{AppId, AppProfile, HotPattern, MpmiClass};
 pub use mixes::{mixes_for, paper_mixes3, paper_mixes4, WorkloadMix, MAX_MIX_TENANTS};
 pub use pairs::{named_pairs, paper_pairs, WorkloadPair};
 pub use stream::{WarpOp, WarpStream};
+pub use synth::synthetic_profile;
 /// Re-exported so callers naming [`WarpOp::refs`]'s element type need not
 /// depend on `walksteal-gpu` directly.
 pub use walksteal_gpu::MemRef;

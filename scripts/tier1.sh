@@ -64,4 +64,15 @@ if grep -qv '^{"ev":' "$SMOKE/trace.jsonl"; then
   exit 1
 fi
 
+echo "== fuzz + cache-audit smoke =="
+# Replay the checked-in corpus plus a short seeded campaign through the
+# stacked differential oracle (scheduler lockstep, batched-vs-scalar,
+# trace-replay self-check, fault equivalence). Any divergence exits 1
+# after writing a minimized repro under results/fuzz/repros/.
+./target/release/repro --fuzz 10 --fuzz-seed 42 2> "$SMOKE/fuzz.txt"
+grep -q "clean" "$SMOKE/fuzz.txt"
+# The cache auditor must pass a sample of the smoke cache populated above.
+./target/release/repro --quick --cache "$SMOKE/cache" --verify-cache 3 2> "$SMOKE/audit.txt"
+grep -q -- "-> 0 stale" "$SMOKE/audit.txt"
+
 echo "tier-1 OK"

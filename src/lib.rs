@@ -78,6 +78,7 @@ pub use walksteal_mem as mem;
 pub use walksteal_multitenant as multitenant;
 pub use walksteal_sim_core as sim;
 pub use walksteal_vm as vm;
+pub use walksteal_vm::invariants;
 pub use walksteal_workloads as workloads;
 
 /// The one-stop import for driving the simulator: builder, policy presets,

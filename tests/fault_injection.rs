@@ -8,6 +8,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use walksteal::experiments::fuzz::{load_repro, run_oracles};
 use walksteal::experiments::store::QUARANTINE_DIR;
 use walksteal::experiments::suite::{self, ExpContext};
 use walksteal::experiments::{FaultSpec, Scale, Store};
@@ -114,6 +115,28 @@ fn bit_flipped_payload_fails_the_checksum_and_heals() {
     );
 
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_fuzz_scenario_covers_batched_paths_and_recovers() {
+    // The fuzzer's fault-equivalence oracle extends the injection coverage
+    // to the batched enqueue entry points: the corpus scenario carries a
+    // fault schedule (one panic + one budget blowout), and the oracle
+    // asserts the faulted-then-recovered store matches a clean run
+    // byte-for-byte while the lockstep stage drives try_enqueue_batch.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/fuzz/shared-queue-faults.json");
+    let sc = load_repro(&path).expect("corpus scenario parses");
+    assert!(sc.faults.is_some(), "this scenario must inject faults");
+
+    let stats = run_oracles(&sc).unwrap_or_else(|d| panic!("scenario diverged: {d}"));
+    assert!(
+        stats.batched > 0,
+        "the lockstep oracle must exercise batched enqueues"
+    );
+    assert_eq!(
+        stats.fault_jobs, 3,
+        "the fault-equivalence oracle runs its three-job comparison"
+    );
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! End-to-end exercises of the scenario fuzzer: generation must be
+//! deterministic in the seed, scenarios must round-trip through the repro
+//! JSON format, the checked-in corpus must replay clean against the full
+//! oracle stack, a planted bug must be detected / shrunk / replayable from
+//! its repro file, and the cache auditor must tell fresh results from
+//! stale ones.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use walksteal::experiments::fuzz::{
+    load_repro, run_campaign, run_oracles, shrink, write_repro, CampaignOptions, FuzzGen,
+    FuzzScenario, Plant,
+};
+use walksteal::experiments::suite::{planned_jobs, verify_cache};
+use walksteal::experiments::{Scale, Store};
+
+/// A fresh scratch directory unique to this test process.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("walksteal-fuzz-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The checked-in regression corpus under `results/fuzz/`.
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results/fuzz")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("results/fuzz exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn same_seed_generates_the_same_scenarios() {
+    let a = FuzzGen::new(42);
+    let b = FuzzGen::new(42);
+    let c = FuzzGen::new(43);
+    let mut any_differs = false;
+    for i in 0..25 {
+        let sa = a.scenario(i).to_json().dump();
+        let sb = b.scenario(i).to_json().dump();
+        assert_eq!(sa, sb, "scenario {i} must be deterministic in the seed");
+        if sa != c.scenario(i).to_json().dump() {
+            any_differs = true;
+        }
+    }
+    assert!(any_differs, "different seeds must explore different scenarios");
+
+    // Scenario index i is independent of whether 0..i were generated first.
+    let fresh = FuzzGen::new(42).scenario(17).to_json().dump();
+    assert_eq!(fresh, a.scenario(17).to_json().dump());
+}
+
+#[test]
+fn generated_scenarios_round_trip_through_repro_json() {
+    let gen = FuzzGen::new(7);
+    for i in 0..25 {
+        let sc = gen.scenario(i);
+        let parsed = FuzzScenario::from_json(&sc.to_json())
+            .unwrap_or_else(|e| panic!("scenario {i} failed to re-parse: {e}"));
+        assert_eq!(
+            sc.to_json().dump(),
+            parsed.to_json().dump(),
+            "scenario {i} must survive a JSON round trip"
+        );
+        // Every generated scenario must also map to a valid configuration.
+        sc.config()
+            .unwrap_or_else(|e| panic!("scenario {i} has an invalid config: {e}"));
+    }
+}
+
+#[test]
+fn corpus_scenarios_replay_clean() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "the checked-in corpus should have at least 3 scenarios, found {}",
+        files.len()
+    );
+    for path in files {
+        let sc = load_repro(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stats = run_oracles(&sc)
+            .unwrap_or_else(|d| panic!("corpus scenario {} diverged: {d}", path.display()));
+        assert!(stats.sim_events > 0, "{}: simulation ran", path.display());
+    }
+}
+
+#[test]
+fn planted_bug_is_detected_shrunk_and_replayable() {
+    // A scenario that is clean as generated...
+    let mut sc = FuzzGen::new(42).scenario(0);
+    assert!(run_oracles(&sc).is_ok(), "scenario must be clean unplanted");
+
+    // ...diverges once the reference side silently drops enqueues.
+    sc.plant = Plant::DropReferenceEnqueues;
+    let div = run_oracles(&sc).expect_err("planted bug must be detected");
+    assert_eq!(div.stage, "lockstep", "the lockstep oracle catches it: {div}");
+
+    // The shrinker must converge to a no-larger scenario that still fails.
+    let (min, min_div, evals) = shrink(&sc, 120);
+    assert!(evals > 0, "shrinking evaluates candidates");
+    assert!(min.steps <= sc.steps);
+    assert!(min.tenants.len() <= sc.tenants.len());
+    assert_eq!(min_div.stage, "lockstep");
+    let replayed = run_oracles(&min).expect_err("shrunk scenario must still diverge");
+    assert_eq!(replayed.stage, min_div.stage);
+
+    // The written repro round-trips and replays to the same divergence.
+    let dir = scratch_dir("planted");
+    let path = write_repro(&dir, &min).expect("write repro file");
+    let loaded = load_repro(&path).expect("repro file parses");
+    assert_eq!(loaded.to_json().dump(), min.to_json().dump());
+    assert!(run_oracles(&loaded).is_err(), "repro replays the failure");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn small_campaign_is_clean_and_deterministic() {
+    let repros = scratch_dir("campaign");
+    let mut opts = CampaignOptions::new(4);
+    opts.seed = 42;
+    opts.corpus_dir = corpus_dir();
+    opts.repro_dir = repros.clone();
+
+    let first = run_campaign(&opts).expect("campaign runs");
+    assert!(first.divergence.is_none(), "campaign must come back clean");
+    assert_eq!(first.generated, 4);
+    assert!(first.corpus_replayed >= 3, "corpus replays as regressions");
+    assert!(!first.out_of_budget);
+    assert!(first.total_steals > 0, "the campaign must exercise stealing");
+
+    // Same seed, same campaign.
+    let second = run_campaign(&opts).expect("campaign runs again");
+    assert_eq!(second.generated, first.generated);
+    assert_eq!(second.total_steals, first.total_steals);
+    let _ = fs::remove_dir_all(&repros);
+}
+
+#[test]
+fn verify_cache_tells_fresh_results_from_stale_ones() {
+    let jobs = planned_jobs(Scale::Quick, 42);
+    assert!(
+        jobs.len() > 100,
+        "the quick suite plans hundreds of simulations, got {}",
+        jobs.len()
+    );
+
+    // Seed a cache with one genuine result; the audit must pass it.
+    let dir = scratch_dir("verify-cache");
+    let fresh = jobs[0].simulate();
+    let mut store = Store::on_disk(&dir);
+    store.insert(&jobs[0].key, fresh.clone());
+    drop(store);
+
+    let audit = verify_cache(Scale::Quick, &dir, usize::MAX, 1, false);
+    assert_eq!(audit.planned, jobs.len());
+    assert_eq!(audit.cached, 1);
+    assert_eq!(audit.checked, 1);
+    assert!(audit.stale.is_empty(), "a genuine result is not stale");
+
+    // Overwrite it with a different job's result; the audit must flag it.
+    let wrong = jobs[1].simulate();
+    assert_ne!(
+        fresh.to_json().dump(),
+        wrong.to_json().dump(),
+        "distinct jobs produce distinct results"
+    );
+    let mut store = Store::on_disk(&dir);
+    store.insert(&jobs[0].key, wrong);
+    drop(store);
+
+    let audit = verify_cache(Scale::Quick, &dir, usize::MAX, 1, false);
+    assert_eq!(audit.checked, 1);
+    assert_eq!(audit.stale, vec![jobs[0].key.clone()]);
+    let _ = fs::remove_dir_all(&dir);
+}

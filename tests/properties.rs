@@ -6,6 +6,7 @@
 //! property-testing crate), so failures reproduce exactly: the case index
 //! in the assertion message pins down the failing input.
 
+use walksteal::invariants;
 use walksteal::mem::{AccessKind, Cache, CacheConfig, MemSystem, MemSystemConfig};
 use walksteal::sim::{Cycle, EventQueue, LineAddr, Observer, Ppn, SimRng, TenantId, Vpn};
 use walksteal::vm::walk::WalkContext;
@@ -357,65 +358,28 @@ impl SchedSide {
         let pre_stolen = self.ws.walker_stolen_bits().expect("partitioned");
         let (_, next) = self.ws.on_walker_done(d.walker, d.done_at, &mut ctx);
         if let Some(n) = next {
-            self.check_no_consecutive_steal(&pre_depths, &pre_stolen, n.walker.index());
+            // The FWA no-consecutive-steals rule, shared with the fuzzer
+            // through the library invariants module.
+            invariants::check_no_consecutive_steal(
+                &self.ws,
+                &pre_depths,
+                &pre_stolen,
+                n.walker.index(),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         }
         next
     }
 
-    /// The FWA no-consecutive-steals rule, checked from the outside: a
-    /// walker whose previous walk was stolen and whose own queue had work
-    /// must not have picked up another stolen walk.
-    fn check_no_consecutive_steal(&self, pre_depths: &[usize], pre_stolen: &[bool], w: usize) {
-        let post_stolen = self.ws.walker_stolen_bits().expect("partitioned");
-        if post_stolen[w] && pre_depths[w] > 0 {
-            assert!(
-                !pre_stolen[w],
-                "walker {w} stole twice in a row with its own queue non-empty"
-            );
-        }
-    }
-
     /// Checks the conservation and occupancy invariants against the
-    /// scheduler's own PEND_WALKS / queue-depth / ownership views.
+    /// scheduler's own PEND_WALKS / queue-depth / ownership views, through
+    /// the shared [`walksteal::invariants`] implementation.
     fn check_invariants(&self, attempts: u64, at: &str) {
-        let stats = self.ws.stats();
-        let pend = self.ws.pend_walks().expect("partitioned");
-        let depths = self.ws.walker_queue_depths().expect("partitioned");
-        let owners = self.ws.walker_owners().expect("partitioned");
-        let busy = self.ws.busy_per_tenant();
-
-        // Every accepted walk is completed or still pending, per tenant.
-        for (t, &p) in pend.iter().enumerate() {
-            assert_eq!(
-                stats.enqueued[t],
-                stats.completed[t] + u64::from(p),
-                "{at}: tenant {t} walk conservation (PEND_WALKS)"
-            );
-            // PEND_WALKS is exactly the tenant's queued walks (which live
-            // only in its own walkers' queues) plus its in-service walks
-            // (wherever they run, stolen or not).
-            let queued: usize = depths
-                .iter()
-                .zip(&owners)
-                .filter(|&(_, &o)| o == TenantId(t as u8))
-                .map(|(&d, _)| d)
-                .sum();
-            assert_eq!(
-                p as usize,
-                queued + busy[t],
-                "{at}: tenant {t} PEND_WALKS != owned-queue occupancy + in-service"
-            );
-        }
-        // Every enqueue attempt was either accepted or rejected.
-        let accepted: u64 = stats.enqueued.iter().sum();
-        let rejected: u64 = stats.rejected.iter().sum();
-        assert_eq!(attempts, accepted + rejected, "{at}: attempts unaccounted");
-        // The aggregate queue occupancy agrees with the per-walker view.
-        assert_eq!(
-            self.ws.queued_len(),
-            depths.iter().sum::<usize>(),
-            "{at}: queued_len != sum of walker queue depths"
-        );
+        // This suite only constructs partitioned schedulers; make sure the
+        // library checks are exercising the per-tenant views, not silently
+        // taking the non-partitioned early-out.
+        assert!(self.ws.pend_walks().is_some(), "{at}: expected partitioned");
+        invariants::check_scheduler(&self.ws, attempts, at).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -498,17 +462,8 @@ fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) 
 
         a.check_invariants(attempts, &format!("optimized step {step}"));
         b.check_invariants(attempts, &format!("reference step {step}"));
-        assert_eq!(a.ws.pend_walks(), b.ws.pend_walks(), "step {step}");
-        assert_eq!(
-            a.ws.walker_queue_depths(),
-            b.ws.walker_queue_depths(),
-            "step {step}"
-        );
-        assert_eq!(
-            a.ws.walker_stolen_bits(),
-            b.ws.walker_stolen_bits(),
-            "step {step}"
-        );
+        invariants::check_views_agree(&a.ws, &b.ws, &format!("step {step}"))
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     // Drain, then the terminal state must conserve everything.
@@ -523,9 +478,7 @@ fn drive_invariants(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) 
         }
     }
     for side in [&a, &b] {
-        side.check_invariants(attempts, "terminal");
-        assert_eq!(side.ws.busy_walkers(), 0, "walks left in flight");
-        assert_eq!(side.ws.queued_len(), 0, "walks left queued");
+        invariants::check_drained(&side.ws, attempts, "terminal").unwrap_or_else(|e| panic!("{e}"));
     }
     a.ws.stats().stolen.iter().sum()
 }
