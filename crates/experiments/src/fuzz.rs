@@ -128,6 +128,22 @@ pub struct RepartitionEvent {
     pub active: Vec<bool>,
 }
 
+/// One arrival or departure on a fuzz scenario's tenancy timeline: at
+/// lockstep step `step`, the tenant departs (its queued walks are
+/// cancelled and the walkers repartition among the residents) or
+/// re-arrives (walkers repartition to include it again) — the
+/// scheduler-level shape of the scenario engine's `Arrive`/`Depart`
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Lockstep step the event fires before.
+    pub step: usize,
+    /// The tenant arriving or departing.
+    pub tenant: usize,
+    /// `true` = departure (cancel + repartition), `false` = arrival.
+    pub depart: bool,
+}
+
 /// A deliberately wrong scheduler shim, used only by tests to prove the
 /// divergence → shrink → repro pipeline works end to end. Never set by the
 /// generator; round-trips through repro files so a planted repro replays
@@ -173,6 +189,10 @@ pub struct FuzzScenario {
     pub steps: usize,
     /// Mid-run repartition schedule, sorted by step.
     pub repartition: Vec<RepartitionEvent>,
+    /// Arrival/departure timeline, sorted by step. Interleaves with
+    /// `repartition` (at a step tie, repartitions apply first); the merged
+    /// schedule never leaves every tenant departed.
+    pub churn: Vec<ChurnEvent>,
     /// Fault-injection schedule (an `--inject-faults` spec string), if any.
     pub faults: Option<String>,
     /// Test-only planted bug (see [`Plant`]).
@@ -188,6 +208,8 @@ pub struct OracleStats {
     pub steals: u64,
     /// Enqueue attempts rejected (queue full) in the lockstep stage.
     pub rejected: u64,
+    /// Queued walks cancelled by timeline departures in the lockstep stage.
+    pub cancelled: u64,
     /// Requests that went through `try_enqueue_batch` on the optimized side.
     pub batched: u64,
     /// Events the end-to-end simulation processed.
@@ -285,6 +307,28 @@ impl FuzzScenario {
                 ),
             ),
         ];
+        if !self.churn.is_empty() {
+            obj.push((
+                "churn".into(),
+                Json::Arr(
+                    self.churn
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("step".into(), Json::UInt(e.step as u64)),
+                                ("tenant".into(), Json::UInt(e.tenant as u64)),
+                                (
+                                    "kind".into(),
+                                    Json::Str(
+                                        if e.depart { "depart" } else { "arrive" }.into(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if let Some(f) = &self.faults {
             obj.push(("faults".into(), Json::Str(f.clone())));
         }
@@ -351,6 +395,39 @@ impl FuzzScenario {
                 })
                 .collect::<Result<Vec<_>, String>>()?,
         };
+        let churn = match v.get("churn").and_then(Json::as_array) {
+            None => Vec::new(),
+            Some(evs) => evs
+                .iter()
+                .map(|e| {
+                    let step = e
+                        .get("step")
+                        .and_then(Json::as_u64)
+                        .ok_or("churn event: missing `step`")? as usize;
+                    let tenant = e
+                        .get("tenant")
+                        .and_then(Json::as_u64)
+                        .ok_or("churn event: missing `tenant`")? as usize;
+                    let depart = match e.get("kind").and_then(Json::as_str) {
+                        Some("depart") => true,
+                        Some("arrive") => false,
+                        _ => return Err("churn event: `kind` must be depart|arrive".into()),
+                    };
+                    if tenant >= tenants.len() {
+                        return Err(format!(
+                            "churn event: tenant {tenant} out of range for {} tenants",
+                            tenants.len()
+                        ));
+                    }
+                    Ok(ChurnEvent {
+                        step,
+                        tenant,
+                        depart,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        check_timeline(tenants.len(), &repartition, &churn)?;
         let faults = match v.get("faults") {
             None | Some(Json::Null) => None,
             Some(f) => {
@@ -381,6 +458,7 @@ impl FuzzScenario {
             instructions_per_warp: uint("instructions_per_warp")?,
             steps: uint("steps")? as usize,
             repartition,
+            churn,
             faults,
             plant,
         };
@@ -405,6 +483,35 @@ impl FuzzScenario {
         }
         Ok(sc)
     }
+}
+
+/// Replays the merged repartition + churn schedule (step order;
+/// repartitions first at a tie — the order [`lockstep`] applies them) and
+/// rejects any point where every tenant is departed: the partitioned
+/// scheduler cannot leave its walkers ownerless.
+fn check_timeline(
+    n_tenants: usize,
+    repartition: &[RepartitionEvent],
+    churn: &[ChurnEvent],
+) -> Result<(), String> {
+    let mut active = vec![true; n_tenants];
+    let (mut r, mut c) = (0usize, 0usize);
+    while r < repartition.len() || c < churn.len() {
+        let take_repart = c >= churn.len()
+            || (r < repartition.len() && repartition[r].step <= churn[c].step);
+        if take_repart {
+            active.clone_from(&repartition[r].active);
+            r += 1;
+        } else {
+            let e = &churn[c];
+            active[e.tenant] = !e.depart;
+            c += 1;
+        }
+        if !active.iter().any(|&b| b) {
+            return Err("timeline departs every tenant (no walker owner left)".into());
+        }
+    }
+    Ok(())
 }
 
 /// The seeded scenario generator. Scenario `i` depends only on `(seed, i)`
@@ -460,6 +567,42 @@ impl FuzzGen {
         } else {
             Vec::new()
         };
+        // Arrival/departure timelines only on repartition-free scenarios:
+        // both kinds mutate the same active mask, and keeping them apart
+        // makes a shrunk repro's schedule readable. Events stay coherent
+        // by construction — depart a resident (never the last one),
+        // re-arrive a departed tenant.
+        let churn = if repartition.is_empty() && rng.chance(0.4) {
+            let n_events = 1 + rng.next_below(4) as usize;
+            let mut resident = vec![true; n_tenants];
+            let mut evs: Vec<ChurnEvent> = Vec::new();
+            let mut steps_at: Vec<usize> = (0..n_events)
+                .map(|_| rng.next_below(steps as u64) as usize)
+                .collect();
+            steps_at.sort_unstable();
+            for step in steps_at {
+                let departed: Vec<usize> =
+                    (0..n_tenants).filter(|&t| !resident[t]).collect();
+                let residents: Vec<usize> =
+                    (0..n_tenants).filter(|&t| resident[t]).collect();
+                let (tenant, depart) = if !departed.is_empty() && rng.chance(0.5) {
+                    (departed[rng.next_below(departed.len() as u64) as usize], false)
+                } else if residents.len() > 1 {
+                    (residents[rng.next_below(residents.len() as u64) as usize], true)
+                } else {
+                    continue; // sole resident: nothing coherent to do here
+                };
+                resident[tenant] = !depart;
+                evs.push(ChurnEvent {
+                    step,
+                    tenant,
+                    depart,
+                });
+            }
+            evs
+        } else {
+            Vec::new()
+        };
         let faults = rng
             .chance(0.3)
             .then(|| format!("panic=1,budget=1,seed={}", rng.next_below(1000)));
@@ -476,6 +619,7 @@ impl FuzzGen {
             instructions_per_warp: 150 + rng.next_below(251),
             steps,
             repartition,
+            churn,
             faults,
             plant: Plant::None,
         }
@@ -594,6 +738,8 @@ fn lockstep(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<OracleStats, Divergenc
     let mut burst: Vec<WalkRequest> = Vec::new();
     let mut batch_out = Vec::new();
     let mut next_repart = 0usize;
+    let mut next_churn = 0usize;
+    let mut cancelled = 0u64;
     let mut repartitioned = false;
     // A departed (inactive) tenant owns no walkers and sends no more
     // requests — traffic only targets active tenants, like production.
@@ -611,6 +757,31 @@ fn lockstep(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<OracleStats, Divergenc
             b.ws.set_active_tenants(active);
             active_mask.clone_from(active);
             next_repart += 1;
+            repartitioned = true;
+            a.strict_steals = false;
+            b.strict_steals = false;
+        }
+
+        while next_churn < sc.churn.len() && sc.churn[next_churn].step <= step {
+            let e = sc.churn[next_churn];
+            if e.depart {
+                // The production departure sequence: cancel the tenant's
+                // queued walks (the shootdown), then repartition. Both
+                // sides must shed the same number of walks.
+                let ca = a.ws.cancel_tenant(TenantId(e.tenant as u8));
+                let cb = b.ws.cancel_tenant(TenantId(e.tenant as u8));
+                if ca != cb {
+                    return Err(div(format!(
+                        "step {step}: departure of tenant {} cancelled {ca} vs {cb} walks",
+                        e.tenant
+                    )));
+                }
+                cancelled += ca;
+            }
+            active_mask[e.tenant] = !e.depart;
+            a.ws.set_active_tenants(&active_mask);
+            b.ws.set_active_tenants(&active_mask);
+            next_churn += 1;
             repartitioned = true;
             a.strict_steals = false;
             b.strict_steals = false;
@@ -718,6 +889,7 @@ fn lockstep(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<OracleStats, Divergenc
     Ok(OracleStats {
         steals: stats.stolen.iter().sum(),
         rejected: stats.rejected.iter().sum(),
+        cancelled,
         batched,
         ..OracleStats::default()
     })
@@ -846,6 +1018,7 @@ fn fault_equivalence(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<usize, Diverg
             cfg: cfg.clone(),
             apps: apps.clone(),
             seed: sc.seed ^ k,
+            scenario: None,
         })
         .collect();
     let opts_clean = RunOptions {
@@ -926,15 +1099,29 @@ fn candidates(sc: &FuzzScenario) -> Vec<FuzzScenario> {
                 e.active.remove(drop);
                 e.active.iter().any(|&b| b)
             });
-            out.push(c);
+            // The dropped tenant's arrivals/departures go with it; the
+            // survivors' events shift down one index.
+            c.churn.retain(|e| e.tenant != drop);
+            for e in &mut c.churn {
+                if e.tenant > drop {
+                    e.tenant -= 1;
+                }
+            }
+            // Removing a tenant can leave a timeline that departs every
+            // survivor — such a candidate cannot run.
+            if check_timeline(n, &c.repartition, &c.churn).is_ok() {
+                out.push(c);
+            }
         }
     }
 
-    // Shorten the run.
+    // Shorten the run. (Truncating the schedules keeps a prefix of each
+    // tenant's arrive/depart alternation, so the timeline stays coherent.)
     if sc.steps > 25 {
         let mut c = sc.clone();
         c.steps /= 2;
         c.repartition.retain(|e| e.step < c.steps);
+        c.churn.retain(|e| e.step < c.steps);
         out.push(c);
     }
 
@@ -943,6 +1130,16 @@ fn candidates(sc: &FuzzScenario) -> Vec<FuzzScenario> {
         let mut c = sc.clone();
         c.repartition.remove(drop);
         out.push(c);
+    }
+    for drop in 0..sc.churn.len() {
+        let mut c = sc.clone();
+        c.churn.remove(drop);
+        // Dropping one event can break the alternation in a way that
+        // departs everyone (e.g. losing the re-arrival between two
+        // departures); skip candidates that cannot run.
+        if check_timeline(c.tenants.len(), &c.repartition, &c.churn).is_ok() {
+            out.push(c);
+        }
     }
     if sc.faults.is_some() {
         let mut c = sc.clone();

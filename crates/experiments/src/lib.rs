@@ -28,7 +28,11 @@
 //! tabulates the curated three- and four-tenant mixes (`tenants3` /
 //! `tenants4`), and [`sweep::sens`] sweeps a [`sweep::SweepAxis`] (walkers,
 //! queue depth, L2-TLB size, tenant count) as gmean-over-mixes tables
-//! (`sens_*`, `repro --sweep`).
+//! (`sens_*`, `repro --sweep`). The [`churn`] module takes the engine
+//! dynamic: seeded arrival/departure timelines under per-tenant SLOs
+//! ([`churn::churn_light`] / [`churn::churn_heavy`], `repro --suite`),
+//! an arrival-intensity sweep ([`churn::sens_churn`]), and hand-written
+//! scenario JSON via `repro --scenario FILE`.
 //!
 //! Runs are cached on disk (see [`store::Store`]), so re-running the suite
 //! re-simulates only what is missing, and separate experiments share the
@@ -41,6 +45,7 @@
 //! repro --quick fig5   # one experiment at smoke-test scale
 //! ```
 
+pub mod churn;
 pub mod fault;
 pub mod fuzz;
 pub mod key;
@@ -53,10 +58,12 @@ pub mod suite;
 pub mod sweep;
 pub mod timeline;
 
+pub use churn::{scenario_from_plan, ChurnKind};
 pub use fault::{FaultSpec, InjectedFault};
 pub use fuzz::{
     load_repro, run_campaign, run_oracles, shrink, write_repro, CampaignOptions, CampaignOutcome,
-    Divergence, FuzzGen, FuzzScenario, OracleStats, Plant, RepartitionEvent, TenantSource,
+    ChurnEvent, Divergence, FuzzGen, FuzzScenario, OracleStats, Plant, RepartitionEvent,
+    TenantSource,
 };
 pub use key::ExpKey;
 pub use parallel::{Job, JobError, JobFailure, RunOptions, RunReport};

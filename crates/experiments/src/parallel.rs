@@ -39,7 +39,9 @@ use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex, MutexGuard, Once, PoisonError};
 
-use walksteal_multitenant::{GpuConfig, RunBudget, SimError, SimResult, SimulationBuilder};
+use walksteal_multitenant::{
+    GpuConfig, RunBudget, ScenarioSpec, SimError, SimResult, SimulationBuilder,
+};
 use walksteal_workloads::AppId;
 
 use crate::fault::InjectedFault;
@@ -53,10 +55,14 @@ pub struct Job {
     pub key: ExpKey,
     /// Full hardware/policy configuration.
     pub cfg: GpuConfig,
-    /// Tenant applications, in tenant order.
+    /// Tenant applications, in tenant order (for a scenario job, the
+    /// arrivals in arrival order — informational; the spec drives the run).
     pub apps: Vec<AppId>,
     /// Base workload seed.
     pub seed: u64,
+    /// When set, the job is a churn run: the builder takes this scenario
+    /// instead of a static tenant list.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl Job {
@@ -80,10 +86,11 @@ impl Job {
     /// or budgets are attached.
     #[must_use]
     pub fn builder(&self) -> SimulationBuilder {
-        SimulationBuilder::new()
-            .config(self.cfg.clone())
-            .tenants(self.apps.iter().copied())
-            .seed(self.seed)
+        let builder = SimulationBuilder::new().config(self.cfg.clone()).seed(self.seed);
+        match &self.scenario {
+            Some(spec) => builder.scenario(spec.clone()),
+            None => builder.tenants(self.apps.iter().copied()),
+        }
     }
 }
 
@@ -447,6 +454,7 @@ mod tests {
                     cfg,
                     apps: pair.apps().to_vec(),
                     seed,
+                    scenario: None,
                 }
             })
             .collect()

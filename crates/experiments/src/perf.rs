@@ -411,6 +411,7 @@ fn scaling_jobs(n: usize) -> Vec<Job> {
                 cfg,
                 apps: pair.apps().to_vec(),
                 seed,
+                scenario: None,
             }
         })
         .collect()

@@ -149,7 +149,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// let mut runs = 0;
 /// let make = |runs: &mut u32| {
 ///     *runs += 1;
-///     SimResult { tenants: vec![], cycles: 1, events: 0, timeline: vec![] }
+///     SimResult { tenants: vec![], cycles: 1, events: 0, timeline: vec![], churn: None }
 /// };
 /// store.get_or_run(&key, || make(&mut runs));
 /// store.get_or_run(&key, || make(&mut runs));
@@ -403,6 +403,7 @@ mod tests {
             cycles,
             events: 0,
             timeline: Vec::new(),
+            churn: None,
         }
     }
 

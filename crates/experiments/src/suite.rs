@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use walksteal_multitenant::{
-    fairness, weighted_ipc, GpuConfig, PolicyPreset, RunBudget, SimResult, SimulationBuilder,
-    TenantResult,
+    fairness, weighted_ipc, ChurnReport, GpuConfig, PolicyPreset, RunBudget, ScenarioSpec,
+    SimResult, SimulationBuilder, TenantChurn, TenantResult,
 };
 use walksteal_sim_core::gmean;
 use walksteal_vm::PageSize;
@@ -91,7 +91,36 @@ fn placeholder(apps: &[AppId]) -> SimResult {
         cycles: 1,
         events: 0,
         timeline: Vec::new(),
+        churn: None,
     }
+}
+
+/// The scenario-run placeholder: [`placeholder`] plus a structurally valid
+/// churn report (every tenant resident for the whole 1-cycle run), so churn
+/// tables can read `SimResult::churn` unconditionally during a plan pass.
+fn placeholder_churn(apps: &[AppId]) -> SimResult {
+    let mut r = placeholder(apps);
+    r.churn = Some(ChurnReport {
+        tenants: apps
+            .iter()
+            .map(|_| TenantChurn {
+                arrived: Some(0),
+                departed: None,
+                evicted: false,
+                slo_target: None,
+                slo_checks: 0,
+                slo_met: 0,
+                throttled_checks: 0,
+                cancelled_walks: 0,
+                lifetime_instructions: 1,
+                lifetime_cycles: 1,
+            })
+            .collect(),
+        evictions: 0,
+        repartitions: 0,
+        throttles: 0,
+    });
+    r
 }
 
 impl ExpContext {
@@ -198,6 +227,7 @@ impl ExpContext {
                     cfg,
                     apps: apps.to_vec(),
                     seed: self.seed,
+                    scenario: None,
                 });
             }
             return placeholder(apps);
@@ -211,6 +241,52 @@ impl ExpContext {
             SimulationBuilder::new()
                 .config(cfg)
                 .tenants(apps.iter().copied())
+                .seed(seed)
+                .build()
+                .run()
+        })
+    }
+
+    /// Runs (or recalls) a churn scenario under `cfg`. The key's apps must
+    /// list the scenario's arrivals in arrival order. `seed` is explicit
+    /// (rather than `self.seed`) because churn rows sweep the plan seed,
+    /// and the simulation seed must match the plan that generated the
+    /// timeline.
+    pub fn scenario_run(
+        &mut self,
+        key: ExpKey,
+        cfg: GpuConfig,
+        spec: &ScenarioSpec,
+        seed: u64,
+    ) -> SimResult {
+        if self.dead.contains(&key) {
+            return placeholder_churn(&key.apps());
+        }
+        if self.plan.is_some() {
+            if let Some(r) = self.store.lookup(&key) {
+                return r;
+            }
+            let plan = self.plan.as_mut().expect("checked above");
+            if plan.seen.insert(key.clone()) {
+                plan.jobs.push(Job {
+                    apps: key.apps(),
+                    key: key.clone(),
+                    cfg,
+                    seed,
+                    scenario: Some(spec.clone()),
+                });
+            }
+            return placeholder_churn(&key.apps());
+        }
+        let verbose = self.verbose;
+        let spec = spec.clone();
+        self.store.get_or_run(&key, || {
+            if verbose {
+                eprintln!("  sim: {key}");
+            }
+            SimulationBuilder::new()
+                .config(cfg)
+                .scenario(spec)
                 .seed(seed)
                 .build()
                 .run()

@@ -32,15 +32,21 @@ pub enum SweepAxis {
     L2Tlb,
     /// Co-running tenant count (each point runs its own curated mix set).
     Tenants,
+    /// Churn intensity: the mean inter-arrival gap of seeded churn
+    /// timelines (residency scales in proportion). Points are gap values
+    /// in cycles, densest churn last; the table reports weighted speedup
+    /// over lifetime (see [`churn::sens_churn`](crate::churn::sens_churn)).
+    Churn,
 }
 
 impl SweepAxis {
     /// Every axis, in presentation order.
-    pub const ALL: [SweepAxis; 4] = [
+    pub const ALL: [SweepAxis; 5] = [
         SweepAxis::Walkers,
         SweepAxis::Queue,
         SweepAxis::L2Tlb,
         SweepAxis::Tenants,
+        SweepAxis::Churn,
     ];
 
     /// The CLI name (`repro --sweep <name>`, experiment `sens_<name>`).
@@ -51,6 +57,7 @@ impl SweepAxis {
             SweepAxis::Queue => "queue",
             SweepAxis::L2Tlb => "l2tlb",
             SweepAxis::Tenants => "tenants",
+            SweepAxis::Churn => "churn",
         }
     }
 
@@ -62,6 +69,7 @@ impl SweepAxis {
             SweepAxis::Queue => &[96, 192, 384],
             SweepAxis::L2Tlb => &[512, 1024, 2048],
             SweepAxis::Tenants => &[2, 3, 4],
+            SweepAxis::Churn => &crate::churn::CHURN_GAPS,
         }
     }
 
@@ -71,6 +79,7 @@ impl SweepAxis {
             SweepAxis::Queue => "walk-queue entries",
             SweepAxis::L2Tlb => "L2 TLB entries",
             SweepAxis::Tenants => "tenant count",
+            SweepAxis::Churn => "churn intensity",
         }
     }
 }
@@ -92,6 +101,7 @@ impl FromStr for SweepAxis {
             "queue" | "queues" | "queue_entries" => Ok(SweepAxis::Queue),
             "l2tlb" | "l2-tlb" | "tlb" | "l2_tlb" => Ok(SweepAxis::L2Tlb),
             "tenants" | "n_tenants" => Ok(SweepAxis::Tenants),
+            "churn" => Ok(SweepAxis::Churn),
             _ => Err(format!(
                 "unknown sweep axis {s:?} (expected one of: {})",
                 SweepAxis::ALL.map(SweepAxis::name).join(", ")
@@ -130,6 +140,9 @@ fn point_config(
             point,
         ),
         SweepAxis::Tenants => (base.with_walkers(walkers_for_tenants(n)), n),
+        // Churn sweeps the timeline, not the machine: every point runs the
+        // canonical n-tenant hardware (sens() delegates the table itself).
+        SweepAxis::Churn => (base.with_walkers(walkers_for_tenants(n)), point),
     };
     (cfg.for_tenants(n).with_preset(preset), effective)
 }
@@ -162,6 +175,7 @@ fn point_label(axis: SweepAxis, effective: usize) -> String {
         SweepAxis::Queue => format!("{effective}-entry queue"),
         SweepAxis::L2Tlb => format!("{effective}-entry L2 TLB"),
         SweepAxis::Tenants => format!("{effective} tenants"),
+        SweepAxis::Churn => format!("{effective}-cycle mean gap"),
     }
 }
 
@@ -171,6 +185,11 @@ fn point_label(axis: SweepAxis, effective: usize) -> String {
 /// fixes the mix set for the hardware axes and is ignored by
 /// [`SweepAxis::Tenants`], which sweeps it.
 pub fn sens(ctx: &mut ExpContext, axis: SweepAxis, n_tenants: usize) -> Table {
+    if axis == SweepAxis::Churn {
+        // Churn runs scenarios, not static mixes; its table lives with the
+        // rest of the churn machinery.
+        return crate::churn::sens_churn(ctx);
+    }
     let presets = ctx.presets(&SCENARIO_PRESETS);
     let columns: Vec<&str> = presets.iter().map(|p| p.label()).collect();
     let title = match axis {

@@ -114,6 +114,12 @@ impl SmState {
         self.l1_tlb.fill(self.tenant, vpn, ppn, now);
     }
 
+    /// Invalidates every L1 TLB entry (the tenant's shootdown when it
+    /// departs mid-run); returns how many entries were dropped.
+    pub fn flush_l1_tlb(&mut self, now: Cycle) -> usize {
+        self.l1_tlb.invalidate_tenant(self.tenant, now)
+    }
+
     /// Attempts to allocate an L1-TLB MSHR slot for a miss going downstream.
     /// Returns `false` when the SM must stall (all 12 in flight).
     pub fn try_take_tlb_mshr(&mut self) -> bool {
@@ -204,6 +210,17 @@ mod tests {
     #[should_panic(expected = "no TLB miss outstanding")]
     fn release_without_take_panics() {
         sm().release_tlb_mshr();
+    }
+
+    #[test]
+    fn flush_drops_all_entries() {
+        let mut s = sm();
+        s.fill_l1_tlb(Vpn(1), Ppn(2), Cycle(1));
+        s.fill_l1_tlb(Vpn(9), Ppn(4), Cycle(2));
+        assert_eq!(s.flush_l1_tlb(Cycle(5)), 2);
+        assert_eq!(s.probe_l1_tlb(Vpn(1)), None);
+        assert_eq!(s.probe_l1_tlb(Vpn(9)), None);
+        assert_eq!(s.flush_l1_tlb(Cycle(6)), 0, "idempotent");
     }
 
     #[test]

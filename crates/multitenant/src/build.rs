@@ -2,11 +2,11 @@
 //! knobs, run budgets, and observability sinks in one place.
 //!
 //! [`SimulationBuilder`] is the single public construction path for
-//! simulations (the old `Simulation::new` constructor survives as a
-//! deprecated shim). It applies configuration in the canonical order the
+//! simulations. It applies configuration in the canonical order the
 //! experiment suite uses — `for_tenants(n)` first, then the policy preset —
-//! so a builder-built simulation replays bit-identically to one built the
-//! old way.
+//! and every run is a [`ScenarioSpec`] underneath: a static tenant list is
+//! the degenerate all-arrive-at-cycle-0 timeline, and
+//! [`scenario`](SimulationBuilder::scenario) attaches a dynamic one.
 //!
 //! # Examples
 //!
@@ -35,6 +35,7 @@ use walksteal_workloads::{AppId, AppProfile};
 use crate::config::{GpuConfig, PolicyPreset};
 use crate::metrics::SimResult;
 use crate::pipeline::StreamPipelining;
+use crate::scenario::ScenarioSpec;
 use crate::sim::Simulation;
 
 /// One tenant in a [`SimulationBuilder`]: which application it runs, or —
@@ -79,6 +80,13 @@ impl TenantSpec {
     pub fn profile(&self) -> AppProfile {
         self.profile.unwrap_or_else(|| self.app.profile())
     }
+
+    /// The synthetic profile override, if this spec carries one (the
+    /// scenario JSON codec serializes it; calibrated specs serialize as
+    /// their app name alone).
+    pub(crate) fn profile_override(&self) -> Option<AppProfile> {
+        self.profile
+    }
 }
 
 impl From<AppId> for TenantSpec {
@@ -91,6 +99,7 @@ impl From<AppId> for TenantSpec {
 pub struct SimulationBuilder {
     cfg: GpuConfig,
     tenants: Vec<TenantSpec>,
+    scenario: Option<ScenarioSpec>,
     preset: Option<PolicyPreset>,
     seed: u64,
     budget: RunBudget,
@@ -112,6 +121,7 @@ impl SimulationBuilder {
         SimulationBuilder {
             cfg: GpuConfig::default(),
             tenants: Vec::new(),
+            scenario: None,
             preset: None,
             seed: 42,
             budget: RunBudget::unlimited(),
@@ -143,6 +153,18 @@ impl SimulationBuilder {
         I::Item: Into<TenantSpec>,
     {
         self.tenants.extend(specs.into_iter().map(Into::into));
+        self
+    }
+
+    /// Attaches a dynamic-tenancy scenario: the timeline supplies the
+    /// tenants (mutually exclusive with [`tenant`](Self::tenant) /
+    /// [`tenants`](Self::tenants)) and is validated at
+    /// [`build`](Self::build) time. When the scenario declares SLO targets
+    /// and no metrics registry was attached, one is attached automatically
+    /// (the QoS controller reads walk latencies from it).
+    #[must_use]
+    pub fn scenario(mut self, spec: ScenarioSpec) -> Self {
+        self.scenario = Some(spec);
         self
     }
 
@@ -266,7 +288,25 @@ impl SimulationBuilder {
     ///
     /// Returns [`SimError::InvalidConfig`] when no tenants were added or
     /// the configuration cannot host them.
-    pub fn try_build(self) -> Result<Simulation, SimError> {
+    pub fn try_build(mut self) -> Result<Simulation, SimError> {
+        let scenario = match self.scenario.take() {
+            Some(spec) => {
+                if !self.tenants.is_empty() {
+                    return Err(SimError::InvalidConfig(ConfigError::Scenario(
+                        "a scenario supplies its own tenants; \
+                         do not also add tenants to the builder"
+                            .into(),
+                    )));
+                }
+                spec.validate()?;
+                self.tenants = spec.tenant_specs();
+                if spec.has_slo_targets() && self.obs.metrics.is_none() {
+                    self.obs.metrics = Some(SharedMetrics::new());
+                }
+                Some(spec)
+            }
+            None => None,
+        };
         if self.tenants.is_empty() {
             return Err(SimError::InvalidConfig(ConfigError::NoTenants));
         }
@@ -275,13 +315,12 @@ impl SimulationBuilder {
         if let Some(preset) = self.preset {
             cfg = cfg.try_with_preset(preset)?;
         }
-        Ok(Simulation::with_profiles(
-            cfg,
-            &profiles,
-            self.seed,
-            self.obs,
-            self.pipelining,
-        ))
+        let mut sim =
+            Simulation::with_profiles(cfg, &profiles, self.seed, self.obs, self.pipelining);
+        if let Some(spec) = scenario {
+            sim.attach_scenario(spec.compile());
+        }
+        Ok(sim)
     }
 
     /// Builds and runs under the configured budget.
@@ -308,22 +347,85 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_constructor() {
+    fn builder_matches_direct_construction() {
+        // The builder must replay bit-identically to the internal
+        // construction path it wraps (config specialized for the tenant
+        // count first, then the preset).
         let cfg = GpuConfig::default()
             .with_n_sms(4)
             .with_warps_per_sm(4)
             .with_instructions_per_warp(400)
             .for_tenants(2)
             .with_preset(PolicyPreset::DwsPlusPlus);
-        #[allow(deprecated)]
-        let legacy = Simulation::new(cfg, &[AppId::Gups, AppId::Mm], 7).run();
+        let profiles = [AppId::Gups.profile(), AppId::Mm.profile()];
+        let direct =
+            Simulation::with_profiles(cfg, &profiles, 7, Observer::off(), StreamPipelining::Off)
+                .run();
         let built = small()
             .tenants([AppId::Gups, AppId::Mm])
             .preset(PolicyPreset::DwsPlusPlus)
             .seed(7)
+            .stream_pipelining(StreamPipelining::Off)
             .build()
             .run();
-        assert_eq!(legacy, built);
+        assert_eq!(direct, built);
+    }
+
+    #[test]
+    fn static_scenario_is_degenerate() {
+        // An all-arrive-at-cycle-0 scenario must produce the same per-tenant
+        // results, cycle count, and event count as the plain tenant list —
+        // the scenario machinery costs a static run nothing but the extra
+        // churn report.
+        let apps = [AppId::Gups, AppId::Mm];
+        let plain = small()
+            .tenants(apps)
+            .preset(PolicyPreset::Dws)
+            .seed(7)
+            .build()
+            .run();
+        let scenario = small()
+            .scenario(ScenarioSpec::static_run(apps))
+            .preset(PolicyPreset::Dws)
+            .seed(7)
+            .build()
+            .run();
+        assert_eq!(plain.tenants, scenario.tenants);
+        assert_eq!(plain.cycles, scenario.cycles);
+        assert_eq!(plain.events, scenario.events);
+        assert!(plain.churn.is_none());
+        let churn = scenario.churn.expect("scenario runs report churn");
+        assert_eq!(churn.evictions, 0);
+        assert_eq!(churn.throttles, 0);
+        assert!(churn.tenants.iter().all(|t| t.arrived == Some(0)));
+        assert!(churn.tenants.iter().all(|t| t.departed.is_none()));
+    }
+
+    #[test]
+    fn scenario_and_tenants_are_mutually_exclusive() {
+        let err = small()
+            .tenant(AppId::Mm)
+            .scenario(ScenarioSpec::static_run([AppId::Gups]))
+            .try_build()
+            .err()
+            .unwrap();
+        assert!(
+            matches!(err, SimError::InvalidConfig(ConfigError::Scenario(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected_at_build() {
+        let err = small()
+            .scenario(ScenarioSpec::new().arrive(5, AppId::Mm))
+            .try_build()
+            .err()
+            .unwrap();
+        assert!(
+            matches!(err, SimError::InvalidConfig(ConfigError::Scenario(_))),
+            "{err}"
+        );
     }
 
     #[test]

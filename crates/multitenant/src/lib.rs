@@ -25,6 +25,12 @@
 //! which also attaches observability sinks (a [`Tracer`] for walk-lifecycle
 //! events, a [`SharedMetrics`] registry for counters and histograms).
 //!
+//! Every run is a scenario underneath: a static tenant list is the
+//! degenerate all-arrive-at-cycle-0 timeline, and a [`ScenarioSpec`] adds
+//! dynamic tenancy — arrivals, departures, walker repartitions, and
+//! per-tenant SLO targets enforced by an online QoS controller (see
+//! [`scenario`](mod@scenario)).
+//!
 //! # Examples
 //!
 //! ```
@@ -47,12 +53,14 @@ pub mod build;
 pub mod config;
 pub mod metrics;
 pub mod pipeline;
+pub mod scenario;
 pub mod sim;
 
 pub use build::{SimulationBuilder, TenantSpec};
 pub use config::{GpuConfig, PolicyPreset};
 pub use metrics::{fairness, total_ipc, weighted_ipc, Sample, SimResult, TenantResult};
 pub use pipeline::StreamPipelining;
+pub use scenario::{ChurnReport, ScenarioEvent, ScenarioSpec, SloPolicy, TenantChurn};
 pub use sim::Simulation;
 
 // Re-exported so downstream users can configure policies and observability

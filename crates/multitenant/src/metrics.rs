@@ -13,6 +13,8 @@
 use walksteal_sim_core::Json;
 use walksteal_workloads::AppId;
 
+use crate::scenario::ChurnReport;
+
 /// Per-tenant results of one simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantResult {
@@ -69,6 +71,10 @@ pub struct SimResult {
     /// Defaults to empty on deserialization so results cached before
     /// sampling existed still load.
     pub timeline: Vec<Sample>,
+    /// Fairness-under-churn metrics, when the run had a scenario (`None`
+    /// for static runs — the JSON omits the key entirely, so cached static
+    /// results stay byte-identical).
+    pub churn: Option<ChurnReport>,
 }
 
 impl SimResult {
@@ -81,9 +87,9 @@ impl SimResult {
     /// Serializes to a [`Json`] document (the experiment cache format).
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut obj = vec![
             (
-                "tenants".into(),
+                "tenants".to_string(),
                 Json::Arr(self.tenants.iter().map(TenantResult::to_json).collect()),
             ),
             ("cycles".into(), Json::UInt(self.cycles)),
@@ -92,7 +98,11 @@ impl SimResult {
                 "timeline".into(),
                 Json::Arr(self.timeline.iter().map(Sample::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(churn) = &self.churn {
+            obj.push(("churn".into(), churn.to_json()));
+        }
+        Json::Obj(obj)
     }
 
     /// Deserializes from [`to_json`](Self::to_json) output. A missing
@@ -117,6 +127,7 @@ impl SimResult {
                     .collect::<Option<_>>()?,
                 None => Vec::new(),
             },
+            churn: v.get("churn").and_then(ChurnReport::from_json),
         })
     }
 }
@@ -280,6 +291,7 @@ mod tests {
             cycles: 100,
             events: 0,
             timeline: Vec::new(),
+            churn: None,
         }
     }
 
@@ -352,6 +364,39 @@ mod tests {
         let back = SimResult::from_json(&Json::Obj(entries)).unwrap();
         assert!(back.timeline.is_empty());
         assert_eq!(back.tenants, r.tenants);
+    }
+
+    #[test]
+    fn json_round_trips_churn_and_defaults_to_none() {
+        use crate::scenario::TenantChurn;
+        let mut r = run(&[1.0]);
+        let plain = r.to_json().dump();
+        assert!(!plain.contains("churn"), "static results omit the key");
+        assert!(SimResult::from_json(&Json::parse(&plain).unwrap())
+            .unwrap()
+            .churn
+            .is_none());
+
+        r.churn = Some(ChurnReport {
+            tenants: vec![TenantChurn {
+                arrived: Some(0),
+                departed: None,
+                evicted: false,
+                slo_target: Some(900),
+                slo_checks: 2,
+                slo_met: 2,
+                throttled_checks: 0,
+                cancelled_walks: 0,
+                lifetime_instructions: 10,
+                lifetime_cycles: 100,
+            }],
+            evictions: 0,
+            repartitions: 1,
+            throttles: 0,
+        });
+        let text = r.to_json().dump();
+        let back = SimResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use walksteal_workloads::{AppId, AppProfile, WarpStream};
 use crate::config::GpuConfig;
 use crate::metrics::{Sample, SimResult, TenantResult};
 use crate::pipeline::{StreamPipeline, StreamPipelining};
+use crate::scenario::{Action, ChurnReport, ScenarioRuntime, TenantChurn};
 
 /// A translation waiting on an outstanding walk: (sm, warp, reference).
 type Waiter = (usize, usize, MemRef);
@@ -45,6 +46,10 @@ enum Event {
     RefDone { sm: u16, warp: u16 },
     /// Periodic timeline snapshot.
     TakeSample,
+    /// Scenario-timeline actions (arrive/depart/repartition) are due.
+    ScenarioStep,
+    /// Periodic QoS-controller SLO check.
+    SloCheck,
 }
 
 const _: () = assert!(
@@ -134,44 +139,19 @@ pub struct Simulation {
     obs: Observer,
     /// The workload seed, re-emitted in the trace header for replay.
     seed: u64,
+    /// Dynamic-tenancy state when the run has a scenario; `None` keeps the
+    /// static path byte-identical (every churn hook is gated on it).
+    scenario: Option<ScenarioRuntime>,
 }
 
 impl Simulation {
-    /// Builds a simulation of `apps` (one tenant per entry) from `cfg`,
-    /// seeding all workload randomness from `seed`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `apps` is empty or `cfg` cannot host that many tenants
-    /// (SMs/walkers not evenly divisible).
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through walksteal_multitenant::SimulationBuilder instead"
-    )]
-    #[must_use]
-    pub fn new(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Self {
-        Self::with_observer(cfg, apps, seed, Observer::off(), StreamPipelining::Auto)
-    }
-
-    /// [`new`](Self::new) with an explicit [`Observer`] and stream-pipelining
-    /// mode attached; the construction path used by `SimulationBuilder`.
-    pub(crate) fn with_observer(
-        cfg: GpuConfig,
-        apps: &[AppId],
-        seed: u64,
-        obs: Observer,
-        pipelining: StreamPipelining,
-    ) -> Self {
-        let profiles: Vec<AppProfile> = apps.iter().map(|a| a.profile()).collect();
-        Self::with_profiles(cfg, &profiles, seed, obs, pipelining)
-    }
-
-    /// [`with_observer`](Self::with_observer) generalized to arbitrary
-    /// behavioral profiles (one tenant per entry), so synthetic tenants —
-    /// profiles outside the 13 calibrated apps, as drawn by the scenario
-    /// fuzzer — run through the exact same construction path. For
-    /// calibrated profiles this is behaviorally identical to
-    /// `with_observer` (an [`AppId`]'s profile embeds its own id).
+    /// Builds a simulation of `profiles` (one tenant per entry) from `cfg`
+    /// with an explicit [`Observer`] and stream-pipelining mode attached —
+    /// the construction path used by `SimulationBuilder` (the only public
+    /// way to build a [`Simulation`]). Taking behavioral profiles rather
+    /// than [`AppId`]s lets synthetic tenants — profiles outside the 13
+    /// calibrated apps, as drawn by the scenario fuzzer — run through the
+    /// exact same path (an `AppId`'s profile embeds its own id).
     pub(crate) fn with_profiles(
         cfg: GpuConfig,
         profiles: &[AppProfile],
@@ -281,7 +261,278 @@ impl Simulation {
             last_sample_instr: vec![0; n_tenants],
             obs,
             seed,
+            scenario: None,
             cfg,
+        }
+    }
+
+    /// Attaches a compiled scenario. Cycle-0 actions apply immediately:
+    /// arrivals mark their tenants resident (the initial `WarpStart` events
+    /// already exist for every warp and [`on_warp_start`](Self::on_warp_start)
+    /// gates on residency, so unarrived tenants stay quiescent), and the
+    /// walker partition is narrowed to the cycle-0 residents when not
+    /// everyone arrives at once.
+    pub(crate) fn attach_scenario(&mut self, rt: ScenarioRuntime) {
+        debug_assert!(self.scenario.is_none(), "scenario attached twice");
+        debug_assert_eq!(rt.active.len(), self.tenants.len());
+        self.scenario = Some(rt);
+        // Apply everything due at cycle 0 (arrivals; possibly an explicit
+        // repartition). `now` is still 0, so `on_tenant_arrive` skips the
+        // redundant warp launches.
+        self.on_scenario_step();
+        let sc = self.scenario.as_ref().expect("just attached");
+        let walker_active = sc.walker_active();
+        if walker_active.iter().any(|&a| !a) {
+            self.walk.set_active_tenants(&walker_active);
+        }
+        if let Some(policy) = self.scenario.as_ref().and_then(|s| s.slo) {
+            self.events
+                .push(Cycle(policy.check_interval), Event::SloCheck);
+        }
+    }
+
+    /// Applies every scenario-timeline action due at `now`, then schedules
+    /// the next [`Event::ScenarioStep`].
+    fn on_scenario_step(&mut self) {
+        loop {
+            let Some(sc) = self.scenario.as_mut() else {
+                return;
+            };
+            match sc.timeline.get(sc.next) {
+                Some(&(cycle, _)) if cycle <= self.now.0 => {
+                    let action = sc.timeline[sc.next].1.clone();
+                    sc.next += 1;
+                    match action {
+                        Action::Arrive(t) => self.on_tenant_arrive(t),
+                        Action::Depart(t) => self.on_tenant_depart(t, false),
+                        Action::Repartition(active) => {
+                            self.walk.set_active_tenants(&active);
+                            self.scenario.as_mut().expect("still attached").repartitions += 1;
+                        }
+                    }
+                }
+                Some(&(cycle, _)) => {
+                    self.events.push(Cycle(cycle), Event::ScenarioStep);
+                    return;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// A scenario tenant becomes resident: its warps launch and the walker
+    /// partition re-splits to include it (paper §VI.C).
+    fn on_tenant_arrive(&mut self, t: usize) {
+        let now = self.now;
+        let sc = self.scenario.as_mut().expect("scenario action");
+        debug_assert!(!sc.active[t], "tenant {t} arrived twice");
+        sc.active[t] = true;
+        sc.arrived_at[t] = Some(now.0);
+        self.tenants[t].launch_cycle = now;
+        if now.0 == 0 {
+            // Cycle-0 arrival during attach: the construction-time
+            // `WarpStart` events cover the launch, and `attach_scenario`
+            // sets the initial walker partition once, uncounted.
+            return;
+        }
+        let sm_base = t * self.sms_per_tenant;
+        for sm in sm_base..sm_base + self.sms_per_tenant {
+            for warp in 0..self.cfg.warps_per_sm {
+                self.events.push(
+                    now,
+                    Event::WarpStart {
+                        sm: sm as u16,
+                        warp: warp as u16,
+                    },
+                );
+            }
+        }
+        self.repartition_walkers();
+    }
+
+    /// A scenario tenant leaves (voluntarily or evicted by the QoS
+    /// controller): cancel its queued walks, shoot down its TLB entries,
+    /// drop its merge waiters and parked translations, and re-split the
+    /// walkers among the remaining residents. Warps freeze where they are —
+    /// the residency gates in the warp handlers stop their progress.
+    fn on_tenant_depart(&mut self, t: usize, evicted: bool) {
+        let now = self.now;
+        let tid = TenantId(t as u8);
+        {
+            let sc = self.scenario.as_mut().expect("scenario action");
+            if !sc.active[t] {
+                // Already gone (e.g. evicted before its scripted departure).
+                return;
+            }
+            sc.active[t] = false;
+            sc.departed_at[t] = Some(now.0);
+            sc.throttled[t] = false;
+            if evicted {
+                sc.evicted[t] = true;
+                sc.evictions += 1;
+            }
+            sc.lifetime_instr[t] = self.tenants[t].instr_total;
+        }
+
+        // Queued (not yet in-service) walks are cancelled; in-service walks
+        // complete normally and find no waiters.
+        self.walk.cancel_tenant(tid);
+
+        // Release the L1-TLB MSHRs held by waiters merged onto the tenant's
+        // outstanding walks, then drop the waiters. Keys are collected in
+        // VPN order so the release sequence is deterministic regardless of
+        // map iteration order.
+        let mut keys: Vec<(TenantId, Vpn)> =
+            self.merge.keys().filter(|k| k.0 == tid).copied().collect();
+        keys.sort_by_key(|k| k.1 .0);
+        for key in keys {
+            let mut waiters = self.merge.remove(&key).expect("key just listed");
+            for &(sm, _, _) in &waiters {
+                self.sms[sm].release_tlb_mshr();
+            }
+            waiters.clear();
+            self.waiter_pool.push(waiters);
+        }
+        self.parked[t].clear();
+
+        // TLB shootdown: the departing tenant's translations are dead.
+        self.l2_tlb_of(tid).invalidate_tenant(tid, now);
+        let sm_base = t * self.sms_per_tenant;
+        for sm in sm_base..sm_base + self.sms_per_tenant {
+            self.sms[sm].flush_l1_tlb(now);
+        }
+
+        self.repartition_walkers();
+        self.resolve_tenant(t);
+    }
+
+    /// Re-splits the walker partition to the current resident-and-not-
+    /// throttled tenant set.
+    fn repartition_walkers(&mut self) {
+        let sc = self.scenario.as_mut().expect("scenario runs only");
+        let walker_active = sc.walker_active();
+        if !walker_active.iter().any(|&a| a) {
+            // Every tenant has departed (a timeline may empty the GPU);
+            // there is no one to own the walkers and nothing left to walk.
+            return;
+        }
+        sc.repartitions += 1;
+        self.walk.set_active_tenants(&walker_active);
+    }
+
+    /// Marks tenant `t` as counted toward the scenario stop condition
+    /// (completed an execution, departed, or was evicted).
+    fn resolve_tenant(&mut self, t: usize) {
+        let sc = self.scenario.as_mut().expect("scenario runs only");
+        if sc.resolved[t] {
+            return;
+        }
+        sc.resolved[t] = true;
+        self.tenants_done += 1;
+        if self.tenants_done == self.tenants.len() {
+            self.stopped = true;
+        }
+    }
+
+    /// One periodic QoS-controller check (see [`SloPolicy`]): read each
+    /// targeted tenant's cumulative p99 walk latency from the metrics
+    /// registry; on a violation throttle the aggressor (the other resident
+    /// tenant that enqueued the most walks since the last check), and after
+    /// `evict_after` consecutive violating checks evict it. When no victim
+    /// is violating, throttles lift.
+    fn on_slo_check(&mut self) {
+        let Some(sc) = &self.scenario else { return };
+        let Some(policy) = sc.slo else { return };
+        if !self.stopped {
+            self.events
+                .push(self.now + policy.check_interval, Event::SloCheck);
+        }
+        let n = self.tenants.len();
+
+        // Walks enqueued per tenant since the last check — the aggressor
+        // attribution signal.
+        let enqueued = self.walk.stats().enqueued.clone();
+        let delta_enq: Vec<u64> = (0..n)
+            .map(|t| enqueued[t] - self.scenario.as_ref().expect("checked").last_enqueued[t])
+            .collect();
+
+        // Read each targeted resident's p99 from the registry. The borrow
+        // of `obs` is immutable, so collect verdicts first, then act.
+        // `None` verdict: the victim completed too few walks since its last
+        // counted check — no signal, the check is uncounted and the victim's
+        // violation streak decays (a quiet victim is not a suffering one, and
+        // must not pin a throttle forever).
+        let mut verdicts: Vec<(usize, Option<bool>, u64)> = Vec::new();
+        if let Some(metrics) = self.obs.metrics() {
+            let sc = self.scenario.as_ref().expect("checked");
+            for t in 0..n {
+                let (Some(target), true) = (sc.slo_target[t], sc.active[t]) else {
+                    continue;
+                };
+                let sample = metrics.with(|reg| {
+                    reg.histogram("walk_latency", Some(t as u8))
+                        .map(|h| (h.total(), h.percentile(0.99)))
+                });
+                let Some((total, p99)) = sample else { continue };
+                if total - sc.last_check_walks[t] < policy.min_samples {
+                    verdicts.push((t, None, total));
+                } else {
+                    verdicts.push((t, Some(p99 <= target), total));
+                }
+            }
+        }
+
+        let mut any_violation = false;
+        for (victim, verdict, total) in verdicts {
+            {
+                let sc = self.scenario.as_mut().expect("checked");
+                let Some(met) = verdict else {
+                    sc.violations[victim] = 0;
+                    continue;
+                };
+                sc.slo_checks[victim] += 1;
+                sc.last_check_walks[victim] = total;
+                if met {
+                    sc.slo_met[victim] += 1;
+                    sc.violations[victim] = 0;
+                    continue;
+                }
+                sc.violations[victim] += 1;
+                any_violation = true;
+            }
+
+            // Aggressor: the other resident tenant that enqueued the most
+            // walks since the last check (ties break to the lowest index).
+            let sc = self.scenario.as_ref().expect("checked");
+            let aggressor = (0..n)
+                .filter(|&t| t != victim && sc.active[t])
+                .max_by_key(|&t| (delta_enq[t], std::cmp::Reverse(t)));
+            let Some(aggr) = aggressor else { continue };
+            if self.scenario.as_ref().expect("checked").violations[victim] >= policy.evict_after {
+                self.on_tenant_depart(aggr, true);
+                self.scenario.as_mut().expect("checked").violations[victim] = 0;
+            } else if !self.scenario.as_ref().expect("checked").throttled[aggr] {
+                let sc = self.scenario.as_mut().expect("checked");
+                sc.throttled[aggr] = true;
+                sc.throttles += 1;
+                self.repartition_walkers();
+            }
+        }
+
+        // Victims recovered: lift every throttle in one repartition.
+        let sc = self.scenario.as_mut().expect("checked");
+        if !any_violation && sc.violations.iter().all(|&v| v == 0) && sc.throttled.contains(&true)
+        {
+            sc.throttled.iter_mut().for_each(|t| *t = false);
+            self.repartition_walkers();
+        }
+
+        let sc = self.scenario.as_mut().expect("checked");
+        for t in 0..n {
+            if sc.active[t] && sc.throttled[t] {
+                sc.throttled_checks[t] += 1;
+            }
+            sc.last_enqueued[t] = enqueued[t];
         }
     }
 
@@ -359,6 +610,8 @@ impl Simulation {
                     Event::WalkerDone { walker } => self.on_walker_done(walker),
                     Event::RefDone { sm, warp } => self.on_ref_done(sm.into(), warp.into()),
                     Event::TakeSample => self.on_sample(),
+                    Event::ScenarioStep => self.on_scenario_step(),
+                    Event::SloCheck => self.on_slo_check(),
                 }
                 if self.stopped {
                     // Replicate the scalar loop's final `now`: it pops the
@@ -463,6 +716,13 @@ impl Simulation {
 
     fn on_warp_start(&mut self, sm: usize, warp: usize) {
         let tenant = self.sms[sm].tenant();
+        if let Some(sc) = &self.scenario {
+            if !sc.active[tenant.index()] {
+                // Not resident (pre-arrival or departed): stay quiescent.
+                // An arrival re-pushes this warp's `WarpStart`.
+                return;
+            }
+        }
         let wi = self.wi(sm, warp);
         // Generate the next op directly into the warp's pending buffer —
         // `next_op_into` emits references already coalesced (distinct, in
@@ -502,6 +762,13 @@ impl Simulation {
     }
 
     fn on_warp_mem(&mut self, sm: usize, warp: usize) {
+        if let Some(sc) = &self.scenario {
+            if !sc.active[self.sms[sm].tenant().index()] {
+                // The tenant departed between the compute burst's issue and
+                // its memory phase; the references stay pending, frozen.
+                return;
+            }
+        }
         let wi = self.wi(sm, warp);
         let refs = std::mem::take(&mut self.warps[wi].pending);
         let mut vpns = std::mem::take(&mut self.vpn_batch);
@@ -654,7 +921,11 @@ impl Simulation {
             Some(mask) => mask.try_take_fill_token(done.tenant),
             None => true,
         };
-        if may_fill {
+        let resident = self
+            .scenario
+            .as_ref()
+            .map_or(true, |sc| sc.active[done.tenant.index()]);
+        if may_fill && resident {
             self.l2_tlb_of(done.tenant)
                 .fill(done.tenant, done.vpn, done.ppn, now);
         }
@@ -743,7 +1014,15 @@ impl Simulation {
         t.instr_this_exec = 0;
         t.warps_finished = 0;
         t.launch_cycle = self.now;
-        if first_completion {
+        if let Some(sc) = &self.scenario {
+            debug_assert!(sc.active[tenant.index()], "finished while not resident");
+            if first_completion {
+                self.resolve_tenant(tenant.index());
+                if self.stopped {
+                    return;
+                }
+            }
+        } else if first_completion {
             self.tenants_done += 1;
             if self.tenants_done == self.tenants.len() {
                 self.stopped = true;
@@ -831,11 +1110,47 @@ impl Simulation {
                 }
             })
             .collect();
+        let churn = self.scenario.as_ref().map(|sc| {
+            let stats = self.walk.stats();
+            ChurnReport {
+                tenants: (0..self.tenants.len())
+                    .map(|t| {
+                        let arrived = sc.arrived_at[t];
+                        let departed = sc.departed_at[t];
+                        let lifetime_cycles = match (arrived, departed) {
+                            (Some(a), Some(d)) => d - a,
+                            (Some(a), None) => end.0.saturating_sub(a),
+                            _ => 0,
+                        };
+                        TenantChurn {
+                            arrived,
+                            departed,
+                            evicted: sc.evicted[t],
+                            slo_target: sc.slo_target[t],
+                            slo_checks: sc.slo_checks[t],
+                            slo_met: sc.slo_met[t],
+                            throttled_checks: sc.throttled_checks[t],
+                            cancelled_walks: stats.cancelled[t],
+                            lifetime_instructions: if departed.is_some() {
+                                sc.lifetime_instr[t]
+                            } else {
+                                self.tenants[t].instr_total
+                            },
+                            lifetime_cycles,
+                        }
+                    })
+                    .collect(),
+                evictions: sc.evictions,
+                repartitions: sc.repartitions,
+                throttles: sc.throttles,
+            }
+        });
         SimResult {
             tenants,
             cycles: end.0,
             events: self.events_processed,
             timeline: self.timeline,
+            churn,
         }
     }
 }
@@ -845,10 +1160,11 @@ mod tests {
     use super::*;
     use crate::config::PolicyPreset;
 
-    /// Builds a simulation the way the deprecated constructor used to,
-    /// through the supported observer-aware path.
+    /// Builds a simulation of calibrated apps through the supported
+    /// profile-based construction path.
     fn sim(cfg: GpuConfig, apps: &[AppId], seed: u64) -> Simulation {
-        Simulation::with_observer(cfg, apps, seed, Observer::off(), StreamPipelining::Off)
+        let profiles: Vec<AppProfile> = apps.iter().map(|a| a.profile()).collect();
+        Simulation::with_profiles(cfg, &profiles, seed, Observer::off(), StreamPipelining::Off)
     }
 
     fn small_cfg() -> GpuConfig {
@@ -1028,6 +1344,138 @@ mod tests {
             .run_budgeted(&RunBudget::unlimited().with_max_events(plain.events * 10))
             .unwrap();
         assert_eq!(plain, budgeted);
+    }
+
+    // ---- dynamic-tenancy scenarios ------------------------------------
+
+    use crate::build::SimulationBuilder;
+    use crate::scenario::{ScenarioSpec, SloPolicy};
+
+    fn churn_builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+            .n_sms(4)
+            .warps_per_sm(4)
+            .instructions_per_warp(400)
+            .preset(PolicyPreset::Dws)
+            .seed(1)
+    }
+
+    #[test]
+    fn late_arrival_launches_and_completes() {
+        let spec = ScenarioSpec::new()
+            .arrive(0, AppId::Mm)
+            .arrive(5_000, AppId::Gups);
+        let r = churn_builder().scenario(spec).build().run();
+        assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
+        let churn = r.churn.unwrap();
+        assert_eq!(churn.tenants[0].arrived, Some(0));
+        assert_eq!(churn.tenants[1].arrived, Some(5_000));
+        assert!(churn.repartitions >= 1, "the arrival re-splits the walkers");
+        assert!(churn.tenants[1].lifetime_cycles > 0);
+        assert!(churn.tenants[1].lifetime_instructions > 0);
+    }
+
+    #[test]
+    fn departure_cancels_and_resolves() {
+        // GUPS departs mid-run without completing; MM finishes normally and
+        // the run stops without waiting on the departed tenant.
+        let spec = ScenarioSpec::new()
+            .arrive(0, AppId::Mm)
+            .arrive(0, AppId::Gups)
+            .depart(3_000, 1);
+        let r = churn_builder().scenario(spec).build().run();
+        let churn = r.churn.as_ref().unwrap();
+        assert_eq!(churn.tenants[1].departed, Some(3_000));
+        assert!(!churn.tenants[1].evicted);
+        assert_eq!(churn.tenants[1].lifetime_cycles, 3_000);
+        assert!(churn.tenants[1].lifetime_instructions > 0);
+        assert_eq!(
+            r.tenants[1].completed_executions, 0,
+            "left before finishing"
+        );
+        assert!(r.tenants[0].completed_executions >= 1);
+    }
+
+    #[test]
+    fn scenario_replay_is_deterministic() {
+        let spec = || {
+            ScenarioSpec::new()
+                .arrive(0, AppId::Mm)
+                .arrive(2_000, AppId::Gups)
+                .depart(30_000, 1)
+                .slo_target(0, 600)
+                .slo_policy(SloPolicy {
+                    check_interval: 5_000,
+                    evict_after: 3,
+                    min_samples: 16,
+                })
+        };
+        let run = || churn_builder().scenario(spec()).build().run();
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slo_violation_throttles_then_evicts_the_aggressor() {
+        // GUPS's p99 walk-latency target of 1 cycle is unmeetable, so every
+        // counted check violates; the controller throttles the other
+        // resident (MM) after the first and evicts it after the second.
+        let spec = ScenarioSpec::new()
+            .arrive(0, AppId::Gups)
+            .arrive(0, AppId::Mm)
+            .slo_target(0, 1)
+            .slo_policy(SloPolicy {
+                check_interval: 2_000,
+                evict_after: 2,
+                min_samples: 8,
+            });
+        let r = churn_builder().scenario(spec).build().run();
+        let churn = r.churn.unwrap();
+        assert_eq!(churn.evictions, 1);
+        assert!(churn.tenants[1].evicted, "MM evicted: {churn:?}");
+        assert!(churn.tenants[1].departed.is_some());
+        assert!(churn.throttles >= 1, "a throttle precedes the eviction");
+        assert!(churn.tenants[1].throttled_checks >= 1);
+        assert!(churn.tenants[0].slo_checks >= 2);
+        assert_eq!(churn.tenants[0].slo_met, 0, "1-cycle target unmeetable");
+        assert!(churn.tenants[0].slo_compliance() == 0.0);
+        assert!(r.tenants[0].completed_executions >= 1, "victim completes");
+    }
+
+    #[test]
+    fn quiet_victim_cannot_pin_a_throttle() {
+        // An SLO victim that stops walking produces no signal; its
+        // violation streak must decay so the throttled aggressor resumes
+        // and the run completes rather than spinning to max_cycles.
+        let spec = ScenarioSpec::new()
+            .arrive(0, AppId::Mm)
+            .arrive(0, AppId::Gups)
+            .slo_target(0, 1)
+            .slo_policy(SloPolicy {
+                check_interval: 2_000,
+                evict_after: u32::MAX, // never evict: throttling only
+                min_samples: 8,
+            });
+        let r = churn_builder().scenario(spec).build().run();
+        assert!(
+            r.tenants.iter().all(|t| t.completed_executions >= 1),
+            "both tenants must finish: {:?}",
+            r.churn
+        );
+        let churn = r.churn.unwrap();
+        assert_eq!(churn.evictions, 0);
+    }
+
+    #[test]
+    fn explicit_repartition_applies() {
+        let spec = ScenarioSpec::new()
+            .arrive(0, AppId::Gups)
+            .arrive(0, AppId::Mm)
+            .repartition(1_000, vec![true, false])
+            .repartition(4_000, vec![true, true]);
+        let r = churn_builder().scenario(spec).build().run();
+        let churn = r.churn.unwrap();
+        assert_eq!(churn.repartitions, 2);
+        assert!(r.tenants.iter().all(|t| t.completed_executions >= 1));
     }
 
     #[test]

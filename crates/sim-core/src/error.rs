@@ -130,6 +130,9 @@ pub enum ConfigError {
         /// The requested tenant count.
         n_tenants: usize,
     },
+    /// A scenario timeline failed validation (depart-before-arrive,
+    /// out-of-range tenant index, a window with no resident tenant, ...).
+    Scenario(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -144,6 +147,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "{count} {resource} do not divide evenly among {n_tenants} tenants"
             ),
+            ConfigError::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
         }
     }
 }

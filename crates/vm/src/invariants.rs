@@ -73,7 +73,10 @@ pub fn check_scheduler(ws: &WalkSubsystem, attempts: u64, at: &str) -> Result<()
 
 /// The ownership-free subset of [`check_scheduler`]: attempt and walk
 /// conservation plus aggregate-occupancy agreement. These hold across
-/// mid-run repartitions, where the full ownership decomposition does not.
+/// mid-run repartitions and tenant attach/detach, where the full ownership
+/// decomposition does not: a walk accepted into the subsystem is either
+/// completed, cancelled by a departure
+/// ([`WalkSubsystem::cancel_tenant`]), or still pending.
 pub fn check_accounting(ws: &WalkSubsystem, attempts: u64, at: &str) -> Result<(), String> {
     let stats = ws.stats();
 
@@ -88,16 +91,30 @@ pub fn check_accounting(ws: &WalkSubsystem, attempts: u64, at: &str) -> Result<(
     }
 
     let (Some(pend), Some(depths)) = (ws.pend_walks(), ws.walker_queue_depths()) else {
-        return Ok(()); // Not partitioned: no per-tenant views to check.
+        // Not partitioned: no PEND_WALKS views, but aggregate conservation
+        // still holds — accepted walks are completed, cancelled, queued, or
+        // in service.
+        let completed: u64 = stats.completed.iter().sum();
+        let cancelled: u64 = stats.cancelled.iter().sum();
+        let outstanding = (ws.queued_len() + ws.busy_walkers()) as u64;
+        if accepted != completed + cancelled + outstanding {
+            return Err(format!(
+                "{at}: aggregate walk conservation: enqueued {accepted} != \
+                 completed {completed} + cancelled {cancelled} + outstanding \
+                 {outstanding}"
+            ));
+        }
+        return Ok(());
     };
 
     for (t, &p) in pend.iter().enumerate() {
-        // Every accepted walk is completed or still pending, per tenant.
-        if stats.enqueued[t] != stats.completed[t] + u64::from(p) {
+        // Every accepted walk is completed, cancelled, or still pending,
+        // per tenant — the form that survives tenant attach/detach.
+        if stats.enqueued[t] != stats.completed[t] + stats.cancelled[t] + u64::from(p) {
             return Err(format!(
                 "{at}: tenant {t} walk conservation (PEND_WALKS): \
-                 enqueued {} != completed {} + pending {p}",
-                stats.enqueued[t], stats.completed[t]
+                 enqueued {} != completed {} + cancelled {} + pending {p}",
+                stats.enqueued[t], stats.completed[t], stats.cancelled[t]
             ));
         }
     }

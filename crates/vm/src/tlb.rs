@@ -306,6 +306,24 @@ impl Tlb {
         evicted
     }
 
+    /// Invalidates every entry owned by `tenant` at time `now` — the TLB
+    /// flush of a tenant departure. Occupancy integration runs up to `now`
+    /// first, so share accounting credits the tenant for exactly the time
+    /// its entries were resident. Returns how many entries were dropped.
+    pub fn invalidate_tenant(&mut self, tenant: TenantId, now: Cycle) -> usize {
+        self.advance_time(now);
+        let want = META_VALID | u16::from(tenant.0);
+        let mut dropped = 0;
+        for m in &mut self.meta {
+            if *m == want {
+                *m = 0;
+                dropped += 1;
+            }
+        }
+        self.occupancy[tenant.index()] -= dropped;
+        dropped
+    }
+
     /// Current number of valid entries owned by `tenant`.
     #[must_use]
     pub fn occupancy_of(&self, tenant: TenantId) -> usize {
@@ -482,6 +500,24 @@ mod tests {
         // [0,100): T0 holds 2/4. [100,200): T0 holds 1/4 (vpn 1 in set 1).
         let share = t.share_of(T0, Cycle(200));
         assert!((share - 0.375).abs() < 1e-9, "share {share}");
+    }
+
+    #[test]
+    fn invalidate_tenant_flushes_only_that_tenant() {
+        let mut t = tiny();
+        t.fill(T0, Vpn(0), Ppn(0), Cycle(0));
+        t.fill(T0, Vpn(1), Ppn(1), Cycle(0));
+        t.fill(T1, Vpn(0), Ppn(2), Cycle(0));
+        assert_eq!(t.invalidate_tenant(T0, Cycle(100)), 2);
+        assert_eq!(t.occupancy_of(T0), 0);
+        assert!(!t.contains(T0, Vpn(0)));
+        assert!(t.contains(T1, Vpn(0)), "other tenant untouched");
+        // Share accounting stops at the flush: [0,100) holds 2/4 entries,
+        // nothing after.
+        let share = t.share_of(T0, Cycle(200));
+        assert!((share - 0.25).abs() < 1e-9, "share {share}");
+        // Flushing again is a no-op.
+        assert_eq!(t.invalidate_tenant(T0, Cycle(200)), 0);
     }
 
     #[test]

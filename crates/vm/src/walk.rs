@@ -278,6 +278,10 @@ pub struct WalkStats {
     pub total_interleave: Vec<u64>,
     /// Rejected enqueue attempts (queue full), for back-pressure visibility.
     pub rejected: Vec<u64>,
+    /// Accepted walks removed from the queues before dispatch by
+    /// [`WalkSubsystem::cancel_tenant`] (tenant departure). Conservation
+    /// under churn is `enqueued == completed + cancelled + pending`.
+    pub cancelled: Vec<u64>,
 }
 
 impl WalkStats {
@@ -290,6 +294,7 @@ impl WalkStats {
             total_queue_wait: vec![0; n],
             total_interleave: vec![0; n],
             rejected: vec![0; n],
+            cancelled: vec![0; n],
         }
     }
 
@@ -397,6 +402,7 @@ impl PartSched {
         fn first_owned_idle(&self, tenant: TenantId, idle: u128) -> Option<usize>;
         fn first_foreign_idle(&self, tenant: TenantId, idle: u128) -> Option<usize>;
         fn repartition(&mut self, active: &[bool]);
+        fn cancel_tenant(&mut self, tenant: TenantId) -> u64;
         fn is_naive(&self) -> bool;
         fn is_stolen(&self, w: usize) -> bool;
         fn steal_choice(&self, w: usize, strict_pend: bool, queue_entries: usize) -> Option<usize>;
@@ -490,6 +496,12 @@ trait PartScheduler: std::fmt::Debug {
     /// evenly among `active` tenants (paper SecVI.C). Queued and in-service
     /// walks are untouched — the system converges as they drain.
     fn repartition(&mut self, active: &[bool]);
+    /// Removes every *queued* walk of `tenant` from every walker queue
+    /// (tenant departure), preserving the FIFO order of the remaining
+    /// walks. Per removal the walker's FWA free count is restored and the
+    /// tenant's `PEND_WALKS` decremented; in-service walks are untouched.
+    /// Returns the number of walks removed.
+    fn cancel_tenant(&mut self, tenant: TenantId) -> u64;
 
     /// Whether this is the naive static organization: no FWA-guided
     /// enqueue, no sibling rebalancing, no stealing. Walkers serve only
@@ -852,6 +864,19 @@ impl PartScheduler for ReferenceScheduler {
             self.twm_owned[owner][w] = true;
             self.wtm[w] = TenantId(owner as u8);
         }
+    }
+
+    fn cancel_tenant(&mut self, tenant: TenantId) -> u64 {
+        let mut removed = 0u64;
+        for w in 0..self.queues.len() {
+            let before = self.queues[w].len();
+            self.queues[w].retain(|p| p.tenant != tenant);
+            let r = (before - self.queues[w].len()) as u32;
+            self.fwa_free[w] += r;
+            removed += u64::from(r);
+        }
+        self.twm_pend[tenant.index()] -= removed as u32;
+        removed
     }
 }
 
@@ -1298,6 +1323,43 @@ impl PartScheduler for BitmapScheduler {
         for w in 0..n_walkers {
             self.queued_per_tenant[self.wtm[w].index()] += self.lens[w];
         }
+    }
+
+    fn cancel_tenant(&mut self, tenant: TenantId) -> u64 {
+        let mut removed = 0u64;
+        for w in 0..self.wtm.len() {
+            let mut prev = NIL;
+            let mut cur = self.head[w];
+            while cur != NIL {
+                let next = self.links[cur as usize];
+                if self.slots[cur as usize].tenant == tenant {
+                    // Unlink `cur` from the FIFO and return it to the free
+                    // list; the surviving walks keep their relative order.
+                    if prev == NIL {
+                        self.head[w] = next;
+                    } else {
+                        self.links[prev as usize] = next;
+                    }
+                    if self.tail[w] == cur {
+                        self.tail[w] = prev;
+                    }
+                    self.links[cur as usize] = self.free_head;
+                    self.free_head = cur;
+                    self.lens[w] -= 1;
+                    self.fwa_free[w] += 1;
+                    self.queued_per_tenant[self.wtm[w].index()] -= 1;
+                    removed += 1;
+                } else {
+                    prev = cur;
+                }
+                cur = next;
+            }
+            if self.head[w] == NIL {
+                self.nonempty &= !(1 << w);
+            }
+        }
+        self.pend[tenant.index()] -= removed as u32;
+        removed
     }
 }
 
@@ -1887,6 +1949,32 @@ impl WalkSubsystem {
         if let Scheduler::Partitioned(p) = &mut self.sched {
             p.repartition(active);
         }
+    }
+
+    /// Removes every *queued* (not yet in-service) walk of `tenant` from
+    /// the walk queues — the TLB-shootdown side of a tenant departure.
+    /// In-service walks complete normally; the FWA free counts and
+    /// `PEND_WALKS` are restored per removal, and the removals are counted
+    /// in [`WalkStats::cancelled`] so conservation stays checkable
+    /// (`enqueued == completed + cancelled + pending`). Returns how many
+    /// walks were removed.
+    pub fn cancel_tenant(&mut self, tenant: TenantId) -> u64 {
+        let removed = match &mut self.sched {
+            Scheduler::Shared { queue, .. } => {
+                let before = queue.len();
+                queue.retain(|p| p.tenant != tenant);
+                (before - queue.len()) as u64
+            }
+            Scheduler::PerTenant { queues, .. } => {
+                let q = &mut queues[tenant.index()];
+                let n = q.len() as u64;
+                q.clear();
+                n
+            }
+            Scheduler::Partitioned(p) => p.cancel_tenant(tenant),
+        };
+        self.stats.cancelled[tenant.index()] += removed;
+        removed
     }
 
     /// The owner of each walker (WTM view), for inspection; `None` under
@@ -2606,6 +2694,146 @@ mod tests {
         }
         assert_eq!(ws.busy_walkers(), 4, "departed tenant's walkers unused");
         drain(&mut ws, &mut rig, sched2);
+    }
+
+    #[test]
+    fn cancel_tenant_removes_queued_walks_only() {
+        for imp in [SchedulerImpl::Optimized, SchedulerImpl::Reference] {
+            let mut ws = WalkSubsystem::with_scheduler_impl(
+                cfg(WalkPolicyKind::Partitioned(StealMode::None)),
+                imp,
+            );
+            let mut rig = Rig::new();
+            let mut sched = Vec::new();
+            // Both tenants: fill service + queues under static partitioning
+            // (no steals, so tenant 1's walks stay in its own queues).
+            for i in 0..4u64 {
+                for t in [T0, T1] {
+                    if let Ok(Some(d)) = ws.try_enqueue(
+                        WalkRequest {
+                            tenant: t,
+                            vpn: Vpn(u64::from(t.0) * 0x100_0000 + i * 0x1000),
+                        },
+                        Cycle(0),
+                        &mut rig.ctx(),
+                    ) {
+                        sched.push(d);
+                    }
+                }
+            }
+            let queued_before = ws.queued_len();
+            let t1_queued = ws.stats().enqueued[1] - ws.busy_per_tenant()[1] as u64;
+            let removed = ws.cancel_tenant(T1);
+            assert_eq!(removed, t1_queued, "impl {imp:?}");
+            assert_eq!(ws.stats().cancelled[1], removed);
+            assert_eq!(ws.queued_len() as u64, queued_before as u64 - removed);
+            // In-service walks of the departed tenant still complete.
+            let done = drain(&mut ws, &mut rig, sched);
+            assert!(done.iter().any(|c| c.tenant == T1), "in-flight survived");
+            let s = ws.stats();
+            for t in 0..2 {
+                assert_eq!(s.enqueued[t], s.completed[t] + s.cancelled[t]);
+            }
+            assert_eq!(ws.queued_len(), 0);
+        }
+    }
+
+    #[test]
+    fn cancel_preserves_fifo_of_survivors() {
+        // Interleave two tenants on one walker's queue, cancel one, and
+        // check the survivors drain in their original relative order.
+        for imp in [SchedulerImpl::Optimized, SchedulerImpl::Reference] {
+            let mut ws = WalkSubsystem::with_scheduler_impl(
+                WalkConfig {
+                    n_walkers: 1,
+                    queue_entries: 8,
+                    n_tenants: 1,
+                    ..cfg(WalkPolicyKind::Partitioned(StealMode::None))
+                },
+                imp,
+            );
+            let mut rig = Rig::new();
+            let mut sched = Vec::new();
+            for i in 0..6u64 {
+                if let Ok(Some(d)) = ws.try_enqueue(
+                    WalkRequest {
+                        tenant: T0,
+                        vpn: Vpn(i * 0x1000),
+                    },
+                    Cycle(0),
+                    &mut rig.ctx(),
+                ) {
+                    sched.push(d);
+                }
+            }
+            // One in service, five queued; cancelling a tenant with nothing
+            // queued is a no-op...
+            assert_eq!(ws.cancel_tenant(TenantId(0)) + 1, 6);
+            // ...queue emptied, the in-service walk still completes.
+            assert_eq!(ws.queued_len(), 0);
+            let done = drain(&mut ws, &mut rig, sched);
+            assert_eq!(done.len(), 1);
+        }
+    }
+
+    #[test]
+    fn cancel_then_refill_reuses_freed_slots() {
+        // The bitmap arena must recycle cancelled slots: cancel a full
+        // queue, then refill it completely without running out of arena.
+        let mut ws = WalkSubsystem::new(cfg(WalkPolicyKind::Partitioned(StealMode::None)));
+        let mut rig = Rig::new();
+        let mut sched = Vec::new();
+        for round in 0..3u64 {
+            for i in 0..8u64 {
+                if let Ok(Some(d)) = ws.try_enqueue(
+                    WalkRequest {
+                        tenant: T0,
+                        vpn: Vpn(round * 0x10_0000 + i * 0x1000),
+                    },
+                    Cycle(round * 10),
+                    &mut rig.ctx(),
+                ) {
+                    sched.push(d);
+                }
+            }
+            ws.cancel_tenant(T0);
+        }
+        assert_eq!(ws.queued_len(), 0);
+        drain(&mut ws, &mut rig, sched);
+        let s = ws.stats();
+        assert_eq!(s.enqueued[0], s.completed[0] + s.cancelled[0]);
+    }
+
+    #[test]
+    fn cancel_tenant_shared_and_private_queues() {
+        for policy in [WalkPolicyKind::SharedQueue, WalkPolicyKind::PrivatePools] {
+            let mut ws = WalkSubsystem::new(cfg(policy));
+            let mut rig = Rig::new();
+            let mut sched = Vec::new();
+            for i in 0..6u64 {
+                for t in [T0, T1] {
+                    if let Ok(Some(d)) = ws.try_enqueue(
+                        WalkRequest {
+                            tenant: t,
+                            vpn: Vpn(u64::from(t.0) * 0x100_0000 + i * 0x1000),
+                        },
+                        Cycle(0),
+                        &mut rig.ctx(),
+                    ) {
+                        sched.push(d);
+                    }
+                }
+            }
+            let removed = ws.cancel_tenant(T1);
+            assert_eq!(ws.stats().cancelled[1], removed);
+            let done = drain(&mut ws, &mut rig, sched);
+            assert!(!done.is_empty());
+            let s = ws.stats();
+            let total_enq: u64 = s.enqueued.iter().sum();
+            let total_done: u64 = s.completed.iter().sum();
+            let total_cancelled: u64 = s.cancelled.iter().sum();
+            assert_eq!(total_enq, total_done + total_cancelled);
+        }
     }
 
     #[test]

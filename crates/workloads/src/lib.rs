@@ -21,12 +21,14 @@
 //! band.
 
 pub mod apps;
+pub mod arrival;
 pub mod mixes;
 pub mod pairs;
 pub mod stream;
 pub mod synth;
 
 pub use apps::{AppId, AppProfile, HotPattern, MpmiClass};
+pub use arrival::{ArrivalProcess, ChurnPlan};
 pub use mixes::{mixes_for, paper_mixes3, paper_mixes4, WorkloadMix, MAX_MIX_TENANTS};
 pub use pairs::{named_pairs, paper_pairs, WorkloadPair};
 pub use stream::{WarpOp, WarpStream};

@@ -64,6 +64,32 @@ if grep -qv '^{"ev":' "$SMOKE/trace.jsonl"; then
   exit 1
 fi
 
+echo "== churn smoke =="
+# The dynamic-tenancy engine end-to-end: the churn suites print their
+# golden-guarded tables (the heavy suite must show at least one eviction),
+# --suite aliases an experiment name, and --scenario runs a hand-written
+# JSON timeline through the SLO controller.
+./target/release/repro --quick --cache "$SMOKE/churn" --suite churn_light churn_heavy > "$SMOKE/churn.txt"
+grep -q "Fairness under churn (light)" "$SMOKE/churn.txt"
+grep -q "Fairness under churn (heavy)" "$SMOKE/churn.txt"
+# Heavy churn under the tight SLO must actually evict somewhere (the mean
+# eviction row is non-zero in the golden table).
+grep -q "Evict" "$SMOKE/churn.txt"
+cat > "$SMOKE/scenario.json" <<'EOF'
+{
+  "events": [
+    {"arrive": {"cycle": 0, "app": "GUPS"}},
+    {"arrive": {"cycle": 0, "app": "MM"}},
+    {"slo_target": {"tenant": 1, "p99_cycles": 900}},
+    {"depart": {"cycle": 60000, "tenant": 0}}
+  ],
+  "slo": {"check_interval": 5000, "evict_after": 3, "min_samples": 32}
+}
+EOF
+./target/release/repro --quick --scenario "$SMOKE/scenario.json" > "$SMOKE/scenario.txt"
+grep -q "tenant 0 (GUPS)" "$SMOKE/scenario.txt"
+grep -q "evictions" "$SMOKE/scenario.txt"
+
 echo "== fuzz + cache-audit smoke =="
 # Replay the checked-in corpus plus a short seeded campaign through the
 # stacked differential oracle (scheduler lockstep, batched-vs-scalar,

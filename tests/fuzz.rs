@@ -78,6 +78,43 @@ fn generated_scenarios_round_trip_through_repro_json() {
     }
 }
 
+/// The generator produces arrival/departure timelines (not just static
+/// scenarios), every one of them is coherent and replays clean through the
+/// oracle stack, and at least one departure actually cancels queued walks
+/// — the timeline machinery is not vacuous.
+#[test]
+fn generated_churn_timelines_replay_clean_and_cancel() {
+    let gen = FuzzGen::new(42);
+    let mut with_churn = Vec::new();
+    for i in 0..40 {
+        let sc = gen.scenario(i);
+        if !sc.churn.is_empty() {
+            with_churn.push(sc);
+        }
+    }
+    assert!(
+        with_churn.len() >= 3,
+        "40 draws yielded only {} churn timelines",
+        with_churn.len()
+    );
+    let mut cancelled = 0u64;
+    for sc in &with_churn {
+        assert!(
+            sc.churn.iter().any(|e| e.depart),
+            "{}: a churn timeline without departures exercises nothing",
+            sc.label
+        );
+        let stats = run_oracles(sc)
+            .unwrap_or_else(|d| panic!("churn scenario {} diverged: {d}", sc.label));
+        cancelled += stats.cancelled;
+    }
+    assert!(
+        cancelled > 0,
+        "no departure across {} churn scenarios cancelled a queued walk",
+        with_churn.len()
+    );
+}
+
 #[test]
 fn corpus_scenarios_replay_clean() {
     let files = corpus_files();

@@ -4,8 +4,7 @@
 //!   `SimResult` JSON is byte-identical with observability on and off;
 //! * a JSONL trace is a faithful record — replaying it reconstructs the
 //!   simulator's own per-tenant statistics bit-for-bit;
-//! * the [`SimulationBuilder`] is a drop-in for the deprecated
-//!   constructor; and
+//! * a static tenant list and its degenerate scenario run identically; and
 //! * the CLI surface (`PolicyPreset`, `TraceFilter`) round-trips.
 
 use walksteal::experiments::{parse_trace, replay};
@@ -100,39 +99,39 @@ fn jsonl_trace_replays_to_simulator_stats() {
     );
 }
 
-/// The builder is a faithful replacement for the deprecated
-/// `Simulation::new(cfg, apps, seed)` path, for every policy preset.
+/// A static tenant list is the degenerate scenario: routing the same
+/// tenants through `ScenarioSpec::static_run` must reproduce the plain
+/// builder run cycle-for-cycle, for every policy preset (the scenario
+/// machinery adds only the churn report).
 #[test]
-fn builder_matches_deprecated_constructor() {
+fn static_scenario_matches_plain_builder() {
     for preset in [
         PolicyPreset::Baseline,
         PolicyPreset::StaticPartition,
         PolicyPreset::Dws,
         PolicyPreset::DwsPlusPlus,
     ] {
-        let cfg = GpuConfig::default()
-            .with_n_sms(2)
-            .with_warps_per_sm(2)
-            .with_instructions_per_warp(200)
-            .for_tenants(2)
-            .with_preset(preset);
-        #[allow(deprecated)]
-        let legacy = Simulation::new(cfg, &[AppId::Gups, AppId::Sad], 3)
-            .run()
-            .to_json()
-            .dump();
-        let built = SimulationBuilder::new()
-            .n_sms(2)
-            .warps_per_sm(2)
-            .instructions_per_warp(200)
-            .preset(preset)
-            .tenants([AppId::Gups, AppId::Sad])
-            .seed(3)
+        let base = || {
+            SimulationBuilder::new()
+                .n_sms(2)
+                .warps_per_sm(2)
+                .instructions_per_warp(200)
+                .preset(preset)
+                .seed(3)
+        };
+        let plain = base().tenants([AppId::Gups, AppId::Sad]).build().run();
+        let scenario = base()
+            .scenario(ScenarioSpec::static_run([AppId::Gups, AppId::Sad]))
             .build()
-            .run()
-            .to_json()
-            .dump();
-        assert_eq!(legacy, built, "{preset:?}: builder diverges from legacy");
+            .run();
+        assert!(plain.churn.is_none());
+        assert!(scenario.churn.is_some());
+        assert_eq!(
+            plain.tenants, scenario.tenants,
+            "{preset:?}: scenario path diverges from the static run"
+        );
+        assert_eq!(plain.cycles, scenario.cycles, "{preset:?}");
+        assert_eq!(plain.events, scenario.events, "{preset:?}");
     }
 }
 

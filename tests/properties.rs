@@ -298,6 +298,12 @@ struct SchedSide {
     frames: FrameAlloc,
     mem: MemSystem,
     obs: Observer,
+    /// Whether [`complete`](Self::complete) asserts the FWA
+    /// no-consecutive-steal rule. The rule reads the per-walker stolen
+    /// bits against walker ownership, so — like the ownership
+    /// decomposition in `check_scheduler` — it does not survive a mid-run
+    /// repartition; churn drivers turn it off.
+    steal_rule: bool,
 }
 
 impl SchedSide {
@@ -310,6 +316,7 @@ impl SchedSide {
             frames: FrameAlloc::new(),
             mem: MemSystem::new(MemSystemConfig::default()),
             obs: Observer::off(),
+            steal_rule: true,
         }
     }
 
@@ -358,15 +365,17 @@ impl SchedSide {
         let pre_stolen = self.ws.walker_stolen_bits().expect("partitioned");
         let (_, next) = self.ws.on_walker_done(d.walker, d.done_at, &mut ctx);
         if let Some(n) = next {
-            // The FWA no-consecutive-steals rule, shared with the fuzzer
-            // through the library invariants module.
-            invariants::check_no_consecutive_steal(
-                &self.ws,
-                &pre_depths,
-                &pre_stolen,
-                n.walker.index(),
-            )
-            .unwrap_or_else(|e| panic!("{e}"));
+            if self.steal_rule {
+                // The FWA no-consecutive-steals rule, shared with the
+                // fuzzer through the library invariants module.
+                invariants::check_no_consecutive_steal(
+                    &self.ws,
+                    &pre_depths,
+                    &pre_stolen,
+                    n.walker.index(),
+                )
+                .unwrap_or_else(|e| panic!("{e}"));
+            }
         }
         next
     }
@@ -515,6 +524,210 @@ fn scheduler_invariants_hold_for_n_tenants() {
             }
         }
     }
+}
+
+/// Drives both scheduler implementations through lockstep traffic UNDER
+/// CHURN: a random arrival/departure timeline repartitions the walkers and
+/// cancels the departing tenant's queued walks mid-run, on both sides at
+/// the same step. Per-tenant conservation is checked through the
+/// attach/detach-safe [`invariants::check_accounting`] form (the ownership
+/// decomposition is transiently void while a departed tenant's walks drain
+/// from re-owned walkers), and the two sides' views must never diverge.
+/// Returns (steals, cancelled walks) so callers can assert non-vacuity.
+fn drive_churn(n_tenants: usize, mode: StealMode, seed: u64, steps: usize) -> (u64, u64) {
+    let cfg = WalkConfig {
+        n_walkers: 12, // divisible by every active-tenant count 1..=4
+        queue_entries: 24,
+        n_tenants,
+        policy: WalkPolicyKind::Partitioned(mode),
+        pwc_entries: 128,
+        pwc_latency: 2,
+        dispatch_overhead: 2,
+        strict_pend_check: true,
+    };
+    let mut a = SchedSide::new(&cfg, SchedulerImpl::Optimized);
+    let mut b = SchedSide::new(&cfg, SchedulerImpl::Reference);
+    // The no-consecutive-steal rule reads stolen bits against ownership,
+    // which repartitions invalidate; conservation and view agreement are
+    // the churn-safe properties this driver asserts.
+    a.steal_rule = false;
+    b.steal_rule = false;
+    let mut rng = SimRng::new(seed);
+    let mut now = Cycle::ZERO;
+    let mut attempts = 0u64;
+    let mut cancelled = 0u64;
+    let mut outstanding: Vec<DispatchedWalk> = Vec::new();
+    let mut burst: Vec<WalkRequest> = Vec::new();
+    let mut batch_out = Vec::new();
+    // Tenant 0 is pinned resident (the partition must never go empty);
+    // the rest arrive and depart on the timeline below.
+    let mut active = vec![true; n_tenants];
+
+    for step in 0..steps {
+        now += 1 + rng.next_below(7);
+        while let Some(&d) = outstanding.first() {
+            if d.done_at > now {
+                break;
+            }
+            outstanding.remove(0);
+            let na = a.complete(d);
+            let nb = b.complete(d);
+            assert_eq!(na, nb, "step {step}: follow-on dispatch diverged");
+            if let Some(n) = na {
+                let pos = outstanding.partition_point(|o| o.done_at <= n.done_at);
+                outstanding.insert(pos, n);
+            }
+        }
+
+        // Churn point: every ~250 steps one non-pinned tenant flips
+        // between resident and departed. A departure cancels its queued
+        // walks (the shootdown the simulator performs) and both events
+        // repartition the walkers among the residents — on both sides.
+        if step > 0 && step % 250 == 0 {
+            let t = 1 + rng.next_below(n_tenants as u64 - 1) as usize;
+            active[t] = !active[t];
+            if !active[t] {
+                let ca = a.ws.cancel_tenant(TenantId(t as u8));
+                let cb = b.ws.cancel_tenant(TenantId(t as u8));
+                assert_eq!(ca, cb, "step {step}: cancel count diverged");
+                cancelled += ca;
+            }
+            a.ws.set_active_tenants(&active);
+            b.ws.set_active_tenants(&active);
+        }
+
+        // Solo phases starve every resident but tenant 0 so the others'
+        // PEND_WALKS reach zero — the only state DWS steals from.
+        let solo_phase = (step / 400) % 2 == 1;
+        burst.clear();
+        for _ in 0..rng.next_below(5) {
+            let t = if solo_phase {
+                TenantId(0)
+            } else {
+                // Residents only: the GPU never issues for a departed app.
+                let residents: Vec<usize> =
+                    (0..n_tenants).filter(|&t| active[t]).collect();
+                TenantId(residents[rng.next_below(residents.len() as u64) as usize] as u8)
+            };
+            let vpn = Vpn((u64::from(t.0) << 32) | rng.next_below(4_000));
+            burst.push(WalkRequest { tenant: t, vpn });
+        }
+        attempts += burst.len() as u64;
+        a.enqueue_batch(&burst, now, &mut batch_out);
+        for (i, (&req, ra)) in burst.iter().zip(&batch_out).enumerate() {
+            let rb = b.enqueue(req, now);
+            assert_eq!(*ra, rb, "step {step}: enqueue decision {i} diverged");
+            if let Ok(Some(d)) = *ra {
+                let pos = outstanding.partition_point(|o| o.done_at <= d.done_at);
+                outstanding.insert(pos, d);
+            }
+        }
+
+        for (side, ws) in [("optimized", &a.ws), ("reference", &b.ws)] {
+            invariants::check_accounting(ws, attempts, &format!("{side} step {step}"))
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+        invariants::check_views_agree(&a.ws, &b.ws, &format!("step {step}"))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    while let Some(d) = outstanding.first().copied() {
+        outstanding.remove(0);
+        let na = a.complete(d);
+        let nb = b.complete(d);
+        assert_eq!(na, nb, "drain dispatch diverged");
+        if let Some(n) = na {
+            let pos = outstanding.partition_point(|o| o.done_at <= n.done_at);
+            outstanding.insert(pos, n);
+        }
+    }
+    for side in [&a, &b] {
+        invariants::check_drained(&side.ws, attempts, "terminal").unwrap_or_else(|e| panic!("{e}"));
+    }
+    (a.ws.stats().stolen.iter().sum(), cancelled)
+}
+
+/// The scheduler invariants survive tenant attach/detach: lockstep
+/// optimized-vs-reference runs over random arrival/departure timelines,
+/// for 3 and 4 tenants under DWS and DWS++, with both stealing and
+/// mid-run cancellations provably exercised.
+#[test]
+fn scheduler_invariants_hold_under_churn() {
+    for n_tenants in [3usize, 4] {
+        for (mode, label) in [
+            (StealMode::Dws, "dws"),
+            (
+                StealMode::DwsPlusPlus(DwsPlusPlusParams::paper_default()),
+                "dws++",
+            ),
+        ] {
+            let mut stolen = 0;
+            let mut cancelled = 0;
+            for seed in [0xD1u64, 0xD2, 0xD3] {
+                let (s, c) = drive_churn(n_tenants, mode.clone(), seed, 2_000);
+                stolen += s;
+                cancelled += c;
+            }
+            assert!(
+                stolen > 0,
+                "{label} at {n_tenants} tenants churned without steals"
+            );
+            assert!(
+                cancelled > 0,
+                "{label} at {n_tenants} tenants churned without cancellations"
+            );
+        }
+    }
+}
+
+/// End-to-end churn: heavy arrival/departure timelines under a tight SLO
+/// run to completion under DWS and DWS++, the controller provably evicts
+/// and throttles somewhere in the suite, and every churn report is
+/// internally consistent (departure after arrival, compliance from counted
+/// checks, lifetime bounded by the run).
+#[test]
+fn churn_scenarios_evict_and_steal() {
+    use walksteal::experiments::suite::walkers_for_tenants;
+    use walksteal::experiments::{scenario_from_plan, ChurnKind, Scale};
+    use walksteal::multitenant::{PolicyPreset, SimulationBuilder};
+
+    let scale = Scale::Quick;
+    let mut evictions = 0u64;
+    let mut throttles = 0u64;
+    let mut stolen = false;
+    for preset in [PolicyPreset::Dws, PolicyPreset::DwsPlusPlus] {
+        for seed in [42u64, 43, 44] {
+            let plan = ChurnKind::Heavy.process().generate(seed);
+            let spec = scenario_from_plan(&plan, Some(ChurnKind::Heavy.slo()));
+            let n = plan.n_tenants();
+            let cfg = scale
+                .base_config()
+                .with_n_sms(scale.sms_per_tenant(n) * n)
+                .with_walkers(walkers_for_tenants(n))
+                .for_tenants(n)
+                .with_preset(preset);
+            let r = SimulationBuilder::new()
+                .config(cfg)
+                .scenario(spec)
+                .seed(seed)
+                .build()
+                .run();
+            let report = r.churn.expect("scenario runs carry a churn report");
+            evictions += report.evictions;
+            throttles += report.throttles;
+            stolen |= r.tenants.iter().any(|t| t.stolen_fraction > 0.0);
+            for (t, ch) in report.tenants.iter().enumerate() {
+                if let (Some(arr), Some(dep)) = (ch.arrived, ch.departed) {
+                    assert!(dep > arr, "tenant {t} departed before arriving");
+                }
+                assert!(ch.slo_met <= ch.slo_checks, "tenant {t}");
+                assert!(ch.lifetime_cycles <= r.cycles, "tenant {t}");
+            }
+        }
+    }
+    assert!(evictions > 0, "heavy churn under a 900-cycle p99 never evicted");
+    assert!(throttles > 0, "heavy churn never throttled an aggressor");
+    assert!(stolen, "DWS under churn never stole a walk");
 }
 
 /// End-to-end: tiny random pairs complete under every policy, and every
