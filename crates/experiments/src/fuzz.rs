@@ -11,14 +11,17 @@
 //! 1. [`FuzzGen`] draws random [`FuzzScenario`]s from a seed: synthetic
 //!    tenants (arbitrary footprints and access patterns, via
 //!    [`walksteal_workloads::synth`]), random hardware sweep points
-//!    (walkers / queue depth / L2-TLB size / 2–4 tenants), every
+//!    (walkers / queue depth / L2-TLB size / L2 banks / DRAM channels and
+//!    occupancy / 2–4 tenants), every
 //!    [`PolicyPreset`], mid-run repartition schedules, and fault-injection
 //!    schedules reusing the `--inject-faults` machinery.
 //! 2. [`run_oracles`] runs one scenario through the stacked oracle:
 //!    * **lockstep** — optimized (batched) vs reference (scalar) walk
 //!      scheduler on identical traffic, per-step invariant checks through
 //!      the shared [`walksteal_vm::invariants`] module, inspection-view
-//!      agreement, repartition events applied to both sides;
+//!      agreement, repartition events applied to both sides, and a
+//!      batched-vs-scalar memory-system twin on the scenario's randomized
+//!      L2-bank/DRAM-channel shape;
 //!    * **simulate** — the full end-to-end simulation under an event
 //!      budget;
 //!    * **trace** — the same simulation traced, the trace replayed from
@@ -46,15 +49,15 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use walksteal_mem::{MemSystem, MemSystemConfig};
+use walksteal_mem::{Access, AccessKind, MemSystem, MemSystemConfig};
 use walksteal_multitenant::{
     GpuConfig, JsonlTracer, PolicyPreset, RunBudget, SimError, SimulationBuilder, TenantSpec,
 };
-use walksteal_sim_core::{Cycle, Json, Observer, SimRng, TenantId, Vpn};
+use walksteal_sim_core::{Cycle, Json, LineAddr, Observer, SimRng, TenantId, Vpn};
 use walksteal_vm::walk::WalkContext;
 use walksteal_vm::{
-    invariants, DispatchedWalk, FrameAlloc, PageSize, PageTable, SchedulerImpl, WalkConfig,
-    WalkQueueFull, WalkRequest, WalkSubsystem,
+    invariants, DispatchedWalk, FrameAlloc, PageSize, PageTable, SchedulerImpl, WalkQueueFull,
+    WalkRequest, WalkSubsystem,
 };
 use walksteal_workloads::{synthetic_profile, AppId, AppProfile};
 
@@ -179,6 +182,14 @@ pub struct FuzzScenario {
     pub queue_entries: usize,
     /// Shared L2 TLB entries (multiple of 16, power-of-two sets).
     pub l2_tlb_entries: usize,
+    /// Shared L2 cache banks (power of two); the batched memory path
+    /// groups misses per bank, so this sets the contention geometry.
+    pub l2_banks: usize,
+    /// DRAM channels (power of two); the batch pass groups per channel.
+    pub dram_channels: usize,
+    /// Cycles one line transfer occupies its DRAM channel (> 0; the
+    /// bandwidth term that creates queue waits under conflicts).
+    pub dram_occupancy: u64,
     /// SMs per tenant for the end-to-end stages.
     pub sms_per_tenant: usize,
     /// Resident warps per SM.
@@ -212,6 +223,9 @@ pub struct OracleStats {
     pub cancelled: u64,
     /// Requests that went through `try_enqueue_batch` on the optimized side.
     pub batched: u64,
+    /// Lines compared through the batched-vs-scalar memory twin in the
+    /// lockstep stage.
+    pub mem_refs: u64,
     /// Events the end-to-end simulation processed.
     pub sim_events: u64,
     /// The end-to-end stage hit the internal event cap and was truncated.
@@ -248,6 +262,9 @@ impl FuzzScenario {
             .with_walkers(self.walkers)
             .with_l2_tlb_entries(self.l2_tlb_entries);
         cfg.walk.queue_entries = self.queue_entries;
+        cfg.mem.l2_banks = self.l2_banks;
+        cfg.mem.dram.channels = self.dram_channels;
+        cfg.mem.dram.occupancy_cycles = self.dram_occupancy;
         cfg
     }
 
@@ -282,6 +299,9 @@ impl FuzzScenario {
             ("walkers".into(), Json::UInt(self.walkers as u64)),
             ("queue_entries".into(), Json::UInt(self.queue_entries as u64)),
             ("l2_tlb_entries".into(), Json::UInt(self.l2_tlb_entries as u64)),
+            ("l2_banks".into(), Json::UInt(self.l2_banks as u64)),
+            ("dram_channels".into(), Json::UInt(self.dram_channels as u64)),
+            ("dram_occupancy".into(), Json::UInt(self.dram_occupancy)),
             ("sms_per_tenant".into(), Json::UInt(self.sms_per_tenant as u64)),
             ("warps_per_sm".into(), Json::UInt(self.warps_per_sm as u64)),
             (
@@ -350,6 +370,16 @@ impl FuzzScenario {
             v.get(k)
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("scenario: missing integer field `{k}`"))
+        };
+        // Memory-shape fields postdate the repro format: absent fields
+        // (old corpus/repro files) default to the production memory
+        // system, so historical repros replay on the hardware they
+        // diverged on.
+        let uint_or = |k: &str, default: u64| match v.get(k) {
+            None => Ok(default),
+            Some(j) => j
+                .as_u64()
+                .ok_or_else(|| format!("scenario: `{k}` is not an integer")),
         };
         let tenants = v
             .get("tenants")
@@ -441,6 +471,7 @@ impl FuzzScenario {
             Some("drop_reference_enqueues") => Plant::DropReferenceEnqueues,
             Some(other) => return Err(format!("scenario: unknown plant `{other}`")),
         };
+        let mem_default = MemSystemConfig::default();
         let sc = FuzzScenario {
             label: v
                 .get("label")
@@ -453,6 +484,9 @@ impl FuzzScenario {
             walkers: uint("walkers")? as usize,
             queue_entries: uint("queue_entries")? as usize,
             l2_tlb_entries: uint("l2_tlb_entries")? as usize,
+            l2_banks: uint_or("l2_banks", mem_default.l2_banks as u64)? as usize,
+            dram_channels: uint_or("dram_channels", mem_default.dram.channels as u64)? as usize,
+            dram_occupancy: uint_or("dram_occupancy", mem_default.dram.occupancy_cycles)?,
             sms_per_tenant: uint("sms_per_tenant")? as usize,
             warps_per_sm: uint("warps_per_sm")? as usize,
             instructions_per_warp: uint("instructions_per_warp")?,
@@ -480,6 +514,21 @@ impl FuzzScenario {
         }
         if sc.sms_per_tenant == 0 || sc.warps_per_sm == 0 || sc.instructions_per_warp == 0 {
             return Err("scenario: zero-sized machine".into());
+        }
+        if !sc.l2_banks.is_power_of_two() {
+            return Err(format!(
+                "scenario: {} L2 banks is not a power of two",
+                sc.l2_banks
+            ));
+        }
+        if !sc.dram_channels.is_power_of_two() {
+            return Err(format!(
+                "scenario: {} DRAM channels is not a power of two",
+                sc.dram_channels
+            ));
+        }
+        if sc.dram_occupancy == 0 {
+            return Err("scenario: zero DRAM occupancy (free bandwidth)".into());
         }
         Ok(sc)
     }
@@ -606,17 +655,30 @@ impl FuzzGen {
         let faults = rng
             .chance(0.3)
             .then(|| format!("panic=1,budget=1,seed={}", rng.next_below(1000)));
+        let seed = rng.next_u64();
+        let sms_per_tenant = 1 + rng.next_below(2) as usize;
+        let warps_per_sm = 2 + rng.next_below(3) as usize;
+        let instructions_per_warp = 150 + rng.next_below(251);
+        // Memory-system shape. Drawn after every pre-existing knob so a
+        // given campaign seed keeps producing the scenarios it always did,
+        // with a randomized memory geometry appended.
+        let l2_banks = [4usize, 8, 16][rng.next_below(3) as usize];
+        let dram_channels = [2usize, 4, 8, 16][rng.next_below(4) as usize];
+        let dram_occupancy = 1 + rng.next_below(12);
         FuzzScenario {
             label: format!("s{}-{}", self.seed, index),
-            seed: rng.next_u64(),
+            seed,
             tenants,
             preset,
             walkers,
             queue_entries,
             l2_tlb_entries,
-            sms_per_tenant: 1 + rng.next_below(2) as usize,
-            warps_per_sm: 2 + rng.next_below(3) as usize,
-            instructions_per_warp: 150 + rng.next_below(251),
+            l2_banks,
+            dram_channels,
+            dram_occupancy,
+            sms_per_tenant,
+            warps_per_sm,
+            instructions_per_warp,
             steps,
             repartition,
             churn,
@@ -648,14 +710,14 @@ struct Side {
 }
 
 impl Side {
-    fn new(cfg: &WalkConfig, imp: SchedulerImpl) -> Side {
+    fn new(cfg: &GpuConfig, imp: SchedulerImpl) -> Side {
         Side {
-            ws: WalkSubsystem::with_scheduler_impl(cfg.clone(), imp),
-            page_tables: (0..cfg.n_tenants)
+            ws: WalkSubsystem::with_scheduler_impl(cfg.walk.clone(), imp),
+            page_tables: (0..cfg.walk.n_tenants)
                 .map(|t| PageTable::new(TenantId(t as u8), PageSize::Small4K))
                 .collect(),
             frames: FrameAlloc::new(),
-            mem: MemSystem::new(MemSystemConfig::default()),
+            mem: MemSystem::new(cfg.mem),
             obs: Observer::off(),
             strict_steals: true,
         }
@@ -723,8 +785,20 @@ fn lockstep(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<OracleStats, Divergenc
         detail,
     };
     let n_tenants = sc.tenants.len();
-    let mut a = Side::new(&cfg.walk, SchedulerImpl::Optimized);
-    let mut b = Side::new(&cfg.walk, SchedulerImpl::Reference);
+    let mut a = Side::new(cfg, SchedulerImpl::Optimized);
+    let mut b = Side::new(cfg, SchedulerImpl::Reference);
+    // The memory-batch twin: a batched and a scalar `MemSystem` on the
+    // scenario's randomized L2-bank/DRAM-channel shape, fed identical line
+    // bursts each step. The grouped per-bank/per-channel pass must match
+    // the scalar replay request for request, and the full timing state
+    // (hit counters, bank free cycles, channel free cycles) must stay
+    // equal — the fuzzing twin of `tests/batch_differential.rs`.
+    let mut mem_batched = MemSystem::new(cfg.mem);
+    let mut mem_scalar = MemSystem::new(cfg.mem);
+    let mut mem_rng = SimRng::new(sc.seed).split(0x3E3);
+    let mut mem_lines: Vec<LineAddr> = Vec::new();
+    let mut mem_out: Vec<Access> = Vec::new();
+    let mut mem_refs = 0u64;
     let mut rng = SimRng::new(sc.seed).split(0x10C5);
     // Per-scenario pacing: a small stride saturates the queues (exercising
     // rejection and backpressure), a large one drains them (exercising
@@ -853,6 +927,47 @@ fn lockstep(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<OracleStats, Divergenc
             }
         }
 
+        // Drive the memory twin at this step's cycle: a burst from a
+        // 96-line window per tenant, narrow enough that bank and channel
+        // conflicts are routine, mixing data and page-table traffic.
+        mem_lines.clear();
+        // Mostly warp-width bursts; every eighth step goes wider than the
+        // grouped-pass threshold so both batch strategies are fuzzed.
+        let mem_width = if step % 8 == 0 {
+            MemSystem::GROUPED_MIN as u64 + mem_rng.next_below(24)
+        } else {
+            1 + mem_rng.next_below(12)
+        };
+        for _ in 0..mem_width {
+            let t = mem_rng.next_below(n_tenants as u64);
+            mem_lines.push(LineAddr((t << 10) | mem_rng.next_below(96)));
+        }
+        let kind = match mem_rng.next_below(5) {
+            0 => AccessKind::PageTable,
+            1 => AccessKind::PageTableBypass,
+            _ => AccessKind::Data,
+        };
+        mem_out.clear();
+        mem_batched.access_batch(&mem_lines, now, kind, &mut mem_out);
+        for (i, (&line, batched)) in mem_lines.iter().zip(&mem_out).enumerate() {
+            let scalar = mem_scalar.access(line, now, kind);
+            if *batched != scalar {
+                return Err(div(format!(
+                    "step {step}: memory batch request {i} ({line:?}, {kind:?}) \
+                     diverged: {batched:?} vs {scalar:?}"
+                )));
+            }
+        }
+        mem_refs += mem_lines.len() as u64;
+        if mem_batched.stats() != mem_scalar.stats()
+            || mem_batched.bank_free() != mem_scalar.bank_free()
+            || mem_batched.dram().next_free() != mem_scalar.dram().next_free()
+        {
+            return Err(div(format!(
+                "step {step}: memory batch timing state diverged from the scalar replay"
+            )));
+        }
+
         // The full ownership decomposition is only valid while walker
         // ownership has been stable since the walks queued; once a
         // repartition fires, a departing tenant's queued walks drain from
@@ -891,6 +1006,7 @@ fn lockstep(sc: &FuzzScenario, cfg: &GpuConfig) -> Result<OracleStats, Divergenc
         rejected: stats.rejected.iter().sum(),
         cancelled,
         batched,
+        mem_refs,
         ..OracleStats::default()
     })
 }

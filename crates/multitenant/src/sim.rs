@@ -10,7 +10,7 @@
 //! exactly where the hardware would.
 
 use walksteal_gpu::{MemRef, SmState};
-use walksteal_mem::{AccessKind, MemSystem};
+use walksteal_mem::{Access, AccessKind, MemSystem};
 use walksteal_sim_core::trace::{Observer, TraceEvent, TraceKind};
 use walksteal_sim_core::{
     BudgetKind, Cycle, EventQueue, FnvMap, LineAddr, Ppn, RunBudget, RunDiag, SimError, TenantId,
@@ -28,6 +28,18 @@ use crate::scenario::{Action, ChurnReport, ScenarioRuntime, TenantChurn};
 
 /// A translation waiting on an outstanding walk: (sm, warp, reference).
 type Waiter = (usize, usize, MemRef);
+
+/// Events between wall-clock budget samples (`Instant::now` is too costly
+/// per event).
+const WALL_SAMPLE_STRIDE: u64 = 1 << 16;
+
+/// The first wall-clock sampling boundary strictly after `count` processed
+/// events: 64 Ki, 128 Ki, ... — never 0, so a fresh (or resumed) count does
+/// not sample before any work has run, and a batched count that jumps past a
+/// boundary still triggers at the next comparison.
+fn next_wall_boundary(count: u64) -> u64 {
+    (count / WALL_SAMPLE_STRIDE + 1) * WALL_SAMPLE_STRIDE
+}
 
 /// Discrete events driving the simulation.
 ///
@@ -122,6 +134,22 @@ pub struct Simulation {
     /// VPNs of a warp's coalesced references and their probe results.
     vpn_batch: Vec<Vpn>,
     tlb_batch: Vec<Option<Ppn>>,
+    /// Same-cycle staged L1-miss data accesses awaiting one
+    /// [`MemSystem::access_batch`] pass: `(sm, warp, line)` in reference
+    /// order. Reused across flushes; see [`stage_data`](Self::stage_data).
+    stage: Vec<(u16, u16, LineAddr)>,
+    /// Line addresses split out of `stage` for the batch call.
+    stage_lines: Vec<LineAddr>,
+    /// Batched access results, parallel to `stage_lines`.
+    stage_out: Vec<Access>,
+    /// Fixed-latency event lane for `WarpStart` re-issues at the current
+    /// cycle (see [`EventQueue::push_lane`]).
+    lane_start: usize,
+    /// The next `events_processed` boundary (a 64 Ki multiple) at which the
+    /// wall-clock budget is sampled; batched counting can jump past a
+    /// boundary, so the check compares against this instead of testing
+    /// divisibility.
+    next_wall_check: u64,
     /// When present, warp ops come from epoch-pipelined generator threads
     /// instead of the inline per-warp streams (byte-identical either way;
     /// see [`crate::pipeline`]).
@@ -175,6 +203,15 @@ impl Simulation {
         // tenant-local warp order, for the generator threads.
         let mut gen_streams: Vec<Vec<WarpStream>> = vec![Vec::new(); n_tenants];
         let mut events = EventQueue::new();
+        // Fixed-latency fast lane for zero-latency `WarpStart` re-issues:
+        // pushes at the (monotone) current cycle skip the generic calendar
+        // insert and drain wholesale. The queue splices lanes back in
+        // insertion order, so routing through one is behavior-preserving.
+        // Positive-latency completions (e.g. L1 hits at `now + 25`) stay on
+        // the calendar: its bucket push is already O(1), so a lane saves
+        // nothing there and the drain-time splice costs ~5% end-to-end
+        // (measured; see EXPERIMENTS.md).
+        let lane_start = events.add_lane();
         for sm in 0..cfg.n_sms {
             let tenant = TenantId((sm / sms_per_tenant) as u8);
             sms.push(SmState::new(cfg.sm, tenant));
@@ -250,6 +287,11 @@ impl Simulation {
             parked_rr: 0,
             vpn_batch: Vec::new(),
             tlb_batch: Vec::new(),
+            stage: Vec::new(),
+            stage_lines: Vec::new(),
+            stage_out: Vec::new(),
+            lane_start,
+            next_wall_check: next_wall_boundary(0),
             pipeline: pipelined.then(|| StreamPipeline::spawn(gen_streams)),
             sms_per_tenant,
             events,
@@ -564,9 +606,10 @@ impl Simulation {
     /// itself is identical to `run`; an unlimited budget adds no checks to
     /// the hot loop beyond one branch per event.
     ///
-    /// Wall-clock time is sampled every 64 Ki events, so a wall-clock abort
-    /// can overshoot by the time those events take. Event and cycle budgets
-    /// are exact and deterministic.
+    /// Wall-clock time is sampled when the processed-event count crosses a
+    /// 64 Ki boundary (checked between same-cycle event batches), so a
+    /// wall-clock abort can overshoot by the time those events take. Event
+    /// and cycle budgets are exact and deterministic.
     pub fn run_budgeted(mut self, budget: &RunBudget) -> Result<SimResult, SimError> {
         let (n_tenants, n_walkers, seed) = (
             self.tenants.len() as u32,
@@ -587,8 +630,9 @@ impl Simulation {
         // Cycle-batched drain: pull every same-cycle event in one queue
         // operation, then dispatch them in the exact order the scalar
         // per-event loop would have popped them. Events pushed back at the
-        // current cycle land in the (now empty) ring bucket and form the
-        // next batch, preserving FIFO order within the cycle.
+        // current cycle land in the (now empty) ring bucket or a fast lane
+        // and form the next batch, preserving FIFO order within the cycle
+        // (the queue merges lanes back by global insertion order).
         let max_cycles = self.cfg.max_cycles;
         let mut batch: Vec<Event> = Vec::with_capacity(256);
         'run: while let Some(at) = self.events.drain_cycle_into(&mut batch) {
@@ -597,13 +641,30 @@ impl Simulation {
             if at.0 > max_cycles {
                 break;
             }
-            for idx in 0..batch.len() {
-                if limited {
-                    if let Some(e) = self.check_budget(budget, &started) {
-                        return Err(e);
+            // Budget checks hoist out of the per-event loop: `now` is fixed
+            // for the whole batch (the cycle budget can only trip before its
+            // first event) and the event budget admits a computable prefix
+            // of the batch, so the dispatch loop below carries no budget
+            // branches at all. The trigger points — which event a violation
+            // fires before, and the diagnostic it carries — are identical
+            // to checking per event, in the scalar check order (events,
+            // then cycles, then wall clock).
+            let mut cut = batch.len();
+            if limited {
+                if let Some(limit) = budget.max_events {
+                    let room = limit.saturating_sub(self.events_processed);
+                    cut = cut.min(usize::try_from(room).unwrap_or(usize::MAX));
+                    if cut == 0 && !batch.is_empty() {
+                        return Err(self.budget_err(BudgetKind::Events, limit));
                     }
                 }
-                self.events_processed += 1;
+                if let Some(limit) = budget.max_cycles {
+                    if self.now.0 > limit {
+                        return Err(self.budget_err(BudgetKind::Cycles, limit));
+                    }
+                }
+            }
+            for idx in 0..cut {
                 match batch[idx] {
                     Event::WarpStart { sm, warp } => self.on_warp_start(sm.into(), warp.into()),
                     Event::WarpMem { sm, warp } => self.on_warp_mem(sm.into(), warp.into()),
@@ -614,6 +675,7 @@ impl Simulation {
                     Event::SloCheck => self.on_slo_check(),
                 }
                 if self.stopped {
+                    self.events_processed += idx as u64 + 1;
                     // Replicate the scalar loop's final `now`: it pops the
                     // next event (same cycle if the batch has remainder,
                     // else the queue's next cycle) before noticing the stop.
@@ -623,6 +685,25 @@ impl Simulation {
                         }
                     }
                     break 'run;
+                }
+            }
+            self.events_processed += cut as u64;
+            if limited {
+                if cut < batch.len() {
+                    let limit = budget
+                        .max_events
+                        .expect("only the event budget shortens a batch");
+                    return Err(self.budget_err(BudgetKind::Events, limit));
+                }
+                if let Some(limit) = budget.max_wall {
+                    if self.events_processed >= self.next_wall_check {
+                        self.next_wall_check = next_wall_boundary(self.events_processed);
+                        if started.elapsed() > limit {
+                            return Err(
+                                self.budget_err(BudgetKind::WallClock, limit.as_millis() as u64)
+                            );
+                        }
+                    }
                 }
             }
             batch.clear();
@@ -639,54 +720,26 @@ impl Simulation {
         }
     }
 
-    /// Returns the budget violation about to occur at this point of the
-    /// run, if any.
-    fn check_budget(&self, budget: &RunBudget, started: &std::time::Instant) -> Option<SimError> {
-        if let Some(limit) = budget.max_events {
-            if self.events_processed >= limit {
-                return Some(SimError::BudgetExceeded {
-                    kind: BudgetKind::Events,
-                    limit,
-                    diag: self.diag(),
-                });
-            }
+    /// The budget violation firing at this point of the run.
+    fn budget_err(&self, kind: BudgetKind, limit: u64) -> SimError {
+        SimError::BudgetExceeded {
+            kind,
+            limit,
+            diag: self.diag(),
         }
-        if let Some(limit) = budget.max_cycles {
-            if self.now.0 > limit {
-                return Some(SimError::BudgetExceeded {
-                    kind: BudgetKind::Cycles,
-                    limit,
-                    diag: self.diag(),
-                });
-            }
-        }
-        if let Some(limit) = budget.max_wall {
-            // Instant::now is too costly per event; sample every 64 Ki.
-            if self.events_processed & 0xFFFF == 0 && started.elapsed() > limit {
-                return Some(SimError::BudgetExceeded {
-                    kind: BudgetKind::WallClock,
-                    limit: limit.as_millis() as u64,
-                    diag: self.diag(),
-                });
-            }
-        }
-        None
     }
 
     fn on_sample(&mut self) {
-        let instr: Vec<u64> = {
-            let mut per_tenant = vec![0u64; self.tenants.len()];
-            for t in 0..self.tenants.len() {
-                per_tenant[t] = self.tenants[t].instr_total;
-            }
-            per_tenant
-        };
-        let delta: Vec<u64> = instr
-            .iter()
-            .zip(&self.last_sample_instr)
-            .map(|(&a, &b)| a - b)
-            .collect();
-        self.last_sample_instr = instr;
+        // One pass, one allocation (the sample's own delta vector, which
+        // outlives this call inside the timeline): read each tenant's
+        // running total, difference it against the previous sample, and
+        // update the previous-sample slot in place.
+        let mut delta: Vec<u64> = Vec::with_capacity(self.tenants.len());
+        for (t, last) in self.last_sample_instr.iter_mut().enumerate() {
+            let total = self.tenants[t].instr_total;
+            delta.push(total - *last);
+            *last = total;
+        }
         let (queued, busy) = (self.walk.queued_len(), self.walk.busy_walkers());
         if !self.obs.is_off() {
             let (cycle, busy_per_tenant) = (self.now.0, self.walk.busy_per_tenant());
@@ -791,15 +844,21 @@ impl Simulation {
                         if let Some(m) = self.obs.metrics() {
                             m.inc("l1_tlb_hits", Some(self.sms[sm].tenant().0));
                         }
-                        self.data_access(sm, warp, r, ppn, self.now);
+                        self.stage_data(sm, warp, r, ppn);
                     }
                     None => {
+                        // The miss path can touch the memory system (walk
+                        // dispatch fetches PTEs), so the staged data
+                        // accesses must resolve first to keep the scalar
+                        // order of memory-state mutations.
+                        self.flush_staged();
                         self.after_l1_miss(sm, warp, r, false);
                     }
                 }
             }
             i += consumed;
         }
+        self.flush_staged();
         self.vpn_batch = vpns;
         self.tlb_batch = probed;
         // Hand the buffer back for the warp's next op (contents are stale
@@ -930,13 +989,17 @@ impl Simulation {
                 .fill(done.tenant, done.vpn, done.ppn, now);
         }
 
-        // Wake every waiter merged onto this walk.
+        // Wake every waiter merged onto this walk. Their data accesses all
+        // issue at `now`, so they stage into one batched memory-system pass;
+        // the flush lands before the parked-translation retries below, which
+        // can touch the memory system themselves.
         if let Some(mut waiters) = self.merge.remove(&(done.tenant, done.vpn)) {
             for &(sm, warp, r) in &waiters {
                 self.sms[sm].fill_l1_tlb(r.vpn, done.ppn, now);
                 self.sms[sm].release_tlb_mshr();
-                self.data_access(sm, warp, r, done.ppn, now);
+                self.stage_data(sm, warp, r, done.ppn);
             }
+            self.flush_staged();
             waiters.clear();
             self.waiter_pool.push(waiters);
         }
@@ -957,6 +1020,68 @@ impl Simulation {
                 self.begin_ref(sm, warp, r, true);
             }
         }
+    }
+
+    /// Stages one already-translated reference's data phase at the current
+    /// cycle. The L1 cache probes immediately — its state must evolve in
+    /// reference order — and a hit completes on the spot (`now +
+    /// l1_hit_latency`; a hit's completion cycle can never tie with a
+    /// miss's, so pushing hits ahead of staged misses preserves the scalar
+    /// pop order). Only L1 misses collect into `stage` for one
+    /// [`MemSystem::access_batch`] pass at the next
+    /// [`flush_staged`](Self::flush_staged). Bit-identical to calling
+    /// [`data_access`](Self::data_access) per reference at `self.now`.
+    fn stage_data(&mut self, sm: usize, warp: usize, r: MemRef, ppn: Ppn) {
+        let line = LineAddr(ppn.0 * 32 + u64::from(r.line_in_page));
+        if self.sms[sm].access_l1_cache(line) {
+            let l1_lat = self.sms[sm].l1_hit_latency();
+            self.events.push(
+                self.now + l1_lat,
+                Event::RefDone {
+                    sm: sm as u16,
+                    warp: warp as u16,
+                },
+            );
+        } else {
+            self.stage.push((sm as u16, warp as u16, line));
+        }
+    }
+
+    /// Resolves the staged L1 misses: one batched L2/DRAM pass, then the
+    /// `RefDone` completions push through the generic calendar (their
+    /// DRAM latency varies) in reference order — the exact sequence the
+    /// scalar path would have produced, since the staged misses' memory
+    /// accesses were the next memory-system mutations due in any case.
+    fn flush_staged(&mut self) {
+        if self.stage.is_empty() {
+            return;
+        }
+        let at = self.now;
+        // `l1_hit_latency` comes from the one shared `SmConfig`, so a single
+        // issue cycle covers every staged reference regardless of its SM.
+        let l1_lat = self.sms[0].l1_hit_latency();
+        if self.stage.len() == 1 {
+            // One miss — the batch degenerates to one scalar access; skip
+            // the `stage_lines`/`stage_out` round trip.
+            let (sm, warp, line) = self.stage[0];
+            self.stage.clear();
+            let access = self.mem.access(line, at + l1_lat, AccessKind::Data);
+            self.events
+                .push(at + l1_lat + access.latency, Event::RefDone { sm, warp });
+            return;
+        }
+        self.stage_lines.clear();
+        self.stage_lines
+            .extend(self.stage.iter().map(|&(_, _, line)| line));
+        self.stage_out.clear();
+        self.mem
+            .access_batch(&self.stage_lines, at + l1_lat, AccessKind::Data, &mut self.stage_out);
+        for (i, &(sm, warp, _)) in self.stage.iter().enumerate() {
+            let lat = self.stage_out[i].latency;
+            self.events
+                .push(at + l1_lat + lat, Event::RefDone { sm, warp });
+        }
+        self.stage.clear();
     }
 
     /// The data phase of a reference: L1 cache, then shared L2/DRAM.
@@ -986,7 +1111,10 @@ impl Simulation {
         debug_assert!(w.outstanding > 0, "ref completion without outstanding refs");
         w.outstanding -= 1;
         if w.outstanding == 0 {
-            self.events.push(
+            // Zero-latency re-issue: `self.now` is monotone, so this rides
+            // the dedicated fast lane instead of the calendar insert.
+            self.events.push_lane(
+                self.lane_start,
                 self.now,
                 Event::WarpStart {
                     sm: sm as u16,
@@ -1335,6 +1463,48 @@ mod tests {
         };
         assert_eq!(kind, BudgetKind::Cycles);
         assert!(diag.cycles > 2_000, "aborted at cycle {}", diag.cycles);
+    }
+
+    #[test]
+    fn wall_sample_boundaries_are_64ki_multiples_and_skipproof() {
+        // Trigger points: 64 Ki, 128 Ki, ... — never 0, so a fresh count
+        // does not sample before any event has run.
+        assert_eq!(next_wall_boundary(0), 65_536);
+        assert_eq!(next_wall_boundary(1), 65_536);
+        assert_eq!(next_wall_boundary(65_535), 65_536);
+        assert_eq!(next_wall_boundary(65_536), 131_072);
+        assert_eq!(next_wall_boundary(131_071), 131_072);
+        assert_eq!(next_wall_boundary(131_072), 196_608);
+
+        // Stepping one event at a time triggers exactly at the multiples.
+        let mut next = next_wall_boundary(0);
+        let mut triggers = Vec::new();
+        for count in 1..=131_073u64 {
+            if count >= next {
+                triggers.push(count);
+                next = next_wall_boundary(count);
+            }
+        }
+        assert_eq!(triggers, vec![65_536, 131_072]);
+
+        // Batch-granularity counting can jump past a boundary; the
+        // comparison still catches every crossed window exactly once.
+        let mut count = 0u64;
+        let mut next = next_wall_boundary(count);
+        let mut samples = 0u64;
+        for step in [1u64, 65_535, 1, 70_000, 200_000, 3, 65_536] {
+            count += step;
+            if count >= next {
+                samples += 1;
+                next = next_wall_boundary(count);
+                assert!(next > count, "boundary must be strictly ahead");
+                assert_eq!(next % WALL_SAMPLE_STRIDE, 0);
+            }
+        }
+        assert_eq!(
+            samples, 4,
+            "crossings at 65_536, 135_537, 335_537, and 401_076"
+        );
     }
 
     #[test]

@@ -37,9 +37,9 @@
 
 use std::collections::VecDeque;
 
-use walksteal_mem::{AccessKind, MemSystem};
+use walksteal_mem::{Access, AccessKind, MemSystem};
 use walksteal_sim_core::trace::{Observer, TraceEvent, TraceKind};
-use walksteal_sim_core::{Cycle, Ppn, TenantId, Vpn, WalkerId};
+use walksteal_sim_core::{Cycle, LineAddr, Ppn, TenantId, Vpn, WalkerId};
 
 use crate::frame::FrameAlloc;
 use crate::mask::MaskState;
@@ -1397,6 +1397,10 @@ pub struct WalkSubsystem {
     last_busy_update: Cycle,
     /// Reusable page-table walk buffer for [`Self::dispatch`].
     path_scratch: WalkPath,
+    /// Reusable buffers for the dispatch PTE chain: the line addresses of
+    /// the levels below the PWC hit, and their batched access results.
+    chain_lines: Vec<LineAddr>,
+    chain_out: Vec<Access>,
 }
 
 impl WalkSubsystem {
@@ -1474,6 +1478,8 @@ impl WalkSubsystem {
             busy_count: vec![0; n],
             last_busy_update: Cycle::ZERO,
             path_scratch: WalkPath::default(),
+            chain_lines: Vec::new(),
+            chain_out: Vec::new(),
             cfg,
         }
     }
@@ -1585,17 +1591,30 @@ impl WalkSubsystem {
             Some(mask) => mask.pt_access_kind(t),
             None => AccessKind::PageTable,
         };
-        let mut at = now + self.cfg.dispatch_overhead + self.cfg.pwc_latency;
-        for (i, entry) in path.entry_addrs[first_level..].iter().enumerate() {
-            let access = ctx.mem.access(entry.line(128), at, kind);
-            ctx.obs.trace(TraceKind::Pte, || TraceEvent::PteFetch {
-                cycle: at.0,
-                tenant: t.0,
-                walker: walker as u8,
-                level: (first_level + i) as u8,
-                latency: access.latency,
-            });
-            at += access.latency;
+        let start = now + self.cfg.dispatch_overhead + self.cfg.pwc_latency;
+        // The serial PTE chain resolves in one memory-system pass: each
+        // level issues when the previous one returns, which `access_chain`
+        // replays exactly while keeping the L2/DRAM state hot across
+        // levels. The per-level traces re-derive the same issue cycles.
+        self.chain_lines.clear();
+        self.chain_lines
+            .extend(path.entry_addrs[first_level..].iter().map(|e| e.line(128)));
+        self.chain_out.clear();
+        let at = ctx
+            .mem
+            .access_chain(&self.chain_lines, start, kind, &mut self.chain_out);
+        if !ctx.obs.is_off() {
+            let mut level_at = start;
+            for (i, access) in self.chain_out.iter().enumerate() {
+                ctx.obs.trace(TraceKind::Pte, || TraceEvent::PteFetch {
+                    cycle: level_at.0,
+                    tenant: t.0,
+                    walker: walker as u8,
+                    level: (first_level + i) as u8,
+                    latency: access.latency,
+                });
+                level_at += access.latency;
+            }
         }
         self.pwc.fill_walk(t, req.vpn, &path.node_addrs);
 

@@ -128,7 +128,64 @@ fn corpus_scenarios_replay_clean() {
         let stats = run_oracles(&sc)
             .unwrap_or_else(|d| panic!("corpus scenario {} diverged: {d}", path.display()));
         assert!(stats.sim_events > 0, "{}: simulation ran", path.display());
+        assert!(
+            stats.mem_refs > 0,
+            "{}: the memory-batch twin compared nothing",
+            path.display()
+        );
     }
+}
+
+/// Memory-shape fields postdate the repro format: old files load with the
+/// production defaults, the generator actually varies the shape, invalid
+/// shapes are rejected at load time (not by a panic mid-campaign), and the
+/// fields survive the JSON round trip.
+#[test]
+fn memory_shape_fields_default_vary_and_validate() {
+    let sc = load_repro(&corpus_dir().join("dwspp-repartition.json")).expect("corpus loads");
+    assert_eq!(
+        (sc.l2_banks, sc.dram_channels, sc.dram_occupancy),
+        (16, 16, 7),
+        "a repro without memory fields must get the production memory system"
+    );
+
+    let gen = FuzzGen::new(42);
+    let mut shapes = std::collections::BTreeSet::new();
+    for i in 0..25 {
+        let sc = gen.scenario(i);
+        shapes.insert((sc.l2_banks, sc.dram_channels, sc.dram_occupancy));
+        let parsed = FuzzScenario::from_json(&sc.to_json())
+            .unwrap_or_else(|e| panic!("scenario {i} failed to re-parse: {e}"));
+        assert_eq!(
+            (parsed.l2_banks, parsed.dram_channels, parsed.dram_occupancy),
+            (sc.l2_banks, sc.dram_channels, sc.dram_occupancy),
+            "scenario {i}: memory shape must be serialized, not defaulted"
+        );
+    }
+    assert!(
+        shapes.len() > 3,
+        "25 draws explored only {} memory shapes",
+        shapes.len()
+    );
+
+    let mut bad = FuzzGen::new(42).scenario(0);
+    bad.l2_banks = 3;
+    assert!(
+        FuzzScenario::from_json(&bad.to_json()).is_err(),
+        "non-power-of-two bank count must be rejected"
+    );
+    let mut bad = FuzzGen::new(42).scenario(0);
+    bad.dram_channels = 6;
+    assert!(
+        FuzzScenario::from_json(&bad.to_json()).is_err(),
+        "non-power-of-two channel count must be rejected"
+    );
+    let mut bad = FuzzGen::new(42).scenario(0);
+    bad.dram_occupancy = 0;
+    assert!(
+        FuzzScenario::from_json(&bad.to_json()).is_err(),
+        "zero DRAM occupancy must be rejected"
+    );
 }
 
 #[test]
