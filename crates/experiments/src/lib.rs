@@ -32,7 +32,11 @@
 //! dynamic: seeded arrival/departure timelines under per-tenant SLOs
 //! ([`churn::churn_light`] / [`churn::churn_heavy`], `repro --suite`),
 //! an arrival-intensity sweep ([`churn::sens_churn`]), and hand-written
-//! scenario JSON via `repro --scenario FILE`.
+//! scenario JSON via `repro --scenario FILE`. The [`arena`] module races
+//! the related-work translation designs (sub-entry sharing, Mosaic-style
+//! coalescing, dead-entry prediction) against DWS/DWS++ as a gmean
+//! leaderboard ([`arena::arena_quick`] / [`arena::arena_full`],
+//! `repro --suite`).
 //!
 //! Runs are cached on disk (see [`store::Store`]), so re-running the suite
 //! re-simulates only what is missing, and separate experiments share the
@@ -45,6 +49,7 @@
 //! repro --quick fig5   # one experiment at smoke-test scale
 //! ```
 
+pub mod arena;
 pub mod churn;
 pub mod fault;
 pub mod fuzz;
@@ -58,12 +63,13 @@ pub mod suite;
 pub mod sweep;
 pub mod timeline;
 
+pub use arena::{arena_full, arena_quick, ARENA_PRESETS, ARENA_TENANT_COUNTS};
 pub use churn::{scenario_from_plan, ChurnKind};
 pub use fault::{FaultSpec, InjectedFault};
 pub use fuzz::{
     load_repro, run_campaign, run_oracles, shrink, write_repro, CampaignOptions, CampaignOutcome,
-    ChurnEvent, Divergence, FuzzGen, FuzzScenario, OracleStats, Plant, RepartitionEvent,
-    TenantSource,
+    ChurnEvent, Coverage, Divergence, FuzzGen, FuzzScenario, OracleStats, Plant,
+    RepartitionEvent, TenantSource,
 };
 pub use key::ExpKey;
 pub use parallel::{Job, JobError, JobFailure, RunOptions, RunReport};

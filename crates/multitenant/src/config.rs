@@ -5,8 +5,8 @@ use walksteal_gpu::SmConfig;
 use walksteal_mem::MemSystemConfig;
 use walksteal_sim_core::ConfigError;
 use walksteal_vm::{
-    DwsPlusPlusParams, MaskConfig, PageSize, Replacement, StealMode, TlbConfig, WalkConfig,
-    WalkPolicyKind,
+    ArenaTlbKind, DwsPlusPlusParams, MaskConfig, PageSize, Replacement, StealMode, TlbConfig,
+    WalkConfig, WalkPolicyKind,
 };
 
 /// The configurations compared throughout the paper's evaluation.
@@ -35,11 +35,25 @@ pub enum PolicyPreset {
     Mask,
     /// MASK combined with DWS (the two are orthogonal; Fig. 11).
     MaskDws,
+    /// Sub-entry-sharing L2 TLB for MIG-style partitioning
+    /// (arXiv 2404.18361): statically partitioned walkers, shared L2 TLB
+    /// whose entries hold per-tenant sub-entries with sharing-aware
+    /// replacement.
+    SubEntryTlb,
+    /// Mosaic-style transparent large pages (arXiv 1804.11265): a
+    /// contiguity-reserving allocator plus a multi-page-size L2 TLB path
+    /// that coalesces/splinters at allocation-group boundaries, over DWS
+    /// walkers.
+    MosaicPages,
+    /// Dead-entry TLB-miss prediction (arXiv 2606.00486) layered onto the
+    /// shared L2 TLB, over DWS walkers.
+    DeadEntryGuard,
 }
 
 impl PolicyPreset {
-    /// All presets, in evaluation order.
-    pub const ALL: [PolicyPreset; 11] = [
+    /// All presets, in evaluation order (paper presets first, then the
+    /// policy-arena competitors from related work).
+    pub const ALL: [PolicyPreset; 14] = [
         PolicyPreset::Baseline,
         PolicyPreset::DoubledBaseline,
         PolicyPreset::STlb,
@@ -51,6 +65,17 @@ impl PolicyPreset {
         PolicyPreset::DwsPlusPlusAggressive,
         PolicyPreset::Mask,
         PolicyPreset::MaskDws,
+        PolicyPreset::SubEntryTlb,
+        PolicyPreset::MosaicPages,
+        PolicyPreset::DeadEntryGuard,
+    ];
+
+    /// The policy-arena competitors (suffix of [`ALL`](Self::ALL)): the
+    /// related-work designs raced against DWS/DWS++ in the arena suites.
+    pub const ARENA: [PolicyPreset; 3] = [
+        PolicyPreset::SubEntryTlb,
+        PolicyPreset::MosaicPages,
+        PolicyPreset::DeadEntryGuard,
     ];
 
     /// A short label for tables.
@@ -68,6 +93,9 @@ impl PolicyPreset {
             PolicyPreset::DwsPlusPlusAggressive => "DWS++aggr",
             PolicyPreset::Mask => "MASK",
             PolicyPreset::MaskDws => "MASK+DWS",
+            PolicyPreset::SubEntryTlb => "SE-TLB",
+            PolicyPreset::MosaicPages => "MOSAIC",
+            PolicyPreset::DeadEntryGuard => "DE-GUARD",
         }
     }
 }
@@ -116,6 +144,9 @@ impl std::str::FromStr for PolicyPreset {
             }
             "mask" => Ok(PolicyPreset::Mask),
             "mask+dws" | "maskdws" => Ok(PolicyPreset::MaskDws),
+            "setlb" | "subentry" | "subentrytlb" => Ok(PolicyPreset::SubEntryTlb),
+            "mosaic" | "mosaicpages" => Ok(PolicyPreset::MosaicPages),
+            "deguard" | "deadguard" | "deadentryguard" => Ok(PolicyPreset::DeadEntryGuard),
             _ => Err(format!(
                 "unknown policy preset {s:?} (expected one of: {})",
                 PolicyPreset::ALL.map(PolicyPreset::label).join(", ")
@@ -145,6 +176,9 @@ pub struct GpuConfig {
     pub mem: MemSystemConfig,
     /// MASK-style token mechanism, when enabled.
     pub mask: Option<MaskConfig>,
+    /// Policy-arena L2 TLB organization replacing the shared SoA TLB, when
+    /// a related-work preset selects one.
+    pub l2_arena: Option<ArenaTlbKind>,
     /// Page size (Fig. 14 uses 64 KB).
     pub page_size: PageSize,
     /// Base warp-instruction budget per execution (scaled per app).
@@ -178,6 +212,7 @@ impl Default for GpuConfig {
             walk: WalkConfig::default(),
             mem: MemSystemConfig::default(),
             mask: None,
+            l2_arena: None,
             page_size: PageSize::Small4K,
             instructions_per_warp: 6_000,
             merge_capacity: 512,
@@ -212,6 +247,7 @@ impl GpuConfig {
         // Reset the preset-controlled knobs to baseline first.
         self.l2_tlb_private = false;
         self.mask = None;
+        self.l2_arena = None;
         self.walk.policy = WalkPolicyKind::SharedQueue;
         match preset {
             PolicyPreset::Baseline => {}
@@ -258,6 +294,20 @@ impl GpuConfig {
             }
             PolicyPreset::MaskDws => {
                 self.mask = Some(MaskConfig::default());
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::Dws);
+            }
+            PolicyPreset::SubEntryTlb => {
+                // MIG-faithful: hard walker partitions (no stealing), with
+                // the sub-entry TLB recovering shared-capacity efficiency.
+                self.l2_arena = Some(ArenaTlbKind::SubEntry);
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::None);
+            }
+            PolicyPreset::MosaicPages => {
+                self.l2_arena = Some(ArenaTlbKind::Mosaic);
+                self.walk.policy = WalkPolicyKind::Partitioned(StealMode::Dws);
+            }
+            PolicyPreset::DeadEntryGuard => {
+                self.l2_arena = Some(ArenaTlbKind::DeadGuard);
                 self.walk.policy = WalkPolicyKind::Partitioned(StealMode::Dws);
             }
         }
@@ -446,6 +496,47 @@ mod tests {
     }
 
     #[test]
+    fn arena_presets_select_their_organization() {
+        let se = GpuConfig::default().with_preset(PolicyPreset::SubEntryTlb);
+        assert_eq!(se.l2_arena, Some(ArenaTlbKind::SubEntry));
+        assert_eq!(
+            se.walk.policy,
+            WalkPolicyKind::Partitioned(StealMode::None),
+            "MIG-style: hard walker partitions"
+        );
+        let mosaic = GpuConfig::default().with_preset(PolicyPreset::MosaicPages);
+        assert_eq!(mosaic.l2_arena, Some(ArenaTlbKind::Mosaic));
+        assert_eq!(mosaic.walk.policy, WalkPolicyKind::Partitioned(StealMode::Dws));
+        let guard = GpuConfig::default().with_preset(PolicyPreset::DeadEntryGuard);
+        assert_eq!(guard.l2_arena, Some(ArenaTlbKind::DeadGuard));
+        assert_eq!(guard.walk.policy, WalkPolicyKind::Partitioned(StealMode::Dws));
+        // None of them flips the S-TLB or MASK knobs.
+        for c in [&se, &mosaic, &guard] {
+            assert!(!c.l2_tlb_private && c.mask.is_none());
+        }
+    }
+
+    #[test]
+    fn presets_reset_arena_organization() {
+        let c = GpuConfig::default()
+            .with_preset(PolicyPreset::MosaicPages)
+            .with_preset(PolicyPreset::Baseline);
+        assert_eq!(c.l2_arena, None);
+        assert_eq!(c.walk.policy, WalkPolicyKind::SharedQueue);
+    }
+
+    #[test]
+    fn arena_contains_exactly_the_non_paper_presets() {
+        assert_eq!(&PolicyPreset::ALL[11..], &PolicyPreset::ARENA);
+        for p in PolicyPreset::ARENA {
+            assert!(
+                GpuConfig::default().with_preset(p).l2_arena.is_some(),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
     fn tlb_and_walker_sweeps() {
         let c = GpuConfig::default().with_l2_tlb_entries(512);
         assert_eq!(c.l2_tlb.entries(), 512);
@@ -575,6 +666,12 @@ mod tests {
             ("dws++aggressive", PolicyPreset::DwsPlusPlusAggressive),
             ("mask", PolicyPreset::Mask),
             ("maskdws", PolicyPreset::MaskDws),
+            ("setlb", PolicyPreset::SubEntryTlb),
+            ("sub-entry", PolicyPreset::SubEntryTlb),
+            ("mosaic", PolicyPreset::MosaicPages),
+            ("mosaic-pages", PolicyPreset::MosaicPages),
+            ("deguard", PolicyPreset::DeadEntryGuard),
+            ("dead-entry-guard", PolicyPreset::DeadEntryGuard),
         ] {
             assert_eq!(alias.parse::<PolicyPreset>(), Ok(expect), "{alias}");
         }

@@ -17,7 +17,8 @@ use walksteal_sim_core::{
     Vpn, WalkerId,
 };
 use walksteal_vm::{
-    walk::WalkContext, FrameAlloc, MaskState, PageTable, Tlb, WalkRequest, WalkSubsystem,
+    walk::WalkContext, ArenaTlb, ArenaTlbKind, FrameAlloc, MaskState, PageTable, Tlb, WalkRequest,
+    WalkSubsystem, MOSAIC_GROUP,
 };
 use walksteal_workloads::{AppId, AppProfile, WarpStream};
 
@@ -112,6 +113,10 @@ pub struct Simulation {
     warps: Vec<Warp>,
     tenants: Vec<Tenant>,
     l2_tlbs: Vec<Tlb>,
+    /// Policy-arena L2 organization, replacing `l2_tlbs` when a
+    /// related-work preset selects one ([`GpuConfig::l2_arena`]). `None`
+    /// for every paper preset, keeping their L2 path byte-identical.
+    arena: Option<ArenaTlb>,
     walk: WalkSubsystem,
     mem: MemSystem,
     page_tables: Vec<PageTable>,
@@ -262,9 +267,21 @@ impl Simulation {
         let l2_tlbs = (0..n_l2_tlbs)
             .map(|_| Tlb::new(cfg.l2_tlb, n_tenants))
             .collect();
+        let arena = cfg
+            .l2_arena
+            .map(|kind| ArenaTlb::new(kind, cfg.l2_tlb, n_tenants, cfg.page_size));
 
+        // Mosaic relies on each aligned page group being physically
+        // contiguous; its preset switches the tables to the
+        // contiguity-reserving allocator.
         let page_tables = (0..n_tenants)
-            .map(|t| PageTable::new(TenantId(t as u8), cfg.page_size))
+            .map(|t| {
+                if cfg.l2_arena == Some(ArenaTlbKind::Mosaic) {
+                    PageTable::with_reservation(TenantId(t as u8), cfg.page_size, MOSAIC_GROUP)
+                } else {
+                    PageTable::new(TenantId(t as u8), cfg.page_size)
+                }
+            })
             .collect();
 
         Simulation {
@@ -275,6 +292,7 @@ impl Simulation {
             warps,
             tenants,
             l2_tlbs,
+            arena,
             page_tables,
             frames: FrameAlloc::new(),
             // Sized to the merge-table limit so the L2-miss path never
@@ -438,7 +456,7 @@ impl Simulation {
         self.parked[t].clear();
 
         // TLB shootdown: the departing tenant's translations are dead.
-        self.l2_tlb_of(tid).invalidate_tenant(tid, now);
+        self.l2_invalidate(tid, now);
         let sm_base = t * self.sms_per_tenant;
         for sm in sm_base..sm_base + self.sms_per_tenant {
             self.sms[sm].flush_l1_tlb(now);
@@ -589,6 +607,36 @@ impl Simulation {
             &mut self.l2_tlbs[tenant.index()]
         } else {
             &mut self.l2_tlbs[0]
+        }
+    }
+
+    /// L2 probe through whichever organization the preset selected.
+    fn l2_probe(&mut self, tenant: TenantId, vpn: Vpn) -> Option<Ppn> {
+        match &mut self.arena {
+            Some(arena) => arena.probe(tenant, vpn),
+            None => self.l2_tlb_of(tenant).probe(tenant, vpn),
+        }
+    }
+
+    /// L2 fill through whichever organization the preset selected.
+    fn l2_fill(&mut self, tenant: TenantId, vpn: Vpn, ppn: Ppn, now: Cycle) {
+        match &mut self.arena {
+            Some(arena) => arena.fill(tenant, vpn, ppn, now),
+            None => {
+                self.l2_tlb_of(tenant).fill(tenant, vpn, ppn, now);
+            }
+        }
+    }
+
+    /// L2 shootdown of a departing tenant's translations.
+    fn l2_invalidate(&mut self, tenant: TenantId, now: Cycle) {
+        match &mut self.arena {
+            Some(arena) => {
+                arena.invalidate_tenant(tenant, now);
+            }
+            None => {
+                self.l2_tlb_of(tenant).invalidate_tenant(tenant, now);
+            }
         }
     }
 
@@ -896,7 +944,7 @@ impl Simulation {
         // L2 TLB (shared or per-tenant private).
         let now = self.now;
         let l2_lat = self.cfg.l2_tlb_latency;
-        let hit = self.l2_tlb_of(tenant).probe(tenant, r.vpn);
+        let hit = self.l2_probe(tenant, r.vpn);
         if let Some(mask) = &mut self.mask {
             mask.on_l2_tlb_probe(tenant, hit.is_some(), now);
         }
@@ -985,8 +1033,7 @@ impl Simulation {
             .as_ref()
             .map_or(true, |sc| sc.active[done.tenant.index()]);
         if may_fill && resident {
-            self.l2_tlb_of(done.tenant)
-                .fill(done.tenant, done.vpn, done.ppn, now);
+            self.l2_fill(done.tenant, done.vpn, done.ppn, now);
         }
 
         // Wake every waiter merged onto this walk. Their data accesses all
@@ -1217,7 +1264,9 @@ impl Simulation {
                     0.0
                 };
                 let stats = self.walk.stats();
-                let tlb_share = if self.cfg.l2_tlb_private {
+                let tlb_share = if let Some(arena) = &self.arena {
+                    arena.share_of(tid, end)
+                } else if self.cfg.l2_tlb_private {
                     // Private TLBs: the tenant holds its whole TLB.
                     1.0
                 } else {

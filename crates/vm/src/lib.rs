@@ -20,6 +20,10 @@
 //!   the FWA / TWM / WTM hardware tables that implement stealing.
 //! * [`mask`] — a MASK-style token mechanism (TLB-fill throttling + PTE L2
 //!   bypass) used as a comparison point (paper Fig. 11).
+//! * [`arena`] — related-work L2-TLB organizations raced against DWS/DWS++:
+//!   sub-entry sharing ([`SubEntryTlb`]), Mosaic-style transparent
+//!   large-page coalescing ([`MosaicTlb`]), and dead-entry fill prediction
+//!   ([`DeadGuardTlb`]), all behind the [`ArenaTlb`] facade.
 //!
 //! # Examples
 //!
@@ -36,6 +40,7 @@
 //! assert_eq!(pt.walk_path(Vpn(0x1234), &mut frames).ppn, path.ppn);
 //! ```
 
+pub mod arena;
 pub mod frame;
 pub mod invariants;
 pub mod mask;
@@ -45,6 +50,10 @@ pub mod pwc;
 pub mod tlb;
 pub mod walk;
 
+pub use arena::{
+    ArenaTlb, ArenaTlbKind, DeadGuardTlb, MosaicTlb, SubEntryTlb, MOSAIC_COALESCE_THRESHOLD,
+    MOSAIC_GROUP, MOSAIC_LARGE_ENTRIES, SUB_ENTRIES,
+};
 pub use frame::FrameAlloc;
 pub use mask::{MaskConfig, MaskState};
 pub use page::PageSize;

@@ -70,6 +70,11 @@ pub struct PageTable {
     /// map probe exactly (and implies no allocation would have happened).
     node_memo: [(u64, Ppn); 4],
     touched_pages: u64,
+    /// First touch of any page maps its whole aligned group of this many
+    /// pages contiguously (1 = plain first-touch allocation). The
+    /// contiguity guarantee behind Mosaic-style coalescing: page `i` of a
+    /// group always lands `i * granules` frames past the group's base.
+    reserve_pages: u64,
 }
 
 /// Sentinel memo key that can never equal a real [`node_key`] (real keys
@@ -91,7 +96,26 @@ impl PageTable {
             leaves: FnvMap::with_capacity_and_hasher(1 << 14, Default::default()),
             node_memo: [(MEMO_EMPTY, Ppn(0)); 4],
             touched_pages: 0,
+            reserve_pages: 1,
         }
+    }
+
+    /// As [`new`](Self::new), but the first touch of any page eagerly maps
+    /// its whole aligned group of `reserve_pages` pages to contiguous
+    /// frames (Mosaic-style contiguity reservation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve_pages` is not a power of two.
+    #[must_use]
+    pub fn with_reservation(tenant: TenantId, page_size: PageSize, reserve_pages: u64) -> Self {
+        assert!(
+            reserve_pages.is_power_of_two(),
+            "reservation group must be a power of two"
+        );
+        let mut pt = PageTable::new(tenant, page_size);
+        pt.reserve_pages = reserve_pages;
+        pt
     }
 
     /// The tenant owning this table.
@@ -182,11 +206,30 @@ impl PageTable {
                 };
             }
         }
-        let touched = &mut self.touched_pages;
         // Leaf frames are allocated in 4 KB granules; a large data page
         // reserves all of its granules so its cache lines never alias
         // another allocation's.
         let granules = self.page_size.bytes() / 4096;
+        if self.reserve_pages > 1 {
+            out.ppn = match self.leaves.get(&vpn) {
+                Some(&ppn) => ppn,
+                None => {
+                    // Map the whole aligned group contiguously, so every
+                    // page of the group gets a frame offset equal to its
+                    // page offset — the contiguity Mosaic coalescing needs.
+                    let group_base = vpn.0 & !(self.reserve_pages - 1);
+                    let frame_base = frames.alloc_contiguous(granules * self.reserve_pages);
+                    for i in 0..self.reserve_pages {
+                        self.leaves
+                            .insert(Vpn(group_base + i), Ppn(frame_base.0 + i * granules));
+                    }
+                    self.touched_pages += self.reserve_pages;
+                    Ppn(frame_base.0 + (vpn.0 - group_base) * granules)
+                }
+            };
+            return;
+        }
+        let touched = &mut self.touched_pages;
         out.ppn = *self.leaves.entry(vpn).or_insert_with(|| {
             *touched += 1;
             frames.alloc_contiguous(granules)
@@ -298,6 +341,41 @@ mod tests {
         for (e, n) in p.entry_addrs.iter().zip(&p.node_addrs) {
             assert!(e.0 >= n.0 && e.0 < n.0 + 4096, "entry outside node frame");
         }
+    }
+
+    #[test]
+    fn reservation_maps_aligned_groups_contiguously() {
+        let mut pt = PageTable::with_reservation(TenantId(0), PageSize::Small4K, 8);
+        let mut f = FrameAlloc::new();
+        let base = pt.walk_path(Vpn(11), &mut f).ppn;
+        // First touch of vpn 11 mapped its whole group 8..16; page i of the
+        // group sits i frames past the group base.
+        assert_eq!(pt.touched_pages(), 8);
+        let group_base = Ppn(base.0 - 3);
+        for i in 0..8u64 {
+            assert_eq!(
+                pt.translate(Vpn(8 + i)),
+                Some(Ppn(group_base.0 + i)),
+                "page {i}"
+            );
+        }
+        // Touching another page of the same group allocates nothing new.
+        assert_eq!(pt.walk_path(Vpn(8), &mut f).ppn, group_base);
+        assert_eq!(pt.touched_pages(), 8);
+    }
+
+    #[test]
+    fn reservation_of_one_matches_plain_first_touch() {
+        let (mut plain, mut f1) = pt();
+        let mut res = PageTable::with_reservation(TenantId(0), PageSize::Small4K, 1);
+        let mut f2 = FrameAlloc::new();
+        for v in [7u64, 3, 900, 7] {
+            assert_eq!(
+                plain.walk_path(Vpn(v), &mut f1),
+                res.walk_path(Vpn(v), &mut f2)
+            );
+        }
+        assert_eq!(plain.touched_pages(), res.touched_pages());
     }
 
     #[test]

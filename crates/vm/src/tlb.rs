@@ -306,6 +306,21 @@ impl Tlb {
         evicted
     }
 
+    /// Invalidates the single entry for `(tenant, vpn)` at time `now`, if
+    /// resident — used when a coalescing organization promotes a base
+    /// translation into a large-page range and must not map it twice.
+    /// Returns whether an entry was dropped.
+    pub fn invalidate_one(&mut self, tenant: TenantId, vpn: Vpn, now: Cycle) -> bool {
+        if let Some(i) = self.find(tenant, vpn) {
+            self.advance_time(now);
+            self.meta[i] = 0;
+            self.occupancy[tenant.index()] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Invalidates every entry owned by `tenant` at time `now` — the TLB
     /// flush of a tenant departure. Occupancy integration runs up to `now`
     /// first, so share accounting credits the tenant for exactly the time

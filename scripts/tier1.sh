@@ -90,6 +90,17 @@ EOF
 grep -q "tenant 0 (GUPS)" "$SMOKE/scenario.txt"
 grep -q "evictions" "$SMOKE/scenario.txt"
 
+echo "== arena smoke =="
+# The policy arena end-to-end: the quick-field leaderboard ranks every
+# related-work competitor against Baseline / DWS / DWS++ and matches the
+# golden snapshot byte-for-byte.
+./target/release/repro --quick --cache "$SMOKE/arena" --suite arena_quick > "$SMOKE/arena.txt"
+grep -q "Policy arena (quick field)" "$SMOKE/arena.txt"
+grep -q "MOSAIC" "$SMOKE/arena.txt"
+grep -q "SE-TLB" "$SMOKE/arena.txt"
+grep -q "DE-GUARD" "$SMOKE/arena.txt"
+cmp "$SMOKE/arena.txt" tests/golden/arena_suite.txt
+
 echo "== fuzz + cache-audit smoke =="
 # Replay the checked-in corpus plus a short seeded campaign through the
 # stacked differential oracle (scheduler lockstep, batched-vs-scalar,
@@ -97,6 +108,7 @@ echo "== fuzz + cache-audit smoke =="
 # after writing a minimized repro under results/fuzz/repros/.
 ./target/release/repro --fuzz 10 --fuzz-seed 42 2> "$SMOKE/fuzz.txt"
 grep -q "clean" "$SMOKE/fuzz.txt"
+grep -q "coverage:" "$SMOKE/fuzz.txt"
 # The cache auditor must pass a sample of the smoke cache populated above.
 ./target/release/repro --quick --cache "$SMOKE/cache" --verify-cache 3 2> "$SMOKE/audit.txt"
 grep -q -- "-> 0 stale" "$SMOKE/audit.txt"

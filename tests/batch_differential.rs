@@ -427,6 +427,121 @@ fn walk_enqueue_batch_matches_scalar_all_presets() {
     }
 }
 
+/// The three policy-arena presets run the same batched-vs-scalar walk
+/// lockstep as the paper presets, with the non-vacuity each design
+/// promises: MOSAIC and DE-GUARD ride DWS partitions and must provoke
+/// steals, while SE-TLB is MIG-style static partitioning and must never
+/// steal — across 2/3/4 tenants and three seeds each.
+#[test]
+fn arena_preset_walk_configs_lockstep_with_steal_nonvacuity() {
+    for preset in PolicyPreset::ARENA {
+        let mut stolen = 0;
+        for n_tenants in TENANT_COUNTS {
+            let cfg = GpuConfig::default()
+                .with_n_sms(8 * n_tenants)
+                .with_walkers(walkers_for(n_tenants))
+                .for_tenants(n_tenants)
+                .with_preset(preset);
+            for seed in SEEDS {
+                let (s, _) = drive_batched_vs_scalar(
+                    &cfg.walk,
+                    &format!("{preset}/{n_tenants}t"),
+                    seed,
+                    4_000,
+                );
+                stolen += s;
+            }
+        }
+        if preset == PolicyPreset::SubEntryTlb {
+            assert_eq!(stolen, 0, "SE-TLB static partitions must never steal");
+        } else {
+            assert!(stolen > 0, "{preset}: arena traffic produced no steals");
+        }
+    }
+}
+
+/// [`ArenaTlb::probe_batch`] evolves per-element results and hit/miss
+/// statistics exactly as element-wise [`ArenaTlb::probe`], for all three
+/// arena organizations across tenant counts and seeds — with fills and
+/// periodic tenant shootdowns interleaved, and each design's structural
+/// invariants checked on both sides every round.
+#[test]
+fn arena_tlb_probe_batch_matches_scalar() {
+    use walksteal::vm::{ArenaTlb, ArenaTlbKind};
+    let kinds = [
+        ArenaTlbKind::SubEntry,
+        ArenaTlbKind::Mosaic,
+        ArenaTlbKind::DeadGuard,
+    ];
+    for kind in kinds {
+        for n_tenants in TENANT_COUNTS {
+            for seed in SEEDS {
+                let cfg = TlbConfig {
+                    sets: 4,
+                    ways: 2,
+                    replacement: Replacement::Lru,
+                };
+                let mut batched = ArenaTlb::new(kind, cfg, n_tenants, PageSize::Small4K);
+                let mut scalar = ArenaTlb::new(kind, cfg, n_tenants, PageSize::Small4K);
+                let mut rng = SimRng::new(seed);
+                let mut probes: Vec<(TenantId, Vpn)> = Vec::new();
+                let mut out = Vec::new();
+                let mut now = Cycle::ZERO;
+                for round in 0..400 {
+                    now += 1;
+                    probes.clear();
+                    let mut prev = None;
+                    for _ in 0..1 + rng.next_below(8) {
+                        let p = traffic(&mut rng, n_tenants, prev);
+                        probes.push(p);
+                        prev = Some(p);
+                    }
+                    batched.probe_batch(&probes, &mut out);
+                    for (i, &(t, v)) in probes.iter().enumerate() {
+                        let want = scalar.probe(t, v);
+                        assert_eq!(
+                            out[i], want,
+                            "{kind:?} {n_tenants}t seed {seed:#x} round {round} probe {i}"
+                        );
+                    }
+                    for (i, &(t, v)) in probes.iter().enumerate() {
+                        if out[i].is_none() {
+                            // Group-consistent frames (what the Mosaic
+                            // reservation allocator hands out), so coalesced
+                            // large-page translations stay coherent with the
+                            // base entries they replace.
+                            let ppn =
+                                Ppn((u64::from(t.0) << 40) | ((v.0 >> 3) << 10) | (v.0 & 7));
+                            batched.fill(t, v, ppn, now);
+                            scalar.fill(t, v, ppn, now);
+                        }
+                    }
+                    if round > 0 && round % 97 == 0 {
+                        let t = TenantId(rng.next_below(n_tenants as u64) as u8);
+                        assert_eq!(
+                            batched.invalidate_tenant(t, now),
+                            scalar.invalidate_tenant(t, now),
+                            "{kind:?} round {round}: shootdown count diverged"
+                        );
+                    }
+                    assert_eq!(batched.hits(), scalar.hits(), "{kind:?} hits @ {round}");
+                    assert_eq!(batched.misses(), scalar.misses(), "{kind:?} misses @ {round}");
+                    batched
+                        .check_invariants()
+                        .unwrap_or_else(|e| panic!("batched {kind:?} round {round}: {e}"));
+                    scalar
+                        .check_invariants()
+                        .unwrap_or_else(|e| panic!("scalar {kind:?} round {round}: {e}"));
+                }
+                assert!(
+                    batched.hits() > 0 && batched.misses() > 0,
+                    "{kind:?}: the comparison saw no real hit/miss mix"
+                );
+            }
+        }
+    }
+}
+
 /// Everything the memory system exposes, compared between sides: the
 /// per-kind hit/DRAM statistics, the per-bank arbitration cursors, and the
 /// per-channel DRAM cursors plus its access/queue-wait accounting.

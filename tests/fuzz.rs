@@ -9,11 +9,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use walksteal::experiments::fuzz::{
-    load_repro, run_campaign, run_oracles, shrink, write_repro, CampaignOptions, FuzzGen,
-    FuzzScenario, Plant,
+    load_repro, run_campaign, run_oracles, shrink, write_repro, CampaignOptions, Coverage,
+    FuzzGen, FuzzScenario, Plant,
 };
 use walksteal::experiments::suite::{planned_jobs, verify_cache};
 use walksteal::experiments::{Scale, Store};
+use walksteal::multitenant::PolicyPreset;
 
 /// A fresh scratch directory unique to this test process.
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -215,6 +216,47 @@ fn planted_bug_is_detected_shrunk_and_replayable() {
     assert_eq!(loaded.to_json().dump(), min.to_json().dump());
     assert!(run_oracles(&loaded).is_err(), "repro replays the failure");
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The policy-arena presets are reachable (coverage-signal non-vacuity): a
+/// 100-scenario seeded draw stream hits every arena preset, the
+/// [`Coverage`] accounting sees no preset as missing, and one scenario per
+/// arena preset replays clean through the full oracle stack.
+#[test]
+fn fuzzer_reaches_every_arena_preset() {
+    let gen = FuzzGen::new(42);
+    let mut coverage = Coverage::default();
+    let mut first_of: std::collections::BTreeMap<&str, FuzzScenario> =
+        std::collections::BTreeMap::new();
+    for i in 0..100 {
+        let sc = gen.scenario(i);
+        coverage.record(&sc);
+        if PolicyPreset::ARENA.contains(&sc.preset) {
+            first_of.entry(sc.preset.label()).or_insert(sc);
+        }
+    }
+    for p in PolicyPreset::ARENA {
+        assert!(
+            first_of.contains_key(p.label()),
+            "100 draws never produced {p}"
+        );
+    }
+    assert!(
+        coverage.missing_presets().is_empty(),
+        "coverage reports unexplored presets: {:?}",
+        coverage.missing_presets()
+    );
+    assert_eq!(coverage.presets_hit(), PolicyPreset::ALL.len());
+    assert!(
+        coverage.summary().contains("14/14 presets"),
+        "summary: {}",
+        coverage.summary()
+    );
+    for (label, sc) in &first_of {
+        let stats = run_oracles(sc)
+            .unwrap_or_else(|d| panic!("{label} scenario {} diverged: {d}", sc.label));
+        assert!(stats.sim_events > 0, "{label}: end-to-end stage must run");
+    }
 }
 
 #[test]

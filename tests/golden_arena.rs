@@ -1,0 +1,53 @@
+//! Golden snapshot of the `--quick` policy-arena suite stdout.
+//!
+//! `tests/golden/arena_suite.txt` is the exact text
+//! `repro --quick arena_quick` prints: the quick-field leaderboard racing
+//! the related-work translation designs (SE-TLB, MOSAIC, DE-GUARD) against
+//! Baseline / DWS / DWS++. The test re-simulates the whole field from an
+//! empty in-memory store, so any drift — a changed coalesce decision, a
+//! perturbed steal, a reordered leaderboard row — fails `cargo test`
+//! immediately instead of only surfacing as a diff under `results/` the
+//! next time someone regenerates the cache.
+//!
+//! To update after an *intentional* behavior change:
+//!
+//! ```text
+//! cargo run --release -p walksteal-experiments --bin repro -- \
+//!     --quick --cache $(mktemp -d) arena_quick > tests/golden/arena_suite.txt
+//! ```
+//!
+//! and justify the diff (especially any rank change) in the PR description.
+
+use walksteal::experiments::arena;
+use walksteal::experiments::suite::ExpContext;
+use walksteal::experiments::{Scale, Store};
+
+const GOLDEN: &str = include_str!("golden/arena_suite.txt");
+
+#[test]
+fn arena_suite_stdout_matches_golden_snapshot() {
+    let mut ctx = ExpContext::new(Scale::Quick, Store::in_memory());
+    ctx.jobs = 4;
+    let table = ctx.run(arena::arena_quick);
+    let got = format!("{table}\n");
+
+    if got != GOLDEN {
+        // Point at the first divergent line so the failure is readable
+        // without diffing the blobs by hand.
+        for (i, (g, w)) in got.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "arena-suite stdout diverges from tests/golden/arena_suite.txt \
+                 at line {} (see module docs for how to regenerate)",
+                i + 1
+            );
+        }
+        panic!(
+            "arena-suite stdout line count changed: got {} lines, golden has {}",
+            got.lines().count(),
+            GOLDEN.lines().count()
+        );
+    }
+    assert!(ctx.failures().is_empty(), "{:?}", ctx.failures());
+}

@@ -680,6 +680,213 @@ fn scheduler_invariants_hold_under_churn() {
     }
 }
 
+/// The arena presets' walk configurations hold every scheduler invariant
+/// in optimized-vs-reference lockstep — conservation and
+/// [`invariants::check_scheduler`] through [`drive_invariants`] on static
+/// traffic, and the attach/detach-safe [`invariants::check_accounting`]
+/// through [`drive_churn`] on arrival/departure timelines — with the steal
+/// behavior each design promises: SE-TLB's MIG-style static partitions
+/// never steal, MOSAIC and DE-GUARD ride DWS and provably do.
+#[test]
+fn arena_preset_walk_configs_hold_invariants() {
+    use walksteal::multitenant::{GpuConfig, PolicyPreset};
+
+    for preset in PolicyPreset::ARENA {
+        let cfg = GpuConfig::default()
+            .with_walkers(12)
+            .for_tenants(3)
+            .with_preset(preset);
+        let WalkPolicyKind::Partitioned(mode) = cfg.walk.policy.clone() else {
+            panic!("{preset}: arena presets must partition their walkers");
+        };
+        let mut stolen = 0;
+        for n_tenants in [2usize, 3, 4] {
+            for seed in [0xA7u64, 0xB8] {
+                stolen += drive_invariants(n_tenants, mode.clone(), seed, 2_000);
+            }
+        }
+        let mut cancelled = 0;
+        for seed in [0xD7u64, 0xD8] {
+            let (s, c) = drive_churn(3, mode.clone(), seed, 2_000);
+            stolen += s;
+            cancelled += c;
+        }
+        assert!(cancelled > 0, "{preset}: churn never cancelled a walk");
+        if preset == PolicyPreset::SubEntryTlb {
+            assert_eq!(stolen, 0, "SE-TLB static partitions must never steal");
+        } else {
+            assert!(stolen > 0, "{preset}: traffic produced no steals");
+        }
+    }
+}
+
+/// Mosaic consistency property: under reservation-grouped frames a
+/// [`MosaicTlb`](walksteal::vm::MosaicTlb) probe never contradicts the
+/// page table — every hit, from a base entry or a coalesced large entry
+/// (including pages of the group the TLB never saw filled), returns
+/// exactly the frame the reservation allocator mapped. Coalescing and
+/// splintering both provably fire, and the no-double-mapping structural
+/// invariant holds after every operation.
+#[test]
+fn mosaic_tlb_agrees_with_reserved_page_table() {
+    use walksteal::vm::{MosaicTlb, MOSAIC_GROUP};
+
+    let mut rng = SimRng::new(0xE8);
+    let (mut coalesces, mut splinters, mut large_hits) = (0u64, 0u64, 0u64);
+    for case in 0..CASES {
+        let mut tlb = MosaicTlb::new(
+            TlbConfig {
+                sets: 4,
+                ways: 2,
+                replacement: Replacement::Lru,
+            },
+            2,
+            PageSize::Small4K,
+        );
+        let mut frames = FrameAlloc::new();
+        let mut pts = [
+            PageTable::with_reservation(TenantId(0), PageSize::Small4K, MOSAIC_GROUP),
+            PageTable::with_reservation(TenantId(1), PageSize::Small4K, MOSAIC_GROUP),
+        ];
+        let n_ops = 60 + rng.next_below(140);
+        let mut now = Cycle::ZERO;
+        for op in 0..n_ops {
+            now += 1;
+            let t = rng.next_below(2) as usize;
+            // Half the ops sweep a whole group page-by-page (the dense
+            // touch pattern that trips the coalesce threshold; the wide
+            // group range overflows the large array so victims splinter),
+            // half probe a hot region served from earlier coalesces.
+            let vpns: Vec<Vpn> = if rng.chance(0.5) {
+                let group = rng.next_below(256) * MOSAIC_GROUP;
+                (0..MOSAIC_GROUP).map(|i| Vpn(group + i)).collect()
+            } else {
+                vec![Vpn(rng.next_below(64))]
+            };
+            for v in vpns {
+                let truth = pts[t].walk_path(v, &mut frames).ppn;
+                match tlb.probe(TenantId(t as u8), v) {
+                    Some(hit) => assert_eq!(
+                        hit, truth,
+                        "case {case} op {op}: wrong translation for {v:?}"
+                    ),
+                    None => tlb.fill(TenantId(t as u8), v, truth, now),
+                }
+            }
+            if rng.chance(0.02) {
+                tlb.invalidate_tenant(TenantId(t as u8), now);
+            }
+            tlb.check_invariants()
+                .unwrap_or_else(|e| panic!("case {case} op {op}: {e}"));
+        }
+        coalesces += tlb.coalesces();
+        splinters += tlb.splinters();
+        large_hits += tlb.large_hits();
+    }
+    assert!(coalesces > 0, "no group ever coalesced");
+    assert!(splinters > 0, "no large entry was ever splintered back");
+    assert!(large_hits > 0, "no probe was ever served by a large entry");
+}
+
+/// Sub-entry isolation property: under random multi-tenant streams a
+/// [`SubEntryTlb`](walksteal::vm::SubEntryTlb) probe never returns a
+/// foreign or stale mapping, the sub-entries of one physical entry never
+/// span tenants unless the entry is flagged shared (checked structurally
+/// after every operation), and cross-tenant sharing provably occurs
+/// somewhere in the suite.
+#[test]
+fn sub_entry_tlb_isolates_tenants() {
+    use walksteal::vm::SubEntryTlb;
+
+    let mut rng = SimRng::new(0xE9);
+    let mut shared_fills = 0u64;
+    for case in 0..CASES {
+        let n_tenants = 2 + rng.next_below(3) as usize;
+        let mut tlb = SubEntryTlb::new(
+            TlbConfig {
+                sets: 4,
+                ways: 2,
+                replacement: Replacement::Lru,
+            },
+            n_tenants,
+        );
+        let mut truth = std::collections::HashMap::new();
+        let n_ops = 1 + rng.next_below(299);
+        for op in 0..n_ops {
+            let t = rng.next_below(n_tenants as u64) as u8;
+            let v = rng.next_below(64);
+            let now = Cycle(op);
+            match tlb.probe(TenantId(t), Vpn(v)) {
+                Some(hit) => assert_eq!(
+                    Some(&hit),
+                    truth.get(&(t, v)),
+                    "case {case} op {op}: foreign or stale mapping"
+                ),
+                None => {
+                    let ppn = Ppn(v + 1 + 1000 * u64::from(t));
+                    tlb.fill(TenantId(t), Vpn(v), ppn, now);
+                    truth.insert((t, v), ppn);
+                }
+            }
+            if rng.chance(0.01) {
+                tlb.invalidate_tenant(TenantId(t), now);
+                truth.retain(|&(tt, _), _| tt != t);
+            }
+            tlb.check_invariants()
+                .unwrap_or_else(|e| panic!("case {case} op {op}: {e}"));
+        }
+        shared_fills += tlb.shared_fills();
+    }
+    assert!(shared_fills > 0, "no cross-tenant sub-entry sharing occurred");
+}
+
+/// Dead-entry-guard safety property: the predictor only ever *bypasses*
+/// fills — a [`DeadGuardTlb`](walksteal::vm::DeadGuardTlb) probe hit is
+/// always the correct mapping, never stale or foreign — and under a
+/// stream-plus-hot-set mix it provably both learns dead evictions and
+/// bypasses fills.
+#[test]
+fn dead_guard_tlb_never_serves_stale_mappings() {
+    use walksteal::vm::DeadGuardTlb;
+
+    let mut rng = SimRng::new(0xEA);
+    let (mut bypasses, mut dead) = (0u64, 0u64);
+    for case in 0..CASES {
+        let mut tlb = DeadGuardTlb::new(
+            TlbConfig {
+                sets: 4,
+                ways: 2,
+                replacement: Replacement::Lru,
+            },
+            2,
+        );
+        let mut stream_next = 1_000u64;
+        let n_ops = 100 + rng.next_below(300);
+        for op in 0..n_ops {
+            let t = rng.next_below(2) as u8;
+            // A small hot set that genuinely reuses, against a strided
+            // stream that never does — the mix the dead-entry predictor
+            // (arXiv 2606.00486) is built to separate.
+            let v = if rng.chance(0.6) {
+                rng.next_below(8)
+            } else {
+                stream_next += 1;
+                stream_next
+            };
+            let now = Cycle(op);
+            let want = Ppn(v + 1 + 1000 * u64::from(t));
+            match tlb.probe(TenantId(t), Vpn(v)) {
+                Some(hit) => assert_eq!(hit, want, "case {case} op {op}: stale or foreign"),
+                None => tlb.fill(TenantId(t), Vpn(v), want, now),
+            }
+        }
+        bypasses += tlb.bypasses();
+        dead += tlb.dead_evictions();
+    }
+    assert!(dead > 0, "the predictor never observed a dead eviction");
+    assert!(bypasses > 0, "the predictor never bypassed a fill");
+}
+
 /// End-to-end churn: heavy arrival/departure timelines under a tight SLO
 /// run to completion under DWS and DWS++, the controller provably evicts
 /// and throttles somewhere in the suite, and every churn report is
